@@ -1,0 +1,57 @@
+"""Ablation bench — which of Elkan's two bound families does the work?
+
+Section 4.1 defines Elka as inter-bound + drift-bound.  This ablation runs
+the full configuration against each mechanism alone across three dataset
+shapes, reporting distances, bound updates and the modeled cost.  The
+expected pattern: the drift matrix carries most of the pruning, while the
+inter-bound adds cheap early exits but pays k(k-1)/2 distances per
+iteration — which is why Hamerly-style methods can win despite pruning
+less.
+"""
+
+from __future__ import annotations
+
+from _common import MID_K, report
+from repro.core.elkan import ElkanKMeans
+from repro.core.initialization import init_kmeans_plus_plus
+from repro.datasets import load_dataset
+from repro.eval import format_table
+
+
+def run_ablation():
+    blocks = []
+    for dataset, n in [("BigCross", 1500), ("NYC-Taxi", 2000), ("Mnist", 300)]:
+        X = load_dataset(dataset, n=n, seed=0)
+        C0 = init_kmeans_plus_plus(X, MID_K, seed=0)
+        rows = []
+        for label, kwargs in [
+            ("inter+drift (Elka)", {}),
+            ("drift only", {"use_inter": False}),
+            ("inter only", {"use_drift": False}),
+        ]:
+            result = ElkanKMeans(**kwargs).fit(
+                X, MID_K, initial_centroids=C0, max_iter=10
+            )
+            rows.append(
+                [
+                    label,
+                    int(result.counters.distance_computations),
+                    int(result.counters.bound_updates),
+                    round(result.modeled_cost / 1e6, 2),
+                    f"{result.pruning_ratio:.0%}",
+                ]
+            )
+        blocks.append(
+            format_table(
+                ["configuration", "distances", "bound_updates",
+                 "cost_Mops", "pruned"],
+                rows,
+                title=f"{dataset} (n={n}, d={X.shape[1]}, k={MID_K})",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def test_ablation_bounds(benchmark):
+    text = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    report("ablation_bounds", text)

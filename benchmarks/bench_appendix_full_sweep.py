@@ -1,0 +1,53 @@
+"""Appendix Figures 19-26 — the full-matrix versions of Figures 8-11.
+
+The paper's technical report expands Figures 8-11 to every dataset and
+adds the k=10 breakdowns (its Figures 19-26).  This bench runs the full
+matrix — all registry datasets x k in {SMALL_K, MID_K} x the method roster
+— and reports speedup, pruning, accesses and footprint per cell, writing
+one compact block per dataset.
+"""
+
+from __future__ import annotations
+
+from _common import MID_K, SMALL_K, report
+from repro.datasets import dataset_names, load_dataset
+from repro.eval import compare_algorithms, format_table
+
+METHODS = ["lloyd", "elkan", "hamerly", "drake", "yinyang", "heap", "index", "unik"]
+
+
+def run_full_sweep():
+    blocks = []
+    for name in dataset_names():
+        n = 200 if name in ("Mnist", "MSD") else 800
+        X = load_dataset(name, n=n, seed=0)
+        for k in [SMALL_K, MID_K]:
+            records = compare_algorithms(METHODS, X, k, repeats=1, max_iter=8)
+            base = records[0]
+            rows = [
+                [
+                    record.algorithm,
+                    round(base.modeled_cost / record.modeled_cost, 2)
+                    if record.modeled_cost
+                    else float("inf"),
+                    f"{record.pruning_ratio:.0%}",
+                    int(record.point_accesses),
+                    int(record.bound_accesses + record.bound_updates),
+                    int(record.footprint_floats),
+                ]
+                for record in records
+            ]
+            blocks.append(
+                format_table(
+                    ["method", "cost_x", "pruned", "point_acc",
+                     "bound_ops", "floats"],
+                    rows,
+                    title=f"{name} (n={n}, d={X.shape[1]}, k={k})",
+                )
+            )
+    return "\n\n".join(blocks)
+
+
+def test_appendix_full_sweep(benchmark):
+    text = benchmark.pedantic(run_full_sweep, rounds=1, iterations=1)
+    report("appendix_full_sweep", text)

@@ -1,0 +1,62 @@
+"""Extension bench (paper Section 2.2 taxonomy) — approximate accelerations
+composed with the exact family.
+
+Mini-batch and sample-then-polish k-means against exact Lloyd/UniK: time,
+SSE inflation, and label agreement (ARI).  The paper notes the approximate
+family "can be integrated with [the exact methods] to reduce their running
+time"; SampledKMeans demonstrates the composition by running UniK on the
+sample.
+"""
+
+from __future__ import annotations
+
+from _common import MID_K, report
+from repro.core import make_algorithm
+from repro.core.initialization import init_kmeans_plus_plus
+from repro.core.minibatch import MiniBatchKMeans, SampledKMeans
+from repro.datasets import load_dataset
+from repro.eval import format_table
+from repro.eval.quality import adjusted_rand_index
+
+
+def run_ext_approximate():
+    blocks = []
+    for dataset, n in [("BigCross", 3000), ("NYC-Taxi", 4000)]:
+        X = load_dataset(dataset, n=n, seed=0)
+        C0 = init_kmeans_plus_plus(X, MID_K, seed=0)
+        exact = make_algorithm("lloyd").fit(X, MID_K, initial_centroids=C0, max_iter=10)
+        rows = [[
+            "lloyd (exact)", round(exact.total_time, 3),
+            round(exact.sse, 1), "1.000", "-",
+        ]]
+        variants = [
+            ("unik (exact)", make_algorithm("unik")),
+            ("minibatch-128", MiniBatchKMeans(batch_size=128)),
+            ("minibatch-512", MiniBatchKMeans(batch_size=512)),
+            ("sampled-10%+unik", SampledKMeans(sample_fraction=0.1, inner="unik")),
+            ("sampled-30%+unik", SampledKMeans(sample_fraction=0.3, inner="unik")),
+        ]
+        for label, algo in variants:
+            result = algo.fit(X, MID_K, initial_centroids=C0, max_iter=10)
+            rows.append(
+                [
+                    label,
+                    round(result.total_time, 3),
+                    round(result.sse, 1),
+                    f"{result.sse / exact.sse:.3f}",
+                    f"{adjusted_rand_index(exact.labels, result.labels):.2f}",
+                ]
+            )
+        blocks.append(
+            format_table(
+                ["method", "time_s", "sse", "sse_ratio", "ARI_vs_lloyd"],
+                rows,
+                title=f"{dataset} (n={n}, k={MID_K}) — approximate vs exact",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def test_ext_approximate(benchmark):
+    text = benchmark.pedantic(run_ext_approximate, rounds=1, iterations=1)
+    report("ext_approximate", text)

@@ -1,0 +1,61 @@
+"""Extension bench (paper Section A.5) — configuration-knob discovery.
+
+Random search over the extended knob space (bound x traversal x capacity x
+block filter) on two dataset shapes, reporting the best configurations
+found against the defaults the paper evaluates.  This is the "new
+configurations will form new algorithms" direction of the future-work
+section, made runnable.
+"""
+
+from __future__ import annotations
+
+from _common import MID_K, report
+from repro.core.knobs import KnobConfig
+from repro.datasets import load_dataset
+from repro.eval import format_table
+from repro.tuning import exhaustive_search, random_search
+
+
+def run_ext_knobs():
+    blocks = []
+    for dataset, n in [("NYC-Taxi", 1200), ("Covtype", 1000)]:
+        X = load_dataset(dataset, n=n, seed=0)
+        discovered = random_search(
+            X, MID_K, budget=10, metric="modeled_cost", max_iter=6, seed=0
+        )
+        baselines = exhaustive_search(
+            X, MID_K,
+            [KnobConfig(bound="yinyang"), KnobConfig(index="pure"),
+             KnobConfig(index="single")],
+            metric="modeled_cost", max_iter=6,
+        )
+        rows = [
+            [result.config.label, result.config.capacity,
+             result.config.block_filter,
+             round(result.metric_value / 1e6, 2),
+             f"{result.pruning_ratio:.0%}"]
+            for result in discovered[:5]
+        ]
+        rows.append(["--- defaults ---", "", "", "", ""])
+        rows.extend(
+            [
+                [result.config.label, result.config.capacity,
+                 result.config.block_filter,
+                 round(result.metric_value / 1e6, 2),
+                 f"{result.pruning_ratio:.0%}"]
+                for result in baselines
+            ]
+        )
+        blocks.append(
+            format_table(
+                ["config", "capacity", "block", "cost_Mops", "pruned"],
+                rows,
+                title=f"{dataset} (n={n}, k={MID_K}) — top discovered configs",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def test_ext_knob_discovery(benchmark):
+    text = benchmark.pedantic(run_ext_knobs, rounds=1, iterations=1)
+    report("ext_knob_discovery", text)

@@ -1,0 +1,61 @@
+"""Figure 1 — motivating comparison: Regroup, Yinyang, Index, Full.
+
+The paper's headline observations, reproduced here on BigCross- and
+NYC-like surrogates:
+
+* the index-based method is competitive (and dominant on low-d spatial
+  data), contradicting the "index is slow beyond d = 20" folklore;
+* ``Full`` — every pruning mechanism at once — computes the *fewest*
+  distances yet is the slowest overall, because bound traffic dominates.
+
+Reported per method: total time, distance-computation share of the modeled
+cost (the gray "Distance" bar of Figure 1), and pruning ratio.
+"""
+
+from __future__ import annotations
+
+from _common import MID_K, fmt_pct, report
+from repro.datasets import load_dataset
+from repro.eval import compare_algorithms, format_table
+
+
+def _distance_share(record) -> float:
+    distance_cost = record.distance_computations * record.d
+    return distance_cost / record.modeled_cost if record.modeled_cost else 0.0
+
+
+def run_fig01():
+    lines = []
+    for dataset, n in [("BigCross", 1500), ("NYC-Taxi", 2000)]:
+        X = load_dataset(dataset, n=n, seed=0)
+        records = compare_algorithms(
+            ["regroup", "yinyang", "index", "full"],
+            X, MID_K, repeats=2, max_iter=10,
+        )
+        rows = [
+            [
+                record.algorithm,
+                round(record.total_time, 4),
+                fmt_pct(_distance_share(record)),
+                fmt_pct(record.pruning_ratio),
+                int(record.distance_computations),
+            ]
+            for record in records
+        ]
+        lines.append(
+            format_table(
+                ["method", "time_s", "distance_share", "pruned", "distances"],
+                rows,
+                title=f"{dataset} (n={n}, d={X.shape[1]}, k={MID_K})",
+            )
+        )
+        # The paper's claim: Full computes the fewest distances.
+        by_name = {record.algorithm: record for record in records}
+        fewest = min(records, key=lambda r: r.distance_computations)
+        lines.append(f"fewest distances: {fewest.algorithm}")
+    return "\n\n".join(lines)
+
+
+def test_fig01_motivation(benchmark):
+    text = benchmark.pedantic(run_fig01, rounds=1, iterations=1)
+    report("fig01_motivation", text)

@@ -1,0 +1,69 @@
+"""Figure 7 — the five index structures: construction and clustering time
+as dimensionality ``d`` and data scale ``n`` vary (BigCross surrogate).
+
+Expected shape (paper Section 7.2.1): construction cost rises with both
+``d`` and ``n`` and is far worse for the insertion-built M-tree; Ball-tree
+is the best clustering index on average; kd-tree degrades fastest with
+dimensionality.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import SMALL_K, report
+from repro.core.index_kmeans import IndexKMeans
+from repro.datasets import load_dataset
+from repro.eval import format_table
+from repro.indexes import INDEX_CLASSES, build_index
+
+INDEXES = ["ball-tree", "kd-tree", "m-tree", "cover-tree", "hkt", "anchors"]
+
+
+def _measure(X, k):
+    rows = []
+    for name in INDEXES:
+        begin = time.perf_counter()
+        tree = build_index(name, X, **({} if name == "cover-tree" else {"capacity": 30}))
+        build = time.perf_counter() - begin
+        result = IndexKMeans(tree=tree).fit(X, k, seed=0, max_iter=10)
+        rows.append(
+            [
+                name,
+                round(build, 4),
+                int(tree.counters.distance_computations),
+                round(result.total_time, 4),
+                f"{result.pruning_ratio:.0%}",
+            ]
+        )
+    return rows
+
+
+def run_fig07():
+    blocks = []
+    # Vary d at fixed n (the paper fixes n = 10,000 here; we use 1,000).
+    for d in [2, 8, 32, 57]:
+        X = load_dataset("BigCross", n=1000, d=d, seed=0)
+        blocks.append(
+            format_table(
+                ["index", "build_s", "build_dists", "cluster_s", "pruned"],
+                _measure(X, SMALL_K),
+                title=f"vary d: n=1000, d={d}, k={SMALL_K}",
+            )
+        )
+    # Vary n at the paper dimensionality.
+    for n in [500, 1500, 3000]:
+        X = load_dataset("BigCross", n=n, seed=0)
+        blocks.append(
+            format_table(
+                ["index", "build_s", "build_dists", "cluster_s", "pruned"],
+                _measure(X, SMALL_K),
+                title=f"vary n: n={n}, d=57, k={SMALL_K}",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def test_fig07_indexes(benchmark):
+    text = benchmark.pedantic(run_fig07, rounds=1, iterations=1)
+    report("fig07_indexes", text)

@@ -1,0 +1,58 @@
+"""Figure 8 — overall speedup over Lloyd's algorithm for every sequential
+method plus the Ball-tree index method, across datasets.
+
+Both wall-clock and work (distance-count) speedups are reported; the paper's
+claims to check: the index method dominates on low-d spatial data (NYC),
+Yinyang/Regroup lead among sequential methods on most datasets, and the
+speedup is *not* proportional to the pruning ratio.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_DATASETS, MID_K, report
+from repro.datasets import load_dataset
+from repro.eval import compare_algorithms, format_table, speedup_table
+from repro.eval.plotting import bar_chart
+
+METHODS = [
+    "lloyd", "elkan", "hamerly", "drake", "yinyang", "regroup",
+    "heap", "annular", "exponion", "drift", "vector", "pami20", "index",
+]
+
+
+def run_fig08():
+    blocks = []
+    for dataset, n in BENCH_DATASETS:
+        X = load_dataset(dataset, n=n, seed=0)
+        records = compare_algorithms(METHODS, X, MID_K, repeats=2, max_iter=10)
+        table = speedup_table(records)
+        rows = [
+            [
+                name,
+                round(table[name]["time"], 2),
+                round(table[name]["work"], 2),
+                round(table[name]["cost"], 2),
+                f"{table[name]['pruning']:.0%}",
+            ]
+            for name in METHODS
+        ]
+        blocks.append(
+            format_table(
+                ["method", "time_x", "work_x", "cost_x", "pruned"],
+                rows,
+                title=f"{dataset} (n={n}, d={X.shape[1]}, k={MID_K}) — speedup over Lloyd",
+            )
+        )
+        blocks.append(
+            bar_chart(
+                {name: table[name]["cost"] for name in METHODS},
+                title=f"{dataset}: modeled-cost speedup",
+                fmt="{:.2f}x",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def test_fig08_speedup(benchmark):
+    text = benchmark.pedantic(run_fig08, rounds=1, iterations=1)
+    report("fig08_speedup", text)

@@ -1,0 +1,46 @@
+"""Figure 10 — memory footprint of each method's auxiliary structures.
+
+Reported in float64 slots for k in {5, 15, 40}.  Expected shape: Elkan's
+O(nk) dwarfs everything as k grows; Heap/Hamerly/Pami20 stay O(n) or O(k);
+the Ball-tree footprint is fixed once built and does not grow with k.
+"""
+
+from __future__ import annotations
+
+from _common import LARGE_K, MID_K, SMALL_K, report
+from repro.datasets import load_dataset
+from repro.eval import compare_algorithms, format_table
+
+METHODS = [
+    "elkan", "hamerly", "drake", "yinyang", "regroup", "heap",
+    "annular", "exponion", "drift", "vector", "pami20", "index",
+]
+
+
+def run_fig10():
+    X = load_dataset("Covtype", n=1200, seed=0)
+    footprints = {}
+    for k in [SMALL_K, MID_K, LARGE_K]:
+        records = compare_algorithms(METHODS, X, k, repeats=1, max_iter=5)
+        for record in records:
+            footprints.setdefault(record.algorithm, {})[k] = int(record.footprint_floats)
+    rows = [
+        [name] + [footprints[name][k] for k in (SMALL_K, MID_K, LARGE_K)]
+        for name in METHODS
+    ]
+    text = format_table(
+        ["method", f"k={SMALL_K}", f"k={MID_K}", f"k={LARGE_K}"],
+        rows,
+        title=f"Covtype (n=1200) — auxiliary footprint in floats",
+    )
+    index_growth = footprints["index"][LARGE_K] - footprints["index"][SMALL_K]
+    elkan_growth = footprints["elkan"][LARGE_K] - footprints["elkan"][SMALL_K]
+    return text + (
+        f"\nindex footprint growth with k: {index_growth} floats"
+        f"\nelkan footprint growth with k: {elkan_growth} floats"
+    )
+
+
+def test_fig10_footprint(benchmark):
+    text = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    report("fig10_footprint", text)

@@ -1,0 +1,48 @@
+"""Figure 11 — bound accesses and bound updates per method.
+
+The paper's reading: Yinyang does far fewer bound accesses/updates than
+methods with similar pruning ratios (explaining its speed), Heap touches
+the fewest bounds of all, and the index-based method does none at all —
+data access, bound access and bound update are first-class cost factors.
+"""
+
+from __future__ import annotations
+
+from _common import LARGE_K, report
+from repro.datasets import load_dataset
+from repro.eval import compare_algorithms, format_table
+
+METHODS = [
+    "elkan", "hamerly", "drake", "yinyang", "regroup", "heap",
+    "annular", "exponion", "drift", "vector", "pami20", "index",
+]
+
+
+def run_fig11():
+    blocks = []
+    for dataset, n in [("BigCross", 1500), ("KeggDirect", 1000)]:
+        X = load_dataset(dataset, n=n, seed=0)
+        records = compare_algorithms(METHODS, X, LARGE_K, repeats=1, max_iter=10)
+        rows = [
+            [
+                record.algorithm,
+                int(record.bound_accesses),
+                int(record.bound_updates),
+                int(record.point_accesses),
+                f"{record.pruning_ratio:.0%}",
+            ]
+            for record in records
+        ]
+        blocks.append(
+            format_table(
+                ["method", "bound_access", "bound_update", "point_access", "pruned"],
+                rows,
+                title=f"{dataset} (n={n}, k={LARGE_K}) — access statistics",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def test_fig11_bound_stats(benchmark):
+    text = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    report("fig11_bound_stats", text)

@@ -1,0 +1,77 @@
+"""Figure 12 — leaderboard of sequential methods (top-1 / top-3 shares).
+
+Rankings are collected over the cross product of datasets and k values.
+Two rankings are produced: wall-clock (the paper's) and the
+hardware-independent modeled cost.  The paper's expected outcome: five
+methods — Hame, Drak, Heap, Yinyang, Regroup — alternate in the lead,
+which justifies UTune's selection pool.
+
+An ablation block also compares UniK with group pruning on vs off
+(t = ceil(k/10) vs t = 1) across the same tasks (a DESIGN.md ablation).
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_DATASETS, MID_K, SMALL_K, report
+from repro.core.unik import UniKKMeans
+from repro.datasets import load_dataset
+from repro.eval import Leaderboard, compare_algorithms, format_table
+
+SEQUENTIAL = [
+    "elkan", "hamerly", "drake", "yinyang", "regroup", "heap",
+    "annular", "exponion", "drift", "vector", "pami20",
+]
+
+
+def run_fig12():
+    time_board = Leaderboard(metric="total_time")
+    cost_board = Leaderboard(metric="modeled_cost")
+    for dataset, n in BENCH_DATASETS:
+        X = load_dataset(dataset, n=n, seed=0)
+        for k in [SMALL_K, MID_K]:
+            records = compare_algorithms(SEQUENTIAL, X, k, repeats=1, max_iter=8)
+            time_board.add_task(records)
+            cost_board.add_task(records)
+    rows = []
+    for name in SEQUENTIAL:
+        rows.append(
+            [
+                name,
+                time_board.top1.get(name, 0),
+                time_board.top3.get(name, 0),
+                cost_board.top1.get(name, 0),
+                cost_board.top3.get(name, 0),
+            ]
+        )
+    text = format_table(
+        ["method", "time_top1", "time_top3", "cost_top1", "cost_top3"],
+        rows,
+        title=f"Leaderboard over {time_board.tasks} tasks",
+    )
+
+    # Ablation: UniK group pruning on/off.
+    ablation_rows = []
+    for dataset, n in BENCH_DATASETS[:3]:
+        X = load_dataset(dataset, n=n, seed=0)
+        grouped = UniKKMeans(traversal="single").fit(X, MID_K, seed=0, max_iter=8)
+        global_only = UniKKMeans(traversal="single", t=1).fit(X, MID_K, seed=0, max_iter=8)
+        ablation_rows.append(
+            [
+                dataset,
+                int(grouped.counters.distance_computations),
+                int(global_only.counters.distance_computations),
+                round(grouped.total_time, 4),
+                round(global_only.total_time, 4),
+            ]
+        )
+    ablation = format_table(
+        ["dataset", "dists(grouped)", "dists(t=1)", "time(grouped)", "time(t=1)"],
+        ablation_rows,
+        title="Ablation: UniK group pruning on (t=ceil(k/10)) vs off (t=1)",
+    )
+    return text + "\n\n" + ablation
+
+
+def test_fig12_leaderboard(benchmark):
+    text = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    report("fig12_leaderboard", text)

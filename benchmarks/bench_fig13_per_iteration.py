@@ -1,0 +1,65 @@
+"""Figure 13 — running time of each iteration (KeggUndirect- and
+BigCross-like data).
+
+Expected shape: per-iteration time drops sharply over the first few
+iterations and then flattens (bounds tighten, fewer points move); UniK's
+adaptive traversal tracks the better of the index/sequential methods.
+"""
+
+from __future__ import annotations
+
+from _common import MID_K, report
+from repro.core import make_algorithm
+from repro.core.initialization import init_kmeans_plus_plus
+from repro.datasets import load_dataset
+from repro.eval import format_table
+from repro.eval.plotting import line_series
+
+
+def run_fig13():
+    blocks = []
+    for dataset, n in [("KeggUndirect", 1200), ("BigCross", 1500)]:
+        X = load_dataset(dataset, n=n, seed=0)
+        C0 = init_kmeans_plus_plus(X, MID_K, seed=0)
+        series = {}
+        for name in ["lloyd", "yinyang", "index", "unik"]:
+            result = make_algorithm(name).fit(
+                X, MID_K, initial_centroids=C0, max_iter=10
+            )
+            series[name] = [
+                stats.assignment_time + stats.refinement_time
+                for stats in result.iteration_stats
+            ]
+        iterations = max(len(v) for v in series.values())
+        rows = []
+        for t in range(iterations):
+            rows.append(
+                [t]
+                + [
+                    round(series[name][t], 5) if t < len(series[name]) else "-"
+                    for name in ["lloyd", "yinyang", "index", "unik"]
+                ]
+            )
+        blocks.append(
+            format_table(
+                ["iter", "lloyd", "yinyang(SEQU)", "index(INDE)", "unik"],
+                rows,
+                title=f"{dataset} (n={n}, k={MID_K}) — seconds per iteration",
+            )
+        )
+        blocks.append(
+            line_series(
+                {
+                    name: list(enumerate(values))
+                    for name, values in series.items()
+                },
+                width=50, height=10,
+                title=f"{dataset}: time per iteration (shape view)",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def test_fig13_per_iteration(benchmark):
+    text = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+    report("fig13_per_iteration", text)

@@ -1,0 +1,68 @@
+"""Figure 14 — sensitivity of INDE/SEQU/UniK to leaf capacity f, data scale
+n, cluster count k, and dimensionality d (BigCross surrogate).
+
+Expected shape: capacity barely moves UniK's performance; speedups rise
+mildly with n, d and k.
+"""
+
+from __future__ import annotations
+
+from _common import MID_K, report
+from repro.core.index_kmeans import IndexKMeans
+from repro.core.unik import UniKKMeans
+from repro.core.yinyang import YinyangKMeans
+from repro.datasets import load_dataset
+from repro.eval import format_table, sweep_parameter
+
+
+def run_fig14():
+    blocks = []
+
+    # Capacity sweep (UniK + pure index).
+    X = load_dataset("BigCross", n=1500, seed=0)
+    rows = []
+    for f in [10, 30, 60, 120]:
+        unik = UniKKMeans(capacity=f).fit(X, MID_K, seed=0, max_iter=8)
+        inde = IndexKMeans(capacity=f).fit(X, MID_K, seed=0, max_iter=8)
+        rows.append(
+            [f, round(unik.total_time, 4), round(inde.total_time, 4),
+             int(unik.counters.distance_computations)]
+        )
+    blocks.append(
+        format_table(
+            ["capacity", "unik_s", "index_s", "unik_dists"],
+            rows,
+            title=f"capacity sweep (n=1500, k={MID_K})",
+        )
+    )
+
+    specs = [
+        lambda: YinyangKMeans(),
+        lambda: IndexKMeans(),
+        lambda: UniKKMeans(),
+    ]
+
+    def block(title, values, make_task):
+        sweep = sweep_parameter(values, make_task, specs, repeats=1, max_iter=8)
+        rows = []
+        for value, records in sweep.items():
+            rows.append(
+                [value] + [round(record.total_time, 4) for record in records]
+            )
+        return format_table(
+            [title, "yinyang_s", "index_s", "unik_s"], rows,
+            title=f"{title} sweep",
+        )
+
+    blocks.append(block("n", [500, 1500, 3000],
+                        lambda n: (load_dataset("BigCross", n=n, seed=0), MID_K)))
+    blocks.append(block("k", [5, 15, 40],
+                        lambda k: (load_dataset("BigCross", n=1500, seed=0), k)))
+    blocks.append(block("d", [4, 16, 57],
+                        lambda d: (load_dataset("BigCross", n=1500, d=d, seed=0), MID_K)))
+    return "\n\n".join(blocks)
+
+
+def test_fig14_sensitivity(benchmark):
+    text = benchmark.pedantic(run_fig14, rounds=1, iterations=1)
+    report("fig14_sensitivity", text)

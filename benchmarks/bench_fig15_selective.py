@@ -1,0 +1,54 @@
+"""Figure 15 — efficiency of ground-truth generation: full vs selective
+running (Algorithm 2).
+
+Expected shape: selective running labels the same tasks in a fraction of
+the time, because it skips the slow bound methods and tests the UniK
+traversals only when the pure index already wins.
+"""
+
+from __future__ import annotations
+
+from _common import report
+from repro.datasets import load_dataset
+from repro.eval import format_table
+from repro.tuning import generate_ground_truth
+
+TASKS = [
+    ("NYC-Taxi", 800, 5),
+    ("NYC-Taxi", 800, 15),
+    ("Covtype", 800, 5),
+    ("KeggDirect", 800, 10),
+    ("Mnist", 200, 5),
+]
+
+
+def run_fig15():
+    tasks = [
+        (name, load_dataset(name, n=n, seed=0), k) for name, n, k in TASKS
+    ]
+    selective = generate_ground_truth(tasks, selective=True, max_iter=5)
+    full = generate_ground_truth(tasks, selective=False, max_iter=5)
+    rows = []
+    for sel, ful in zip(selective, full):
+        rows.append(
+            [
+                f"{sel.dataset}/k={sel.k}",
+                round(sel.generation_time, 3),
+                round(ful.generation_time, 3),
+                round(ful.generation_time / sel.generation_time, 2),
+            ]
+        )
+    total_sel = sum(record.generation_time for record in selective)
+    total_ful = sum(record.generation_time for record in full)
+    rows.append(["TOTAL", round(total_sel, 3), round(total_ful, 3),
+                 round(total_ful / total_sel, 2)])
+    return format_table(
+        ["task", "selective_s", "full_s", "ratio"],
+        rows,
+        title="Ground-truth generation time: selective vs full running",
+    )
+
+
+def test_fig15_selective(benchmark):
+    text = benchmark.pedantic(run_fig15, rounds=1, iterations=1)
+    report("fig15_selective", text)

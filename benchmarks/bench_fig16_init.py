@@ -1,0 +1,55 @@
+"""Figure 16 (appendix) — effect of the initialization method.
+
+The paper compares random vs k-means++ initialization over the first ten
+iterations and finds the accelerated methods' *relative* speedups barely
+change.  Reported: speedup over Lloyd under both initializations.
+"""
+
+from __future__ import annotations
+
+from _common import MID_K, report
+from repro.core import make_algorithm
+from repro.core.initialization import initialize_centroids
+from repro.datasets import load_dataset
+from repro.eval import format_table
+
+METHODS = ["lloyd", "hamerly", "yinyang", "index", "unik"]
+
+
+def run_fig16():
+    blocks = []
+    for dataset, n in [("BigCross", 1500), ("NYC-Taxi", 1500)]:
+        X = load_dataset(dataset, n=n, seed=0)
+        rows = []
+        speedups = {}
+        for init in ["random", "k-means++"]:
+            C0 = initialize_centroids(X, MID_K, init, seed=7)
+            base_time = None
+            for name in METHODS:
+                result = make_algorithm(name).fit(
+                    X, MID_K, initial_centroids=C0, max_iter=10
+                )
+                if base_time is None:
+                    base_time = result.total_time
+                speedups.setdefault(name, {})[init] = base_time / result.total_time
+        for name in METHODS:
+            rows.append(
+                [
+                    name,
+                    round(speedups[name]["random"], 2),
+                    round(speedups[name]["k-means++"], 2),
+                ]
+            )
+        blocks.append(
+            format_table(
+                ["method", "speedup(random)", "speedup(k-means++)"],
+                rows,
+                title=f"{dataset} (n={n}, k={MID_K})",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def test_fig16_init(benchmark):
+    text = benchmark.pedantic(run_fig16, rounds=1, iterations=1)
+    report("fig16_init", text)

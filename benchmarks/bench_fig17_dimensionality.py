@@ -1,0 +1,51 @@
+"""Figure 17 (appendix) — effect of increasing dimensionality on the
+sequential methods (Mnist-like data, fixed k).
+
+Expected shape: every method's pruning ratio decays as d grows; Drake holds
+up comparatively well in high dimension (the paper's reason for its
+leaderboard seat).
+"""
+
+from __future__ import annotations
+
+from _common import MID_K, report
+from repro.datasets import make_mnist_like
+from repro.eval import compare_algorithms, format_table
+
+METHODS = ["elkan", "hamerly", "drake", "yinyang", "heap", "exponion"]
+DIMENSIONS = [16, 64, 256, 784]
+
+
+def run_fig17():
+    pruning = {}
+    times = {}
+    for d in DIMENSIONS:
+        X = make_mnist_like(300, d, seed=0)
+        records = compare_algorithms(METHODS, X, MID_K, repeats=1, max_iter=8)
+        for record in records:
+            pruning.setdefault(record.algorithm, {})[d] = record.pruning_ratio
+            times.setdefault(record.algorithm, {})[d] = record.total_time
+    rows = [
+        [name] + [f"{pruning[name][d]:.0%}" for d in DIMENSIONS]
+        for name in METHODS
+    ]
+    text = format_table(
+        ["method"] + [f"d={d}" for d in DIMENSIONS],
+        rows,
+        title=f"Mnist-like (n=300, k={MID_K}) — pruning ratio vs dimensionality",
+    )
+    rows_t = [
+        [name] + [round(times[name][d], 4) for d in DIMENSIONS]
+        for name in METHODS
+    ]
+    text_t = format_table(
+        ["method"] + [f"d={d}" for d in DIMENSIONS],
+        rows_t,
+        title="running time (s) vs dimensionality",
+    )
+    return text + "\n\n" + text_t
+
+
+def test_fig17_dimensionality(benchmark):
+    text = benchmark.pedantic(run_fig17, rounds=1, iterations=1)
+    report("fig17_dimensionality", text)

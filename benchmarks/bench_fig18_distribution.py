@@ -1,0 +1,51 @@
+"""Figure 18 (appendix) — effect of the data distribution on synthetic
+normal data (make_gaussian_quantiles), varying the generator's cluster
+count and variance at d = 2 and d = 50.
+
+Expected shape: in low dimension the index-based methods benefit from more
+generator clusters (better assembling); in high dimension both families'
+pruning collapses and the parameters matter little.
+"""
+
+from __future__ import annotations
+
+from _common import report
+from repro.datasets import make_gaussian_quantiles
+from repro.eval import compare_algorithms, format_table
+
+METHODS = ["yinyang", "index", "unik"]
+K_CLUSTERING = 10
+
+
+def _sweep(d, generator_ks, variances):
+    rows = []
+    for gen_k in generator_ks:
+        X, _ = make_gaussian_quantiles(1000, d, gen_k, variance=0.5, seed=0)
+        records = compare_algorithms(METHODS, X, K_CLUSTERING, repeats=1, max_iter=6)
+        rows.append(
+            [f"k_gen={gen_k}"]
+            + [f"{record.pruning_ratio:.0%}" for record in records]
+        )
+    for var in variances:
+        X, _ = make_gaussian_quantiles(1000, d, 10, variance=var, seed=0)
+        records = compare_algorithms(METHODS, X, K_CLUSTERING, repeats=1, max_iter=6)
+        rows.append(
+            [f"var={var}"]
+            + [f"{record.pruning_ratio:.0%}" for record in records]
+        )
+    return format_table(
+        ["setting"] + METHODS,
+        rows,
+        title=f"d={d}: pruning ratio vs generator parameters",
+    )
+
+
+def run_fig18():
+    low = _sweep(2, [10, 100, 400], [0.01, 0.5, 5.0])
+    high = _sweep(50, [10, 100, 400], [0.01, 0.5, 5.0])
+    return low + "\n\n" + high
+
+
+def test_fig18_distribution(benchmark):
+    text = benchmark.pedantic(run_fig18, rounds=1, iterations=1)
+    report("fig18_distribution", text)

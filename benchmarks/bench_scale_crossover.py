@@ -1,0 +1,56 @@
+"""Scale crossover — where batch pruning overtakes the vectorized full scan
+in *wall-clock*, not just in counters.
+
+The paper's headline NYC numbers (150-389x) come at n = 3.5M.  In this
+Python substrate the full scan is numpy-vectorized (hard to beat at small
+n), so this bench sweeps n upward on the NYC surrogate to locate the
+wall-clock crossover and to show the work ratio growing with scale — the
+trend that extrapolates to the paper's regime.
+"""
+
+from __future__ import annotations
+
+from _common import report
+from repro.core import make_algorithm
+from repro.core.initialization import init_kmeans_plus_plus
+from repro.datasets import load_dataset
+from repro.eval import format_table
+
+K = 50
+SIZES = [2000, 8000, 20000]
+
+
+def run_crossover():
+    rows = []
+    for n in SIZES:
+        X = load_dataset("NYC-Taxi", n=n, seed=0)
+        C0 = init_kmeans_plus_plus(X, K, seed=0)
+        lloyd = make_algorithm("lloyd").fit(X, K, initial_centroids=C0, max_iter=5)
+        index = make_algorithm("index").fit(X, K, initial_centroids=C0, max_iter=5)
+        unik = make_algorithm("unik").fit(X, K, initial_centroids=C0, max_iter=5)
+        rows.append(
+            [
+                n,
+                round(lloyd.total_time, 3),
+                round(index.total_time, 3),
+                round(unik.total_time, 3),
+                round(lloyd.total_time / index.total_time, 2),
+                round(
+                    lloyd.counters.distance_computations
+                    / index.counters.distance_computations,
+                    1,
+                ),
+                f"{index.pruning_ratio:.0%}",
+            ]
+        )
+    return format_table(
+        ["n", "lloyd_s", "index_s", "unik_s", "index_time_x",
+         "index_work_x", "pruned"],
+        rows,
+        title=f"NYC surrogate, k={K}, 5 iterations — scale sweep",
+    )
+
+
+def test_scale_crossover(benchmark):
+    text = benchmark.pedantic(run_crossover, rounds=1, iterations=1)
+    report("scale_crossover", text)

@@ -1,0 +1,45 @@
+"""Table 2 — dataset overview: n, d, Ball-tree build time and node count.
+
+The surrogate registry mirrors the paper's 15 datasets at reduced scale;
+this bench reports the same columns (construction time, #nodes) for the
+default Ball-tree (capacity 30).
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import report
+from repro.datasets import dataset_names, get_dataset_spec, load_dataset
+from repro.eval import format_table
+from repro.indexes.ball_tree import BallTree
+
+
+def run_tab02():
+    rows = []
+    for name in dataset_names():
+        spec = get_dataset_spec(name)
+        X = load_dataset(name, seed=0)
+        begin = time.perf_counter()
+        tree = BallTree(X, capacity=30)
+        build = time.perf_counter() - begin
+        rows.append(
+            [
+                name,
+                len(X),
+                X.shape[1],
+                f"{spec.n_paper:,}",
+                round(build, 4),
+                tree.node_count(),
+            ]
+        )
+    return format_table(
+        ["dataset", "n(scaled)", "d", "n(paper)", "build_s", "nodes"],
+        rows,
+        title="Table 2: surrogate datasets and Ball-tree construction",
+    )
+
+
+def test_tab02_datasets(benchmark):
+    text = benchmark.pedantic(run_tab02, rounds=1, iterations=1)
+    report("tab02_datasets", text)

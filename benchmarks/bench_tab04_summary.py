@@ -1,0 +1,46 @@
+"""Table 4 — the evaluation-summary ratings, computed from measurements.
+
+The paper assigns its Table 4 circles editorially from the evaluation; this
+bench *derives* them: leaderboard placement from modeled-cost rankings over
+the dataset sweep, space/access/distance scores from rank quintiles of the
+measured totals, parameter-freeness structurally.  Expected shape: Heap and
+Pami20 shine on space and bound traffic; index-based on data access; Elkan
+on distances but bottom on space; UniK strong across the board.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_DATASETS, MID_K, SMALL_K, report
+from repro.datasets import load_dataset
+from repro.eval import compare_algorithms, format_table
+from repro.eval.summary import CRITERIA, rate_algorithms, render_circles
+
+METHODS = [
+    "elkan", "hamerly", "drake", "yinyang", "regroup", "heap",
+    "annular", "exponion", "drift", "vector", "pami20", "index", "unik",
+]
+
+
+def run_tab04():
+    tasks = []
+    for dataset, n in BENCH_DATASETS:
+        X = load_dataset(dataset, n=n, seed=0)
+        for k in [SMALL_K, MID_K]:
+            tasks.append(compare_algorithms(METHODS, X, k, repeats=1, max_iter=8))
+    ratings = rate_algorithms(tasks)
+    rows = []
+    for name in METHODS:
+        rows.append(
+            [name] + [render_circles(ratings[name][criterion]) for criterion in CRITERIA]
+        )
+    return format_table(
+        ["method", "leaderbd", "space", "param-free", "data-acc",
+         "bound-acc", "distance"],
+        rows,
+        title=f"Table 4 (computed) over {len(tasks)} tasks — darker = better",
+    )
+
+
+def test_tab04_summary(benchmark):
+    text = benchmark.pedantic(run_tab04, rounds=1, iterations=1)
+    report("tab04_summary", text)

@@ -1,0 +1,78 @@
+"""Table 5 — MRR of knob-configuration prediction: BDT baseline vs the five
+learned models (DT, RF, SVM, kNN, RC), with cumulative feature groups
+(basic / +tree / +leaf) and both ground truths (full vs selective running).
+
+Expected shape: every learned model beats BDT by a wide margin; selective
+running (more training data per unit time — here, per unit work) gives the
+best scores; DT is among the strongest and cheapest models.
+"""
+
+from __future__ import annotations
+
+from _common import report
+from repro.datasets import dataset_names, load_dataset
+from repro.eval import format_table
+from repro.tuning import UTune, evaluate_bdt, generate_ground_truth
+from repro.tuning.models.metrics import train_test_split
+
+import numpy as np
+
+MODELS = ["dt", "rf", "svm", "knn", "rc"]
+FEATURE_SETS = ["basic", "tree", "leaf"]
+
+
+def _make_tasks():
+    tasks = []
+    for name in dataset_names():
+        base_n = 200 if name in ("Mnist", "MSD") else 600
+        X = load_dataset(name, n=base_n, seed=0)
+        for k in [5, 15, 40]:
+            tasks.append((name, X, k))
+    return tasks
+
+
+def _split(records, seed=0):
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(records))
+    cut = int(len(records) * 0.7)
+    train = [records[i] for i in order[:cut]]
+    test = [records[i] for i in order[cut:]]
+    return train, test
+
+
+def run_tab05():
+    tasks = _make_tasks()
+    blocks = []
+    for selective, tag in [(False, ""), (True, "S-")]:
+        records = generate_ground_truth(
+            tasks, selective=selective, max_iter=4, metric="modeled_cost"
+        )
+        train, test = _split(records)
+        bdt = evaluate_bdt(test)
+        rows = [["BDT", "-", round(bdt["bound_mrr"], 2), round(bdt["index_mrr"], 2)]]
+        for feature_set in FEATURE_SETS:
+            for model in MODELS:
+                tuner = UTune(model=model, feature_set=feature_set).fit(train)
+                scores = tuner.evaluate(test)
+                rows.append(
+                    [
+                        model.upper(),
+                        feature_set,
+                        round(scores["bound_mrr"], 2),
+                        round(scores["index_mrr"], 2),
+                    ]
+                )
+        blocks.append(
+            format_table(
+                ["model", "features", f"{tag}Bound@MRR", f"{tag}Index@MRR"],
+                rows,
+                title=f"{'selective' if selective else 'full'} running "
+                f"({len(train)} train / {len(test)} test records)",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def test_tab05_mrr(benchmark):
+    text = benchmark.pedantic(run_tab05, rounds=1, iterations=1)
+    report("tab05_mrr", text)

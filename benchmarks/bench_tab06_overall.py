@@ -1,0 +1,83 @@
+"""Table 6 — the headline table: speedup over Lloyd of SEQU (Yinyang),
+INDE (Ball-tree), UniK, and UTune's predicted configuration, per dataset
+and k, with pruning percentages.
+
+UTune is trained on ground truth from *other* seeds/tasks of the same
+dataset families (leave-task-out flavour), then its predicted configuration
+runs on the held-out task — the Section 7.3.2 verification.
+"""
+
+from __future__ import annotations
+
+from _common import MID_K, SMALL_K, report
+from repro.core import build_algorithm, make_algorithm
+from repro.core.initialization import init_kmeans_plus_plus
+from repro.datasets import load_dataset
+from repro.eval import format_table
+from repro.tuning import UTune, generate_ground_truth
+
+DATASETS = [
+    ("BigCross", 1200), ("Conflong", 1000), ("Covtype", 1000),
+    ("Europe", 1200), ("KeggDirect", 800), ("NYC-Taxi", 1500),
+    ("Skin", 1000), ("Power", 1200), ("RoadNetwork", 1000),
+    ("Mnist", 250), ("Spam", 800), ("Shuttle", 1000), ("MSD", 400),
+]
+
+
+def _train_tuner():
+    tasks = []
+    for name, n in DATASETS[:8]:
+        X = load_dataset(name, n=max(200, n // 2), seed=100)
+        for k in [SMALL_K, MID_K]:
+            tasks.append((name, X, k))
+    records = generate_ground_truth(
+        tasks, selective=True, max_iter=4, metric="modeled_cost"
+    )
+    return UTune(model="dt").fit(records)
+
+
+def run_tab06():
+    tuner = _train_tuner()
+    blocks = []
+    for k in [SMALL_K, MID_K]:
+        rows = []
+        for name, n in DATASETS:
+            X = load_dataset(name, n=n, seed=0)
+            C0 = init_kmeans_plus_plus(X, k, seed=0)
+            lloyd = make_algorithm("lloyd").fit(X, k, initial_centroids=C0, max_iter=8)
+            entries = [name, round(lloyd.total_time, 3)]
+            for spec in ["yinyang", "index", "unik"]:
+                result = make_algorithm(spec).fit(
+                    X, k, initial_centroids=C0, max_iter=8
+                )
+                entries.append(
+                    f"{lloyd.modeled_cost / result.modeled_cost:.2f}/"
+                    f"{result.pruning_ratio:.0%}"
+                )
+            config = tuner.predict_config(X, k)
+            predicted = build_algorithm(config).fit(
+                X, k, initial_centroids=C0, max_iter=8
+            )
+            entries.append(
+                f"{lloyd.modeled_cost / predicted.modeled_cost:.2f}/"
+                f"{predicted.pruning_ratio:.0%}"
+            )
+            entries.append(config.label)
+            rows.append(entries)
+        blocks.append(
+            format_table(
+                ["dataset", "lloyd_s", "SEQU x/pr", "INDE x/pr",
+                 "UniK x/pr", "UTune x/pr", "UTune pick"],
+                rows,
+                title=(
+                    f"k = {k}: modeled-cost speedup over Lloyd / pruning "
+                    "ratio (hardware-independent; see EXPERIMENTS.md)"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def test_tab06_overall(benchmark):
+    text = benchmark.pedantic(run_tab06, rounds=1, iterations=1)
+    report("tab06_overall", text)

@@ -1,0 +1,53 @@
+"""Table 7 — training and prediction time of each selector model, per
+feature group and ground-truth regime.
+
+Expected shape: DT/RC train in milliseconds; RF is the slowest to train and
+predict; kNN trains instantly but predicts slower (it defers all work).
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import report
+from repro.datasets import dataset_names, load_dataset
+from repro.eval import format_table
+from repro.tuning import UTune, generate_ground_truth
+
+MODELS = ["dt", "rf", "svm", "knn", "rc"]
+FEATURE_SETS = ["basic", "tree", "leaf"]
+
+
+def run_tab07():
+    tasks = []
+    for name in dataset_names()[:8]:
+        X = load_dataset(name, n=400, seed=0)
+        for k in [5, 15]:
+            tasks.append((name, X, k))
+    records = generate_ground_truth(tasks, selective=True, max_iter=4)
+    rows = []
+    for feature_set in FEATURE_SETS:
+        for model in MODELS:
+            tuner = UTune(model=model, feature_set=feature_set)
+            begin = time.perf_counter()
+            tuner.fit(records)
+            train_ms = (time.perf_counter() - begin) * 1000.0
+            scores = tuner.evaluate(records)
+            rows.append(
+                [
+                    model.upper(),
+                    feature_set,
+                    round(train_ms, 2),
+                    round(scores["predict_time"] * 1e6, 1),
+                ]
+            )
+    return format_table(
+        ["model", "features", "train_ms", "predict_us"],
+        rows,
+        title=f"Selector model costs ({len(records)} training records)",
+    )
+
+
+def test_tab07_model_time(benchmark):
+    text = benchmark.pedantic(run_tab07, rounds=1, iterations=1)
+    report("tab07_model_time", text)

@@ -1,0 +1,48 @@
+"""Table 8 — assignment-phase speedup over Lloyd (SEQU / INDE / UniK /
+UTune-predicted), per dataset.
+
+Assignment dominates total time, so this table tracks Table 6 closely —
+which is exactly the paper's observation for omitting it from the body.
+"""
+
+from __future__ import annotations
+
+from _common import MID_K, report
+from repro.core import make_algorithm
+from repro.core.initialization import init_kmeans_plus_plus
+from repro.datasets import load_dataset
+from repro.eval import format_table
+
+DATASETS = [
+    ("BigCross", 1200), ("Conflong", 1000), ("Covtype", 1000),
+    ("Europe", 1200), ("KeggDirect", 800), ("NYC-Taxi", 1500),
+    ("Skin", 1000), ("Power", 1200), ("RoadNetwork", 1000),
+]
+
+
+def run_tab08():
+    rows = []
+    for name, n in DATASETS:
+        X = load_dataset(name, n=n, seed=0)
+        C0 = init_kmeans_plus_plus(X, MID_K, seed=0)
+        lloyd = make_algorithm("lloyd").fit(X, MID_K, initial_centroids=C0, max_iter=8)
+        entries = [name, round(lloyd.assignment_time, 4)]
+        for spec in ["yinyang", "index", "unik"]:
+            result = make_algorithm(spec).fit(X, MID_K, initial_centroids=C0, max_iter=8)
+            speedup = (
+                lloyd.assignment_time / result.assignment_time
+                if result.assignment_time
+                else float("inf")
+            )
+            entries.append(round(speedup, 2))
+        rows.append(entries)
+    return format_table(
+        ["dataset", "lloyd_assign_s", "SEQU_x", "INDE_x", "UniK_x"],
+        rows,
+        title=f"Assignment speedup over Lloyd (k={MID_K})",
+    )
+
+
+def test_tab08_assignment(benchmark):
+    text = benchmark.pedantic(run_tab08, rounds=1, iterations=1)
+    report("tab08_assignment", text)

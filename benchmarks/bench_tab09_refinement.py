@@ -1,0 +1,49 @@
+"""Table 9 — refinement-phase speedup over Lloyd (SEQU / INDE / UniK), per
+dataset.
+
+SEQU uses the delta (changed-points) refinement, INDE and UniK the
+sum-vector refinement, against Lloyd's full rescan — reproducing the
+uniformly large refinement speedups of the paper's Table 9.
+"""
+
+from __future__ import annotations
+
+from _common import MID_K, report
+from repro.core import make_algorithm
+from repro.core.initialization import init_kmeans_plus_plus
+from repro.datasets import load_dataset
+from repro.eval import format_table
+
+DATASETS = [
+    ("BigCross", 1200), ("Conflong", 1000), ("Covtype", 1000),
+    ("Europe", 1200), ("KeggDirect", 800), ("NYC-Taxi", 1500),
+    ("Skin", 1000), ("Power", 1200), ("RoadNetwork", 1000),
+]
+
+
+def run_tab09():
+    rows = []
+    for name, n in DATASETS:
+        X = load_dataset(name, n=n, seed=0)
+        C0 = init_kmeans_plus_plus(X, MID_K, seed=0)
+        lloyd = make_algorithm("lloyd").fit(X, MID_K, initial_centroids=C0, max_iter=8)
+        entries = [name, round(lloyd.refinement_time, 4)]
+        for spec in ["yinyang", "index", "unik"]:
+            result = make_algorithm(spec).fit(X, MID_K, initial_centroids=C0, max_iter=8)
+            speedup = (
+                lloyd.refinement_time / result.refinement_time
+                if result.refinement_time
+                else float("inf")
+            )
+            entries.append(round(speedup, 2))
+        rows.append(entries)
+    return format_table(
+        ["dataset", "lloyd_refine_s", "SEQU_x", "INDE_x", "UniK_x"],
+        rows,
+        title=f"Refinement speedup over Lloyd (k={MID_K})",
+    )
+
+
+def test_tab09_refinement(benchmark):
+    text = benchmark.pedantic(run_tab09, rounds=1, iterations=1)
+    report("tab09_refinement", text)

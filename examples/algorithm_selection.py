@@ -1,0 +1,60 @@
+"""Algorithm selection with UTune (paper Section 6).
+
+Workflow: label a set of clustering tasks by timing the candidate knob
+configurations (selective running, Algorithm 2), train the meta-model on
+Table 1 features, and let it pick the configuration for unseen tasks —
+then verify the pick against the rule-based BDT baseline.
+
+Run:  python examples/algorithm_selection.py
+"""
+
+from repro.core import build_algorithm
+from repro.core.initialization import init_kmeans_plus_plus
+from repro.datasets import load_dataset
+from repro.tuning import UTune, bdt_predict, evaluate_bdt, generate_ground_truth
+
+
+def main() -> None:
+    # 1. Generate ground truth on a spread of dataset shapes.
+    print("labeling training tasks (selective running) ...")
+    tasks = []
+    for name, n in [
+        ("NYC-Taxi", 1000), ("Europe", 1000), ("Covtype", 800),
+        ("KeggDirect", 800), ("Power", 1000), ("Mnist", 250),
+    ]:
+        X = load_dataset(name, n=n, seed=1)
+        for k in [5, 15, 40]:
+            tasks.append((name, X, k))
+    records = generate_ground_truth(
+        tasks, selective=True, max_iter=5, metric="modeled_cost"
+    )
+    total = sum(record.generation_time for record in records)
+    print(f"labeled {len(records)} tasks in {total:.1f}s")
+
+    # 2. Train the selector (decision tree, all Table 1 features).
+    tuner = UTune(model="dt", feature_set="leaf").fit(records)
+    print(f"trained in {tuner.train_time * 1000:.1f} ms")
+    learned = tuner.evaluate(records)
+    rules = evaluate_bdt(records)
+    print(f"training-set Bound@MRR: learned={learned['bound_mrr']:.2f} "
+          f"vs BDT={rules['bound_mrr']:.2f}")
+
+    # 3. Predict for unseen tasks and run the prediction.
+    print("\npredictions on unseen tasks:")
+    for name, n, k in [("Shuttle", 1000, 15), ("Spam", 800, 10), ("MSD", 300, 5)]:
+        X = load_dataset(name, n=n, seed=9)
+        config = tuner.predict_config(X, k)
+        bdt_config = bdt_predict(len(X), k, X.shape[1])
+        C0 = init_kmeans_plus_plus(X, k, seed=0)
+        predicted = build_algorithm(config).fit(X, k, initial_centroids=C0, max_iter=8)
+        fallback = build_algorithm(bdt_config).fit(X, k, initial_centroids=C0, max_iter=8)
+        print(
+            f"  {name:8s} k={k:3d}: UTune picked {config.label:16s} "
+            f"(cost {predicted.modeled_cost / 1e6:.1f}M ops) | "
+            f"BDT picked {bdt_config.label:16s} "
+            f"(cost {fallback.modeled_cost / 1e6:.1f}M ops)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Index explorer: how the six tree structures see the same dataset.
+
+Builds every index over a dataset, prints construction cost, shape
+statistics and the Table 1 meta-features extracted from them, then runs a
+k-NN sanity query on each — the "does the data assemble well?" question
+UTune answers from these numbers.
+
+Run:  python examples/index_explorer.py [dataset]
+"""
+
+import sys
+import time
+
+from repro.datasets import load_dataset
+from repro.eval import format_table
+from repro.indexes import INDEX_CLASSES, build_index
+from repro.instrumentation.counters import OpCounters
+from repro.tuning import extract_features
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "NYC-Taxi"
+    X = load_dataset(dataset, n=2000, seed=0)
+    print(f"dataset: {dataset} surrogate, n={len(X)}, d={X.shape[1]}\n")
+
+    rows = []
+    trees = {}
+    for name in INDEX_CLASSES:
+        begin = time.perf_counter()
+        tree = build_index(name, X)
+        build = time.perf_counter() - begin
+        trees[name] = tree
+        stats = tree.stats()
+        rows.append(
+            [
+                name,
+                round(build, 4),
+                tree.node_count(),
+                stats.height,
+                round(stats.leaf_radius_mean, 4),
+                round(stats.leaf_size_mean, 1),
+                tree.space_cost_floats(),
+            ]
+        )
+    print(
+        format_table(
+            ["index", "build_s", "nodes", "height", "leaf_r_mean",
+             "leaf_size", "floats"],
+            rows,
+            title="Construction and shape",
+        )
+    )
+
+    # Table 1 meta-features from the default Ball-tree.
+    features = extract_features(X, 20, tree=trees["ball-tree"])
+    print("\nTable 1 meta-features (Ball-tree):")
+    for name, value in features.values.items():
+        print(f"  {name:18s} = {value:.4f}")
+
+    # k-NN sanity query through every index.
+    query = X.mean(axis=0)
+    print("\n5-NN of the dataset centroid, per index (point accesses):")
+    for name, tree in trees.items():
+        counters = OpCounters()
+        hits = tree.knn_search(query, 5, counters)
+        print(f"  {name:12s} -> {list(map(int, hits))} "
+              f"({counters.point_accesses}/{len(X)} points touched)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Fine-grained performance breakdown of the accelerated methods.
+
+The paper's methodological message: distance computations alone do not
+predict running time — data accesses, bound accesses, and bound updates
+matter as much.  This example runs the full method roster on one task and
+prints the complete breakdown, then demonstrates the paper's Figure 1
+paradox: the configuration with the fewest distance computations (Full) is
+not the fastest.
+
+Run:  python examples/performance_breakdown.py
+"""
+
+from repro.datasets import load_dataset
+from repro.eval import compare_algorithms, format_table
+
+METHODS = [
+    "lloyd", "elkan", "hamerly", "drake", "yinyang", "regroup", "heap",
+    "annular", "exponion", "drift", "vector", "pami20", "index", "unik", "full",
+]
+
+
+def main() -> None:
+    X = load_dataset("KeggUndirect", n=1500, seed=0)
+    k = 25
+    print(f"dataset: KeggUndirect surrogate, n={len(X)}, d={X.shape[1]}, k={k}\n")
+
+    records = compare_algorithms(METHODS, X, k, repeats=2, max_iter=10)
+    rows = [
+        [
+            record.algorithm,
+            round(record.total_time, 3),
+            int(record.distance_computations),
+            int(record.point_accesses),
+            int(record.bound_accesses),
+            int(record.bound_updates),
+            int(record.footprint_floats),
+        ]
+        for record in records
+    ]
+    print(
+        format_table(
+            ["method", "time_s", "distances", "point_acc", "bound_acc",
+             "bound_upd", "footprint"],
+            rows,
+            title="Full performance breakdown (averaged over 2 seeds)",
+        )
+    )
+
+    fewest = min(records, key=lambda r: r.distance_computations)
+    fastest = min(records, key=lambda r: r.total_time)
+    print(
+        f"\nfewest distance computations: {fewest.algorithm} "
+        f"({int(fewest.distance_computations):,})"
+    )
+    print(f"fastest wall-clock:           {fastest.algorithm} "
+          f"({fastest.total_time:.3f}s)")
+    if fewest.algorithm != fastest.algorithm:
+        print(
+            "\n-> exactly the paper's point: minimizing distances is not the "
+            "same as minimizing time;\n   bound maintenance and data-access "
+            "costs decide the winner."
+        )
+
+
+if __name__ == "__main__":
+    main()

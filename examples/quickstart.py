@@ -1,0 +1,49 @@
+"""Quickstart: cluster a dataset with the UniK algorithm and inspect the
+instrumented result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import KMeans
+from repro.datasets import load_dataset
+
+
+def main() -> None:
+    # Synthetic surrogate of the paper's BigCross dataset (Table 2),
+    # scaled down so this runs in a couple of seconds.
+    X = load_dataset("BigCross", n=2000, seed=0)
+    print(f"data: n={len(X)}, d={X.shape[1]}")
+
+    # The default algorithm is UniK: Ball-tree batch pruning + Yinyang-style
+    # bounds + adaptive traversal (paper Algorithm 1).
+    model = KMeans(k=20, algorithm="unik", seed=0, max_iter=10)
+    result = model.fit(X)
+
+    print(f"algorithm          : {result.algorithm}")
+    print(f"iterations         : {result.n_iter} (converged={result.converged})")
+    print(f"SSE                : {result.sse:.1f}")
+    print(f"clustering time    : {result.total_time:.3f}s "
+          f"(assignment {result.assignment_time:.3f}s, "
+          f"refinement {result.refinement_time:.3f}s)")
+    print(f"index build (setup): {result.setup_time:.3f}s")
+    print(f"pruning ratio      : {result.pruning_ratio:.1%} of Lloyd's distances avoided")
+    print(f"distance computations: {result.counters.distance_computations:,}")
+    print(f"bound accesses     : {result.counters.bound_accesses:,}")
+    print(f"memory footprint   : {result.footprint_floats:,} floats")
+    print(f"traversal resolved : {result.extras['resolved_mode']}")
+
+    # Compare against the textbook baseline from the same initialization.
+    baseline = KMeans(k=20, algorithm="lloyd", seed=0, max_iter=10).fit(X)
+    print(f"\nLloyd baseline     : {baseline.total_time:.3f}s, "
+          f"{baseline.counters.distance_computations:,} distances")
+    print(f"speedup (time)     : {baseline.total_time / result.total_time:.2f}x")
+    print(f"speedup (work)     : "
+          f"{baseline.counters.distance_computations / result.counters.distance_computations:.2f}x")
+
+    # Assign new points with the fitted model.
+    labels = model.predict(X[:5])
+    print(f"\nfirst five labels  : {list(labels)}")
+
+
+if __name__ == "__main__":
+    main()

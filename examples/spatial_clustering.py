@@ -1,0 +1,56 @@
+"""Spatial clustering: the paper's NYC-taxi scenario.
+
+Low-dimensional spatial data is where the index-based method shines — the
+paper reports up to 389x speedups over Lloyd on NYC pick-up locations.
+This example clusters a hot-spot surrogate with every algorithm family and
+prints the comparison, reproducing the qualitative ranking.
+
+Run:  python examples/spatial_clustering.py
+"""
+
+from repro.datasets import load_dataset
+from repro.eval import compare_algorithms, format_table, speedup_table
+
+
+def main() -> None:
+    # Dense urban pick-up locations (hot spots + background noise).
+    X = load_dataset("NYC-Taxi", n=4000, seed=0)
+    k = 50
+    print(f"clustering {len(X)} pick-up locations into {k} zones\n")
+
+    records = compare_algorithms(
+        ["lloyd", "hamerly", "yinyang", "index", "unik"],
+        X, k, repeats=2, max_iter=10,
+    )
+    table = speedup_table(records)
+    rows = [
+        [
+            record.algorithm,
+            round(record.total_time, 3),
+            round(table[record.algorithm]["time"], 2),
+            round(table[record.algorithm]["work"], 2),
+            f"{record.pruning_ratio:.0%}",
+            int(record.point_accesses),
+        ]
+        for record in records
+    ]
+    print(
+        format_table(
+            ["method", "time_s", "speedup", "work_x", "pruned", "point_accesses"],
+            rows,
+            title="NYC-like spatial clustering",
+        )
+    )
+
+    index_record = next(r for r in records if r.algorithm.startswith("index"))
+    lloyd_record = next(r for r in records if r.algorithm == "lloyd")
+    print(
+        f"\nThe Ball-tree method avoided "
+        f"{1 - index_record.point_accesses / lloyd_record.point_accesses:.0%} "
+        "of Lloyd's data accesses by assigning whole nodes in batch —\n"
+        "the mechanism behind the paper's 150-400x NYC speedups at scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

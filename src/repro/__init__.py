@@ -1,0 +1,31 @@
+"""repro — reproduction of "On the Efficiency of K-Means Clustering:
+Evaluation, Optimization, and Algorithm Selection" (PVLDB 14(2), 2021).
+
+Public surface:
+
+* :mod:`repro.core` — Lloyd's algorithm, twelve accelerated exact variants,
+  the index-based filtering algorithm over five tree structures, and the
+  unified adaptive UniK pipeline (Algorithm 1).
+* :mod:`repro.indexes` — Ball-tree, kd-tree, M-tree, Cover-tree, HKT with
+  the paper's augmented nodes (Definition 1).
+* :mod:`repro.tuning` — UTune: meta-features, ground-truth generation with
+  selective running, from-scratch classifiers, and MRR evaluation.
+* :mod:`repro.eval` — the evaluation harness, leaderboards and report
+  tables behind every figure/table reproduction in ``benchmarks/``.
+* :mod:`repro.datasets` — synthetic surrogates for the paper's datasets.
+
+Quickstart::
+
+    from repro import KMeans
+    from repro.datasets import load_dataset
+
+    X = load_dataset("NYC-Taxi", n=5000, seed=0)
+    result = KMeans(k=50, algorithm="unik", seed=0).fit(X)
+    print(result.sse, result.pruning_ratio, result.total_time)
+"""
+
+from repro.core import ALGORITHMS, KMeans, KMeansResult, make_algorithm
+
+__version__ = "1.0.0"
+
+__all__ = ["ALGORITHMS", "KMeans", "KMeansResult", "make_algorithm", "__version__"]

@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the original artifact's terminal workflow (paper Section A.4):
+run clustering tasks from the terminal, watch the per-method results, and
+write machine-readable logs for later analysis.
+
+Commands
+--------
+``datasets``
+    List the surrogate dataset registry (Table 2).
+``cluster``
+    Run one algorithm on one dataset and print the instrumented summary.
+``compare``
+    Run several algorithms under a shared initialization and print the
+    speedup/pruning table (the Figure 8 view).
+``tune``
+    Generate ground truth over the registry, train UTune, report MRR
+    against the BDT baseline, and print per-task predictions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core import ALGORITHMS, make_algorithm
+from repro.datasets import dataset_names, get_dataset_spec, load_dataset
+from repro.datasets.loaders import append_jsonl, load_points_csv
+from repro.eval import compare_algorithms, format_table, speedup_table
+from repro.eval.tables import format_speedup_rows
+
+
+def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="BigCross",
+                        help="registry dataset name, or a CSV path with --csv")
+    parser.add_argument("--csv", action="store_true",
+                        help="treat --dataset as a CSV file of points")
+    parser.add_argument("--n", type=int, default=None,
+                        help="surrogate point count (registry datasets only)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _load(args: argparse.Namespace):
+    if args.csv:
+        return load_points_csv(args.dataset)
+    return load_dataset(args.dataset, n=args.n, seed=args.seed)
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in dataset_names():
+        spec = get_dataset_spec(name)
+        rows.append([name, f"{spec.n_paper:,}", spec.d, spec.kind,
+                     spec.default_n(), spec.description])
+    print(format_table(
+        ["name", "n(paper)", "d", "kind", "n(default)", "description"], rows,
+        title="Surrogate dataset registry (paper Table 2)",
+    ))
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    X = _load(args)
+    algorithm = make_algorithm(args.algorithm)
+    result = algorithm.fit(X, args.k, max_iter=args.max_iter, seed=args.seed)
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        rows = [[key, value] for key, value in summary.items()]
+        print(format_table(["metric", "value"], rows,
+                           title=f"{args.algorithm} on {args.dataset}"))
+    if args.log:
+        append_jsonl(args.log, [summary])
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    X = _load(args)
+    names = [name.strip() for name in args.algorithms.split(",") if name.strip()]
+    unknown = [name for name in names if name not in ALGORITHMS]
+    if unknown:
+        print(f"unknown algorithms: {unknown}; known: {sorted(ALGORITHMS)}",
+              file=sys.stderr)
+        return 2
+    if "lloyd" not in names:
+        names.insert(0, "lloyd")
+    records = compare_algorithms(
+        names, X, args.k, repeats=args.repeats, max_iter=args.max_iter,
+        seed=args.seed,
+    )
+    table = speedup_table(records)
+    rows = format_speedup_rows(table, order=names)
+    print(format_table(
+        ["method", "time_x", "assign_x", "refine_x", "work_x", "pruned"],
+        rows,
+        title=f"{args.dataset}: n={len(X)}, d={X.shape[1]}, k={args.k}",
+    ))
+    if args.log:
+        append_jsonl(args.log, [record.as_dict() for record in records])
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.tuning import UTune, evaluate_bdt, generate_ground_truth
+
+    names = (
+        [name.strip() for name in args.datasets.split(",")]
+        if args.datasets
+        else dataset_names()[:6]
+    )
+    ks = [int(k) for k in args.ks.split(",")]
+    tasks = []
+    for name in names:
+        X = load_dataset(name, n=args.n, seed=args.seed)
+        for k in ks:
+            tasks.append((name, X, k))
+    print(f"labeling {len(tasks)} tasks (selective={not args.full}) ...")
+    records = generate_ground_truth(
+        tasks, selective=not args.full, max_iter=args.max_iter,
+        metric=args.metric,
+    )
+    tuner = UTune(model=args.model).fit(records)
+    learned = tuner.evaluate(records)
+    rules = evaluate_bdt(records)
+    print(format_table(
+        ["selector", "Bound@MRR", "Index@MRR"],
+        [
+            [args.model, round(learned["bound_mrr"], 3), round(learned["index_mrr"], 3)],
+            ["BDT", round(rules["bound_mrr"], 3), round(rules["index_mrr"], 3)],
+        ],
+        title=f"UTune training report ({len(records)} records)",
+    ))
+    rows = [
+        [record.dataset, record.k, record.best_bound, record.best_index]
+        for record in records
+    ]
+    print(format_table(["dataset", "k", "best bound", "best index"], rows,
+                       title="ground-truth winners"))
+    if args.log:
+        append_jsonl(args.log, [record.as_dict() for record in records])
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fast k-means evaluation framework (UniK + UTune reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the dataset registry")
+
+    cluster = sub.add_parser("cluster", help="run one algorithm on one dataset")
+    _add_data_arguments(cluster)
+    cluster.add_argument("--algorithm", default="unik", choices=sorted(ALGORITHMS))
+    cluster.add_argument("--k", type=int, default=10)
+    cluster.add_argument("--max-iter", type=int, default=10)
+    cluster.add_argument("--json", action="store_true", help="JSON output")
+    cluster.add_argument("--log", default=None, help="append summary to a JSONL log")
+
+    compare = sub.add_parser("compare", help="compare algorithms on one dataset")
+    _add_data_arguments(compare)
+    compare.add_argument("--algorithms", default="lloyd,yinyang,index,unik")
+    compare.add_argument("--k", type=int, default=10)
+    compare.add_argument("--max-iter", type=int, default=10)
+    compare.add_argument("--repeats", type=int, default=2)
+    compare.add_argument("--log", default=None)
+
+    tune = sub.add_parser("tune", help="train and evaluate the UTune selector")
+    tune.add_argument("--datasets", default=None, help="comma-separated registry names")
+    tune.add_argument("--ks", default="5,15")
+    tune.add_argument("--n", type=int, default=600)
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--max-iter", type=int, default=5)
+    tune.add_argument("--model", default="dt",
+                      choices=["dt", "rf", "knn", "svm", "rc", "ranker"])
+    tune.add_argument("--metric", default="total_time",
+                      choices=["total_time", "modeled_cost"])
+    tune.add_argument("--full", action="store_true",
+                      help="full running instead of selective (Algorithm 2)")
+    tune.add_argument("--log", default=None)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "cluster": _cmd_cluster,
+        "compare": _cmd_compare,
+        "tune": _cmd_tune,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Shared low-level utilities: validation, RNG handling, distance kernels.
+
+These helpers are deliberately free of any clustering logic so that every
+subsystem (indexes, sequential algorithms, the UniK pipeline, the tuning
+stack) builds on one consistent foundation.
+"""
+
+from repro.common.exceptions import (
+    ConfigurationError,
+    DatasetError,
+    NotFittedError,
+    ReproError,
+    ValidationError,
+)
+from repro.common.rng import ensure_rng
+from repro.common.validation import (
+    check_data_matrix,
+    check_k,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "ConfigurationError",
+    "DatasetError",
+    "NotFittedError",
+    "ensure_rng",
+    "check_data_matrix",
+    "check_k",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries while tests can assert on the precise
+subclass.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user-supplied data or parameters fail validation."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when an algorithm or knob configuration is inconsistent."""
+
+
+class DatasetError(ReproError, ValueError):
+    """Raised by the dataset registry for unknown or malformed datasets."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when a model is used before ``fit`` has been called."""

@@ -1,0 +1,75 @@
+"""Input validation helpers shared across the package."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.exceptions import ValidationError
+
+
+def check_data_matrix(
+    X: np.ndarray,
+    *,
+    name: str = "X",
+    min_rows: int = 1,
+    min_cols: int = 1,
+    dtype: type = np.float64,
+    copy: bool = False,
+) -> np.ndarray:
+    """Validate and normalize a 2-D data matrix.
+
+    Returns a C-contiguous float64 array.  Raises :class:`ValidationError`
+    on non-finite values, wrong dimensionality, or empty input.
+    """
+    arr = np.array(X, dtype=dtype, copy=copy, order="C") if copy else np.asarray(X, dtype=dtype)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-D, got ndim={arr.ndim}")
+    n, d = arr.shape
+    if n < min_rows:
+        raise ValidationError(f"{name} needs at least {min_rows} rows, got {n}")
+    if d < min_cols:
+        raise ValidationError(f"{name} needs at least {min_cols} columns, got {d}")
+    if not np.isfinite(arr).all():
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(arr)
+
+
+def check_k(k: int, n: int) -> int:
+    """Validate the number of clusters against the dataset size."""
+    if not isinstance(k, (int, np.integer)):
+        raise ValidationError(f"k must be an integer, got {type(k).__name__}")
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if k > n:
+        raise ValidationError(f"k={k} exceeds the number of points n={n}")
+    return int(k)
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (or non-negative when not strict)."""
+    if strict and value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value}")
+    return float(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must lie in [0, 1], got {value}")
+    return float(value)
+
+
+def check_labels(labels: np.ndarray, n: int, k: Optional[int] = None) -> np.ndarray:
+    """Validate an assignment vector of length ``n`` with labels in [0, k)."""
+    arr = np.asarray(labels)
+    if arr.shape != (n,):
+        raise ValidationError(f"labels must have shape ({n},), got {arr.shape}")
+    if arr.size and (arr.min() < 0 or (k is not None and arr.max() >= k)):
+        raise ValidationError("labels out of range")
+    return arr.astype(np.intp)

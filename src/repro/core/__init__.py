@@ -1,0 +1,187 @@
+"""Core clustering algorithms: Lloyd, all accelerated variants, and UniK.
+
+The :data:`ALGORITHMS` registry maps names to classes; :func:`make_algorithm`
+builds instances by name, and :class:`KMeans` is the user-facing facade.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.core.annular import AnnularKMeans
+from repro.core.base import DEFAULT_MAX_ITER, KMeansAlgorithm, compute_sse
+from repro.core.drake import DrakeKMeans
+from repro.core.drift import DriftKMeans
+from repro.core.elkan import ElkanKMeans
+from repro.core.exponion import ExponionKMeans
+from repro.core.full import FullKMeans
+from repro.core.hamerly import HamerlyKMeans
+from repro.core.heap import HeapKMeans
+from repro.core.index_kmeans import IndexKMeans
+from repro.core.initialization import (
+    init_kmeans_plus_plus,
+    init_random,
+    initialize_centroids,
+)
+from repro.core.knobs import (
+    BOUND_KNOBS,
+    INDEX_KNOBS,
+    SELECTION_POOL,
+    KnobConfig,
+    build_algorithm,
+    configuration_pool,
+)
+from repro.core.lloyd import LloydKMeans
+from repro.core.minibatch import MiniBatchKMeans, SampledKMeans
+from repro.core.pami20 import Pami20KMeans
+from repro.core.regroup import RegroupKMeans
+from repro.core.result import IterationStats, KMeansResult
+from repro.core.search import SearchKMeans
+from repro.core.sphere import SphereKMeans
+from repro.core.unik import UniKKMeans
+from repro.core.vector import VectorKMeans
+from repro.core.yinyang import YinyangKMeans
+
+ALGORITHMS: Dict[str, Type[KMeansAlgorithm]] = {
+    "lloyd": LloydKMeans,
+    "elkan": ElkanKMeans,
+    "hamerly": HamerlyKMeans,
+    "drake": DrakeKMeans,
+    "yinyang": YinyangKMeans,
+    "regroup": RegroupKMeans,
+    "heap": HeapKMeans,
+    "annular": AnnularKMeans,
+    "exponion": ExponionKMeans,
+    "drift": DriftKMeans,
+    "vector": VectorKMeans,
+    "pami20": Pami20KMeans,
+    "search": SearchKMeans,
+    "index": IndexKMeans,
+    "unik": UniKKMeans,
+    "full": FullKMeans,
+    # Discovered hybrid configuration (Section A.5); exact.
+    "sphere": SphereKMeans,
+    # Approximate accelerations (Section 2.2 taxonomy) — not exact Lloyd.
+    "minibatch": MiniBatchKMeans,
+    "sampled": SampledKMeans,
+}
+
+#: algorithms guaranteed to reproduce Lloyd's trajectory exactly
+EXACT_ALGORITHMS = tuple(
+    name for name in ALGORITHMS if name not in ("minibatch", "sampled")
+)
+
+
+def make_algorithm(name: str, **kwargs) -> KMeansAlgorithm:
+    """Instantiate an algorithm by registry name.
+
+    Extra keyword arguments go to the algorithm constructor, e.g.
+    ``make_algorithm("index", index="kd-tree")`` or
+    ``make_algorithm("unik", traversal="multiple")``.
+    """
+    try:
+        cls = ALGORITHMS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; known algorithms: {known}"
+        ) from None
+    return cls(**kwargs)
+
+
+class KMeans:
+    """User-facing facade over the algorithm registry.
+
+    Example
+    -------
+    >>> from repro.core import KMeans
+    >>> model = KMeans(k=10, algorithm="unik", seed=0)
+    >>> result = model.fit(X)
+    >>> result.labels, result.centroids, result.sse  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        k: int,
+        *,
+        algorithm: str = "unik",
+        init: str = "k-means++",
+        max_iter: int = DEFAULT_MAX_ITER,
+        tol: float = 0.0,
+        seed: Optional[int] = None,
+        **algorithm_kwargs,
+    ) -> None:
+        self.k = int(k)
+        self.algorithm_name = algorithm
+        self.init = init
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.seed = seed
+        self.algorithm_kwargs = algorithm_kwargs
+        self.result_: Optional[KMeansResult] = None
+
+    def fit(self, X: np.ndarray, initial_centroids: Optional[np.ndarray] = None) -> KMeansResult:
+        """Cluster ``X``; returns (and stores in ``result_``) the result."""
+        algorithm = make_algorithm(self.algorithm_name, **self.algorithm_kwargs)
+        self.result_ = algorithm.fit(
+            X,
+            self.k,
+            init=self.init,
+            initial_centroids=initial_centroids,
+            max_iter=self.max_iter,
+            tol=self.tol,
+            seed=self.seed,
+        )
+        return self.result_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Assign new points to the fitted centroids (nearest centroid)."""
+        if self.result_ is None:
+            raise ConfigurationError("predict called before fit")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        diff = X[:, None, :] - self.result_.centroids[None, :, :]
+        return np.argmin(np.einsum("ijk,ijk->ij", diff, diff), axis=1)
+
+
+__all__ = [
+    "ALGORITHMS",
+    "EXACT_ALGORITHMS",
+    "BOUND_KNOBS",
+    "DEFAULT_MAX_ITER",
+    "INDEX_KNOBS",
+    "SELECTION_POOL",
+    "IterationStats",
+    "KMeans",
+    "KMeansAlgorithm",
+    "KMeansResult",
+    "KnobConfig",
+    "build_algorithm",
+    "compute_sse",
+    "configuration_pool",
+    "init_kmeans_plus_plus",
+    "init_random",
+    "initialize_centroids",
+    "make_algorithm",
+    "LloydKMeans",
+    "ElkanKMeans",
+    "HamerlyKMeans",
+    "DrakeKMeans",
+    "YinyangKMeans",
+    "RegroupKMeans",
+    "HeapKMeans",
+    "AnnularKMeans",
+    "ExponionKMeans",
+    "DriftKMeans",
+    "VectorKMeans",
+    "Pami20KMeans",
+    "SearchKMeans",
+    "IndexKMeans",
+    "UniKKMeans",
+    "FullKMeans",
+    "SphereKMeans",
+    "MiniBatchKMeans",
+    "SampledKMeans",
+]

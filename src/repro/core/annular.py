@@ -1,0 +1,107 @@
+"""Annular algorithm (Drake 2013; Hamerly & Drake 2015) — Section 4.3.1.
+
+Extends Hamerly with a norm-based candidate filter: centroid norms are
+sorted once per iteration, and when a point's bounds fail, only centroids in
+the annulus
+
+    | ||c_j|| - ||x_i|| |  <=  max(ub(i), d(x_i, c_second))        (Eq. 5)
+
+are scanned, located by binary search over the sorted norms.  Soundness:
+both the nearest and second-nearest centroid lie within that radius of
+``x_i``, and the norm difference lower-bounds the distance, so everything
+outside the annulus can affect neither the assignment nor the second-nearest
+lower bound.
+
+The second-nearest centroid's identity is tracked so its distance upper
+bound ``ub2`` can be drift-maintained, exactly as Drake's implementation
+does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.distance import norms
+from repro.core.base import KMeansAlgorithm
+from repro.core.pruning import centroid_separations, second_max, two_smallest
+
+
+class AnnularKMeans(KMeansAlgorithm):
+    """Hamerly plus the norm-annulus centroid filter."""
+
+    name = "annular"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ub: np.ndarray | None = None
+        self._lb: np.ndarray | None = None
+        self._second: np.ndarray | None = None  # second-nearest centroid index
+        self._ub2: np.ndarray | None = None  # upper bound on its distance
+        self._xnorms: np.ndarray | None = None
+
+    def _setup(self) -> None:
+        self._xnorms = norms(self.X)
+        self.counters.record_footprint(5 * len(self.X) + self.k)
+
+    def _assign(self, iteration: int) -> None:
+        if iteration == 0:
+            dists = self._full_scan_assign()
+            n = len(self.X)
+            idx = np.arange(n)
+            self._ub = dists[idx, self._labels].copy()
+            masked = dists.copy()
+            masked[idx, self._labels] = np.inf
+            if self.k > 1:
+                self._second = np.argmin(masked, axis=1).astype(np.intp)
+                self._lb = masked[idx, self._second].copy()
+            else:
+                self._second = np.zeros(n, dtype=np.intp)
+                self._lb = np.full(n, np.inf)
+            self._ub2 = self._lb.copy()
+            self.counters.add_bound_updates(4 * n)
+            return
+
+        _, s = centroid_separations(self._centroids, self.counters)
+        cnorms = norms(self._centroids)
+        norm_order = np.argsort(cnorms, kind="stable")
+        sorted_norms = cnorms[norm_order]
+        counters = self.counters
+        # Vectorized global test; survivors go pointwise.
+        thresholds = np.maximum(self._lb, s[self._labels])
+        counters.add_bound_accesses(2 * len(self.X))
+        for i in np.flatnonzero(self._ub > thresholds):
+            i = int(i)
+            a = int(self._labels[i])
+            threshold = float(thresholds[i])
+            da = self._point_centroid_distance(i, a)
+            self._ub[i] = da
+            counters.add_bound_updates(1)
+            if da <= threshold:
+                continue
+            # Annulus scan (Eq. 5).
+            counters.bound_accesses += 1
+            radius = max(da, float(self._ub2[i]))
+            xn = float(self._xnorms[i])
+            lo = np.searchsorted(sorted_norms, xn - radius, side="left")
+            hi = np.searchsorted(sorted_norms, xn + radius, side="right")
+            candidates = norm_order[lo:hi]
+            dists = self._point_distances(i, candidates)
+            pos, d1, d2 = two_smallest(dists)
+            best = int(candidates[pos])
+            self._labels[i] = best
+            self._ub[i] = d1
+            self._lb[i] = d2
+            if len(candidates) > 1:
+                masked = dists.copy()
+                masked[pos] = np.inf
+                self._second[i] = int(candidates[int(np.argmin(masked))])
+            self._ub2[i] = d2
+            counters.add_bound_updates(4)
+
+    def _update_bounds(self, drifts: np.ndarray) -> None:
+        top_j, top, second = second_max(drifts)
+        self._ub += drifts[self._labels]
+        decay = np.where(self._labels == top_j, second, top)
+        self._lb -= decay
+        self._ub2 += drifts[self._second]
+        self.counters.add_bound_updates(3 * len(self.X))

@@ -1,0 +1,119 @@
+"""Drift algorithm — geometric drift-bound tightening (Rysavy & Hamerly
+2016; paper Section 4.3.3).
+
+Reproduction note.  The paper's Equation 7 states the 2-D form of Rysavy &
+Hamerly's tighter centroid-drift bound; its general-``d`` form requires the
+coordinate conversion of their Algorithm 2, which the paper explicitly does
+not elaborate.  This implementation reproduces the two *mechanisms* that
+define the method's cost/benefit profile in the evaluation:
+
+1. **Geometric neighbor pruning via cluster radii** — for a point assigned
+   to cluster ``a`` with radius ``ra``, a centroid ``j`` with
+   ``d(c_a, c_j) / 2 > ra`` can never win any point of the cluster
+   (the same ball geometry Eq. 7 exploits; cf. Eq. 4), so the candidate
+   loop is restricted to the neighbor set of the assigned cluster.
+   Cluster radii are maintained as ``max`` of member upper bounds and are
+   therefore sound over-estimates.
+2. **Lazy per-centroid drift accumulation** — instead of Elkan's
+   ``n * k`` bound writes per iteration, each stored bound is shifted by
+   the centroid's cumulative drift at write time, and reads subtract the
+   current cumulative drift:
+   ``lb_eff(i, j) = stored(i, j) - cum_drift(j)``.  Writes cost O(1) and
+   the per-iteration update cost collapses to ``k`` accumulator bumps,
+   while every read pays one extra subtraction — exactly the access-heavy,
+   update-light trade-off the paper attributes to the tight-bound family.
+
+The result is exact (all bounds remain true lower/upper bounds; exactness
+is enforced by the trajectory-equivalence tests) and exhibits the profile
+the paper reports for Drift: strong pruning ratio, heavy bound traffic,
+mediocre wall-clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import KMeansAlgorithm
+from repro.core.pruning import centroid_separations
+
+
+class DriftKMeans(KMeansAlgorithm):
+    """Elkan variant with lazy drift-shifted bounds and radius pruning."""
+
+    name = "drift"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ub: np.ndarray | None = None
+        self._lb_shifted: np.ndarray | None = None  # stored + cum_drift(j)
+        self._cum_drift: np.ndarray | None = None
+        self._radii: np.ndarray | None = None
+
+    def _setup(self) -> None:
+        n = len(self.X)
+        self.counters.record_footprint(n * self.k + n + 2 * self.k)
+
+    def _assign(self, iteration: int) -> None:
+        if iteration == 0:
+            dists = self._full_scan_assign()
+            n = len(self.X)
+            self._cum_drift = np.zeros(self.k)
+            self._lb_shifted = dists  # cum drift is zero, so shift is zero
+            self._ub = dists[np.arange(n), self._labels].copy()
+            self.counters.add_bound_updates(dists.size + n)
+            self._refresh_radii()
+            return
+
+        cc, s = centroid_separations(self._centroids, self.counters)
+        counters = self.counters
+        cum = self._cum_drift
+        lbs = self._lb_shifted
+        ub = self._ub
+        labels = self._labels
+        # Vectorized global test; survivors go pointwise.
+        counters.add_bound_accesses(len(self.X))
+        for i in np.flatnonzero(ub > s[labels]):
+            i = int(i)
+            a = int(labels[i])
+            u = float(ub[i])
+            # Neighbor set of the assigned cluster: centroids beyond twice
+            # the cluster radius cannot win any member (ball geometry).
+            neighbor_mask = 0.5 * cc[a] <= self._radii[a]
+            neighbor_mask[a] = False
+            # Effective lower bounds: stored values minus cumulative drift.
+            row_eff = lbs[i] - cum
+            counters.bound_accesses += self.k
+            mask = neighbor_mask & (row_eff < u) & (0.5 * cc[a] < u)
+            candidates = np.flatnonzero(mask)
+            if len(candidates) == 0:
+                continue
+            da = self._point_centroid_distance(i, a)
+            ub[i] = da
+            lbs[i, a] = da + cum[a]
+            counters.add_bound_updates(2)
+            u = da
+            for j in candidates:
+                counters.bound_accesses += 2
+                if lbs[i, j] - cum[j] >= u or 0.5 * cc[int(labels[i]), j] >= u:
+                    continue
+                dij = self._point_centroid_distance(i, int(j))
+                lbs[i, j] = dij + cum[j]
+                counters.add_bound_updates(1)
+                if dij < u:
+                    labels[i] = j
+                    ub[i] = dij
+                    counters.add_bound_updates(1)
+                    u = dij
+
+    def _refresh_radii(self) -> None:
+        """Cluster radii as the max member upper bound (sound over-estimate)."""
+        self._radii = np.zeros(self.k)
+        np.maximum.at(self._radii, self._labels, self._ub)
+        self.counters.add_bound_updates(self.k)
+
+    def _update_bounds(self, drifts: np.ndarray) -> None:
+        # Lazy lb maintenance: only the k accumulators move.
+        self._cum_drift += drifts
+        self._ub += drifts[self._labels]
+        self.counters.add_bound_updates(self.k + len(self.X))
+        self._refresh_radii()

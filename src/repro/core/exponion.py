@@ -1,0 +1,91 @@
+"""Exponion algorithm (Newling & Fleuret 2016) — Section 4.3.2.
+
+Extends Hamerly by replacing the full rescan with a ball around the
+*assigned centroid*: after tightening ``ub`` to the exact distance, only
+centroids with
+
+    d(c_j, c_a)  <=  2 * ub(i) + d(c_a, nn(c_a))                   (Eq. 6)
+
+can be the nearest or second-nearest, where ``nn(c_a)`` is ``c_a``'s closest
+other centroid.  (Proof: the second-nearest distance is at most
+``ub + d(c_a, nn)``; any first/second candidate ``c_j`` then satisfies
+``d(c_j, c_a) <= d(x, c_j) + d(x, c_a) <= 2 ub + d(c_a, nn)``.)
+
+Candidates are located by binary search in per-centroid sorted rows of the
+inter-centroid distance matrix, which is recomputed (and each needed row
+sorted, cached per iteration) — the O(k^2) bookkeeping the method spends to
+shrink the annulus of Annular into a local ball.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.base import KMeansAlgorithm
+from repro.core.pruning import centroid_separations, second_max, two_smallest
+
+
+class ExponionKMeans(KMeansAlgorithm):
+    """Hamerly plus the exponion centroid-ball filter."""
+
+    name = "exponion"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ub: np.ndarray | None = None
+        self._lb: np.ndarray | None = None
+
+    def _setup(self) -> None:
+        self.counters.record_footprint(2 * len(self.X) + self.k * self.k)
+
+    def _assign(self, iteration: int) -> None:
+        if iteration == 0:
+            dists = self._full_scan_assign()
+            n = len(self.X)
+            idx = np.arange(n)
+            self._ub = dists[idx, self._labels].copy()
+            masked = dists.copy()
+            masked[idx, self._labels] = np.inf
+            self._lb = masked.min(axis=1) if self.k > 1 else np.full(n, np.inf)
+            self.counters.add_bound_updates(2 * n)
+            return
+
+        cc, s = centroid_separations(self._centroids, self.counters)
+        sorted_rows: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        counters = self.counters
+        # Vectorized global test; survivors go pointwise.
+        thresholds = np.maximum(self._lb, s[self._labels])
+        counters.add_bound_accesses(2 * len(self.X))
+        for i in np.flatnonzero(self._ub > thresholds):
+            i = int(i)
+            a = int(self._labels[i])
+            threshold = float(thresholds[i])
+            da = self._point_centroid_distance(i, a)
+            self._ub[i] = da
+            counters.add_bound_updates(1)
+            if da <= threshold:
+                continue
+            # Exponion ball (Eq. 6): 2*ub + distance from c_a to its nearest
+            # other centroid (which equals 2*s(a)).
+            radius = 2.0 * da + 2.0 * float(s[a])
+            if a not in sorted_rows:
+                order = np.argsort(cc[a], kind="stable")
+                sorted_rows[a] = (order, cc[a][order])
+            order, row = sorted_rows[a]
+            hi = int(np.searchsorted(row, radius, side="right"))
+            candidates = order[:hi]
+            dists = self._point_distances(i, candidates)
+            pos, d1, d2 = two_smallest(dists)
+            self._labels[i] = int(candidates[pos])
+            self._ub[i] = d1
+            self._lb[i] = d2
+            counters.add_bound_updates(2)
+
+    def _update_bounds(self, drifts: np.ndarray) -> None:
+        top_j, top, second = second_max(drifts)
+        self._ub += drifts[self._labels]
+        decay = np.where(self._labels == top_j, second, top)
+        self._lb -= decay
+        self.counters.add_bound_updates(2 * len(self.X))

@@ -1,0 +1,31 @@
+"""The ``Full`` configuration (Figure 1): every bound knob enabled.
+
+UniK with per-centroid groups (``t = k``, Elkan-strength local bounds), the
+block-vector pre-distance filter, and index-based batch pruning.  It
+achieves the highest pruning ratio of all methods — and, exactly as the
+paper observes, is often the *slowest*, because bound accesses and updates
+dominate the saved distance computations.
+"""
+
+from __future__ import annotations
+
+from repro.core.unik import UniKKMeans
+
+
+class FullKMeans(UniKKMeans):
+    """All pruning mechanisms enabled at once."""
+
+    name = "full"
+
+    def __init__(self, *, index: str = "ball-tree", capacity: int = 30) -> None:
+        super().__init__(
+            index=index,
+            capacity=capacity,
+            traversal="single",
+            t=None,  # resolved to k in _setup
+            block_filter=True,
+        )
+
+    def _setup(self) -> None:
+        self._t_param = self.k  # per-centroid bounds: the maximal configuration
+        super()._setup()

@@ -1,0 +1,145 @@
+"""Knob configurations (Definition 3) and the configuration space.
+
+Each existing algorithm corresponds to one knob configuration in the UniK
+framework; UTune's job (Section 6) is to predict the best configuration for
+a dataset.  Two knob families matter in the paper's selection problem:
+
+* ``bound`` — which bound machinery to run.  The selection pool is the five
+  leaderboard methods of Figure 12 (Hame, Drak, Heap, Yinyang, Regroup);
+  the full space also contains the remaining sequential methods.
+* ``index`` — how to use the index: ``none`` (sequential only), ``pure``
+  (index filtering without bounds), ``single`` or ``multiple`` (UniK's two
+  bound-carrying traversals).
+
+:func:`build_algorithm` materializes a configuration into a runnable
+algorithm instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.exceptions import ConfigurationError
+from repro.core.annular import AnnularKMeans
+from repro.core.drake import DrakeKMeans
+from repro.core.drift import DriftKMeans
+from repro.core.elkan import ElkanKMeans
+from repro.core.exponion import ExponionKMeans
+from repro.core.full import FullKMeans
+from repro.core.hamerly import HamerlyKMeans
+from repro.core.heap import HeapKMeans
+from repro.core.index_kmeans import IndexKMeans
+from repro.core.lloyd import LloydKMeans
+from repro.core.pami20 import Pami20KMeans
+from repro.core.regroup import RegroupKMeans
+from repro.core.search import SearchKMeans
+from repro.core.sphere import SphereKMeans
+from repro.core.unik import UniKKMeans
+from repro.core.vector import VectorKMeans
+from repro.core.yinyang import YinyangKMeans
+
+#: bound knob values: the sequential machinery to run without an index
+BOUND_KNOBS = (
+    "none",
+    "elkan",
+    "hamerly",
+    "drake",
+    "yinyang",
+    "regroup",
+    "heap",
+    "annular",
+    "exponion",
+    "drift",
+    "vector",
+    "pami20",
+    "search",
+    "sphere",
+)
+
+#: the five leaderboard methods used as UTune's selection pool (Figure 12)
+SELECTION_POOL = ("hamerly", "drake", "heap", "yinyang", "regroup")
+
+#: index knob values (Section 5.3)
+INDEX_KNOBS = ("none", "pure", "single", "multiple", "adaptive")
+
+_SEQUENTIAL = {
+    "none": LloydKMeans,
+    "elkan": ElkanKMeans,
+    "hamerly": HamerlyKMeans,
+    "drake": DrakeKMeans,
+    "yinyang": YinyangKMeans,
+    "regroup": RegroupKMeans,
+    "heap": HeapKMeans,
+    "annular": AnnularKMeans,
+    "exponion": ExponionKMeans,
+    "drift": DriftKMeans,
+    "vector": VectorKMeans,
+    "pami20": Pami20KMeans,
+    "search": SearchKMeans,
+    "sphere": SphereKMeans,
+}
+
+
+@dataclass(frozen=True)
+class KnobConfig:
+    """One point in the configuration space Theta (Definition 3)."""
+
+    bound: str = "yinyang"
+    index: str = "none"
+    block_filter: bool = False
+    capacity: int = 30
+    index_structure: str = "ball-tree"
+
+    def __post_init__(self) -> None:
+        if self.bound not in BOUND_KNOBS:
+            raise ConfigurationError(
+                f"unknown bound knob {self.bound!r}; known: {BOUND_KNOBS}"
+            )
+        if self.index not in INDEX_KNOBS:
+            raise ConfigurationError(
+                f"unknown index knob {self.index!r}; known: {INDEX_KNOBS}"
+            )
+
+    @property
+    def label(self) -> str:
+        if self.index == "none":
+            return self.bound
+        if self.index == "pure":
+            return f"index-{self.index_structure}"
+        return f"unik-{self.index}"
+
+
+def build_algorithm(config: KnobConfig):
+    """Materialize a knob configuration into an algorithm instance.
+
+    Sequential configurations (``index == "none"``) run the standalone
+    implementation of the chosen bound method; ``pure`` runs index
+    filtering without bounds; ``single``/``multiple``/``adaptive`` run UniK
+    with Yinyang-style bounds carried by both nodes and points.
+    """
+    if config.index == "none":
+        return _SEQUENTIAL[config.bound]()
+    if config.index == "pure":
+        return IndexKMeans(index=config.index_structure, capacity=config.capacity)
+    return UniKKMeans(
+        index=config.index_structure,
+        capacity=config.capacity,
+        traversal=config.index,
+        block_filter=config.block_filter,
+    )
+
+
+def configuration_pool(selective: bool = True) -> List[KnobConfig]:
+    """Configurations tested when generating ground truth (Algorithm 2).
+
+    ``selective=True`` restricts the bound knob to the five leaderboard
+    methods (plus the index traversals), the paper's selective-running
+    trick that multiplies the amount of training data per unit time.
+    """
+    bounds = SELECTION_POOL if selective else tuple(b for b in BOUND_KNOBS if b != "none")
+    configs = [KnobConfig(bound=b, index="none") for b in bounds]
+    configs.append(KnobConfig(index="pure"))
+    configs.append(KnobConfig(index="single"))
+    configs.append(KnobConfig(index="multiple"))
+    return configs

@@ -1,0 +1,146 @@
+"""Approximate accelerations (paper Section 2.2): mini-batch and sampling.
+
+The paper's taxonomy lists four acceleration families; its evaluation
+covers the *exact* family, noting the approximate family (sampling [19],
+mini-batch [55]) "can be integrated with the above methods to reduce their
+running time".  These two implementations complete that taxonomy:
+
+* :class:`MiniBatchKMeans` — Sculley's web-scale mini-batch k-means with
+  per-centroid learning rates ``1/count``;
+* :class:`SampledKMeans` — cluster a uniform sample with any exact
+  accelerated method, then assign the full dataset once.
+
+Both are approximate: they do **not** reproduce Lloyd's trajectory and are
+therefore excluded from the exactness guarantees; their contract is instead
+bounded SSE inflation relative to Lloyd, which the tests check statistically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.distance import chunked_sq_distances
+from repro.common.exceptions import ConfigurationError
+from repro.common.validation import check_positive, check_probability
+from repro.core.base import KMeansAlgorithm
+from repro.core.initialization import initialize_centroids
+
+
+class MiniBatchKMeans(KMeansAlgorithm):
+    """Sculley's mini-batch k-means.
+
+    Each iteration draws ``batch_size`` points, assigns them to the nearest
+    centroid, and moves each winning centroid toward its batch members with
+    a learning rate of ``1 / count`` (count = points ever assigned to it).
+    A final full assignment pass produces labels consistent with the
+    learned centroids.
+    """
+
+    name = "minibatch"
+    refinement = "none"
+
+    def __init__(self, batch_size: int = 256, batch_seed: int = 0) -> None:
+        super().__init__()
+        check_positive(batch_size, "batch_size")
+        self.batch_size = int(batch_size)
+        self.batch_seed = batch_seed
+
+    def _setup(self) -> None:
+        self._assign_counts = None
+        self._batch_rng = np.random.default_rng(self.batch_seed)
+        self.counters.record_footprint(self.k)
+
+    def _assign(self, iteration: int) -> None:
+        n = len(self.X)
+        if self._assign_counts is None:
+            self._assign_counts = np.zeros(self.k)
+        batch_idx = self._batch_rng.integers(0, n, size=min(self.batch_size, n))
+        batch = self.X[batch_idx]
+        sq = chunked_sq_distances(batch, self._centroids, self.counters)
+        self.counters.add_point_accesses(sq.size)
+        winners = np.argmin(sq, axis=1)
+        # Per-centroid gradient step with 1/count learning rate.
+        for pos, j in enumerate(winners):
+            self._assign_counts[j] += 1.0
+            eta = 1.0 / self._assign_counts[j]
+            self._centroids[j] = (1.0 - eta) * self._centroids[j] + eta * batch[pos]
+        # Labels for the result: full assignment against current centroids.
+        full_sq = chunked_sq_distances(self.X, self._centroids, self.counters)
+        self.counters.add_point_accesses(full_sq.size)
+        self._labels = np.argmin(full_sq, axis=1).astype(np.intp)
+        # Keep base-class sums consistent for refinement bookkeeping.
+        self._sums.fill(0.0)
+        np.add.at(self._sums, self._labels, self.X)
+        self._counts = np.bincount(self._labels, minlength=self.k).astype(np.intp)
+
+    def _refine(self, iteration: int, previous_labels: np.ndarray) -> np.ndarray:
+        # Mini-batch already moved the centroids inside _assign; refinement
+        # is the identity so the trajectory stays Sculley's, not Lloyd's.
+        return self._centroids.copy()
+
+
+class SampledKMeans(KMeansAlgorithm):
+    """Cluster a uniform sample, then assign the full dataset once.
+
+    ``inner`` names any registered exact algorithm ("unik" by default), so
+    the approximate and exact acceleration families compose exactly as the
+    paper describes.
+    """
+
+    name = "sampled"
+    refinement = "none"
+
+    def __init__(
+        self,
+        sample_fraction: float = 0.2,
+        inner: str = "unik",
+        sample_seed: int = 0,
+        min_sample: int = 50,
+    ) -> None:
+        super().__init__()
+        check_probability(sample_fraction, "sample_fraction")
+        if sample_fraction == 0.0:
+            raise ConfigurationError("sample_fraction must be > 0")
+        self.sample_fraction = sample_fraction
+        self.inner = inner
+        self.sample_seed = sample_seed
+        self.min_sample = int(min_sample)
+        self.inner_result = None
+
+    def _setup(self) -> None:
+        self.counters.record_footprint(self.k)
+
+    def _assign(self, iteration: int) -> None:
+        from repro.core import make_algorithm  # local import: avoids a cycle
+
+        n = len(self.X)
+        if iteration == 0:
+            rng = np.random.default_rng(self.sample_seed)
+            size = max(min(self.min_sample, n), int(n * self.sample_fraction))
+            size = max(size, min(self.k, n))
+            sample_idx = rng.choice(n, size=size, replace=False)
+            sample = self.X[sample_idx]
+            algorithm = make_algorithm(self.inner)
+            k_inner = min(self.k, len(sample))
+            init = self._centroids[:k_inner] if len(self._centroids) else None
+            self.inner_result = algorithm.fit(
+                sample, k_inner, initial_centroids=init, max_iter=25
+            )
+            self.counters.merge(algorithm.counters)
+            self._centroids[:k_inner] = self.inner_result.centroids
+        sq = chunked_sq_distances(self.X, self._centroids, self.counters)
+        self.counters.add_point_accesses(sq.size)
+        self._labels = np.argmin(sq, axis=1).astype(np.intp)
+        self._sums.fill(0.0)
+        np.add.at(self._sums, self._labels, self.X)
+        self._counts = np.bincount(self._labels, minlength=self.k).astype(np.intp)
+
+    def _refine(self, iteration: int, previous_labels: np.ndarray) -> np.ndarray:
+        # One full Lloyd refinement after the sampled solution: standard
+        # "sample + polish" — further iterations would converge to Lloyd.
+        nonempty = self._counts > 0
+        out = self._centroids.copy()
+        out[nonempty] = self._sums[nonempty] / self._counts[nonempty, None]
+        return out

@@ -1,0 +1,85 @@
+"""Pami20 (Xia et al. 2020) — centroid distances only, no per-point bounds
+(Section 4.2.5).
+
+The only state is one radius per cluster: ``ra(j)`` upper-bounds the
+distance from ``c_j`` to its farthest member.  A centroid ``j'`` is a
+candidate for the points of cluster ``j`` only when
+
+    d(c_j, c_j') / 2  <=  ra(j)                                     (Eq. 4)
+
+because otherwise every member (within ``ra`` of ``c_j``) is provably closer
+to ``c_j``.  Each point then scans just its cluster's candidate set.
+
+Radii are collected exactly during assignment (each point's distance to its
+new centroid is computed there) and inflated by the centroid drift before
+reuse, which keeps them sound across refinements.  Space cost: ``k`` floats
+— the "laptop-friendly" footprint the paper's Table 4 credits Pami20 with.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.base import KMeansAlgorithm
+from repro.core.pruning import centroid_separations
+
+
+class Pami20KMeans(KMeansAlgorithm):
+    """Xia et al.'s bound-free adaptive k-means."""
+
+    name = "pami20"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._radii: np.ndarray | None = None
+
+    def _setup(self) -> None:
+        self.counters.record_footprint(self.k)
+
+    def _assign(self, iteration: int) -> None:
+        if iteration == 0:
+            dists = self._full_scan_assign()
+            n = len(self.X)
+            own = dists[np.arange(n), self._labels]
+            self._radii = np.zeros(self.k)
+            np.maximum.at(self._radii, self._labels, own)
+            self.counters.add_bound_updates(self.k)
+            return
+
+        cc, _ = centroid_separations(self._centroids, self.counters)
+        counters = self.counters
+        # Candidate sets per cluster (Eq. 4), one bound test per pair.
+        candidates: List[np.ndarray] = []
+        for j in range(self.k):
+            counters.bound_accesses += self.k
+            candidates.append(np.flatnonzero(0.5 * cc[j] <= self._radii[j]))
+        new_radii = np.zeros(self.k)
+        labels = self._labels
+        # All points of a cluster share one candidate set, so the whole
+        # cluster is assigned with a single vectorized distance block —
+        # the batch structure Xia et al.'s method is built around.
+        previous = labels.copy()
+        for a in range(self.k):
+            members = np.flatnonzero(previous == a)
+            if len(members) == 0:
+                continue
+            cand = candidates[a]
+            counters.add_distances(len(members) * len(cand))
+            counters.add_point_accesses(len(members) * len(cand))
+            diff = self.X[members][:, None, :] - self._centroids[cand][None, :, :]
+            dists = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+            positions = np.argmin(dists, axis=1)
+            winners = cand[positions]
+            labels[members] = winners
+            best_d = dists[np.arange(len(members)), positions]
+            np.maximum.at(new_radii, winners, best_d)
+        self._radii = new_radii
+        self.counters.add_bound_updates(self.k)
+
+    def _update_bounds(self, drifts: np.ndarray) -> None:
+        # Members were within ra of the pre-refinement centroid, hence within
+        # ra + drift of the new one.
+        self._radii += drifts
+        self.counters.add_bound_updates(self.k)

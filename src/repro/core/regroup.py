@@ -1,0 +1,90 @@
+"""Regroup (Kwedlo 2017) — Yinyang with per-iteration regrouping
+(Section 4.2.3).
+
+Where Yinyang fixes the centroid groups in the first iteration, Regroup
+reforms them every iteration using a cheap drift-based grouping: centroids
+are sorted by drift magnitude and chunked, so each group's maximum drift —
+the amount every group bound must decay by — stays close to its members'
+actual drifts.  Stable centroids no longer pay for one fast-moving
+group-mate, which keeps the group bounds tight as iterations proceed.
+
+Regrouping invalidates the stored per-group bounds; they are remapped
+soundly: the bound of a new group is the minimum over the (drift-corrected)
+bounds of every old group that contributes a member.  Because membership
+changes, the per-centroid local filter inside a group scan is disabled (its
+reconstruction needs a stable group history), matching the simpler inner
+loop Kwedlo describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pruning import GroupView, group_centroids_by_drift
+from repro.core.yinyang import YinyangKMeans
+
+
+class RegroupKMeans(YinyangKMeans):
+    """Yinyang variant that regroups centroids by drift every iteration."""
+
+    name = "regroup"
+
+    def _scan_groups(self, i: int, da: float) -> None:
+        """Group scan without the per-centroid local filter (see module doc).
+
+        Bounds are assembled per group after the scan (see the same-named
+        method in :class:`YinyangKMeans` for why).
+        """
+        counters = self.counters
+        old_a = int(self._labels[i])
+        best = old_a
+        best_d = da
+        scanned: list[int] = []
+        computed: list[tuple[int, float]] = []
+        for g, members in enumerate(self.groups.members):
+            counters.bound_accesses += 1
+            if self._glb[i, g] >= best_d:
+                continue
+            scanned.append(g)
+            others = members[members != old_a]
+            if len(others) == 0:
+                continue
+            dists = self._point_distances(i, others)
+            for pos, j in enumerate(others):
+                dij = float(dists[pos])
+                computed.append((int(j), dij))
+                if dij < best_d:
+                    best_d = dij
+                    best = int(j)
+        group_min: dict[int, float] = {}
+        for j, dij in computed:
+            if j == best:
+                continue
+            g = int(self.groups.group_of[j])
+            group_min[g] = min(group_min.get(g, np.inf), dij)
+        for g in scanned:
+            value = group_min.get(g, np.inf)
+            if np.isfinite(value):
+                self._glb[i, g] = value
+                counters.add_bound_updates(1)
+        if best != old_a:
+            self._labels[i] = best
+            self._ub[i] = best_d
+            counters.add_bound_updates(1)
+            g_old = int(self.groups.group_of[old_a])
+            self._glb[i, g_old] = min(self._glb[i, g_old], da)
+            counters.add_bound_updates(1)
+
+    def _update_bounds(self, drifts: np.ndarray) -> None:
+        super()._update_bounds(drifts)
+        # Re-form groups by drift magnitude and remap the stored bounds:
+        # new bound = min over contributing old groups' bounds.
+        new_groups = GroupView(group_centroids_by_drift(drifts, self._t))
+        old_group_of = self.groups.group_of
+        remapped = np.empty((len(self.X), new_groups.t))
+        for g_new, members in enumerate(new_groups.members):
+            sources = np.unique(old_group_of[members])
+            remapped[:, g_new] = self._glb[:, sources].min(axis=1)
+        self._glb = remapped
+        self.groups = new_groups
+        self.counters.add_bound_updates(remapped.size)

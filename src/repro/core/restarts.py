@@ -1,0 +1,80 @@
+"""Multi-restart driver: run any algorithm from several initializations and
+keep the lowest-SSE solution.
+
+Lloyd's algorithm only finds a local optimum; the standard practice (and
+what downstream users expect from a k-means library) is ``n_init``
+restarts.  The driver composes with every registered algorithm, aggregates
+instrumentation across restarts, and reports per-restart SSEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import SeedLike, ensure_rng
+from repro.core import make_algorithm
+from repro.core.base import DEFAULT_MAX_ITER
+from repro.core.result import KMeansResult
+from repro.instrumentation.counters import OpCounters
+
+
+@dataclass
+class RestartReport:
+    """Best result plus the per-restart history."""
+
+    best: KMeansResult
+    best_restart: int
+    sse_history: List[float] = field(default_factory=list)
+    total_counters: OpCounters = field(default_factory=OpCounters)
+
+    @property
+    def n_restarts(self) -> int:
+        return len(self.sse_history)
+
+
+def fit_with_restarts(
+    X: np.ndarray,
+    k: int,
+    *,
+    algorithm: str = "unik",
+    n_init: int = 5,
+    init: str = "k-means++",
+    max_iter: int = DEFAULT_MAX_ITER,
+    tol: float = 0.0,
+    seed: SeedLike = None,
+    **algorithm_kwargs,
+) -> RestartReport:
+    """Cluster with ``n_init`` restarts; return the lowest-SSE solution.
+
+    Restarts draw independent initialization seeds from ``seed``'s stream,
+    so a fixed ``seed`` makes the whole ensemble reproducible.
+    """
+    if n_init < 1:
+        raise ConfigurationError(f"n_init must be >= 1, got {n_init}")
+    rng = ensure_rng(seed)
+    best: Optional[KMeansResult] = None
+    best_restart = -1
+    history: List[float] = []
+    totals = OpCounters()
+    for restart in range(n_init):
+        runner = make_algorithm(algorithm, **algorithm_kwargs)
+        result = runner.fit(
+            X, k, init=init, max_iter=max_iter, tol=tol,
+            seed=int(rng.integers(0, 2**63 - 1)),
+        )
+        history.append(result.sse)
+        totals.merge(runner.counters)
+        if best is None or result.sse < best.sse:
+            best = result
+            best_restart = restart
+    assert best is not None
+    return RestartReport(
+        best=best,
+        best_restart=best_restart,
+        sse_history=history,
+        total_counters=totals,
+    )

@@ -1,0 +1,97 @@
+"""Sphere — a discovered hybrid configuration (Section A.5 realized).
+
+The paper's future-work section argues that untested knob combinations
+"will form new algorithms that can be potentially fast for a certain group
+of clustering tasks".  Sphere is such a combination, found while exploring
+the space with :mod:`repro.tuning.knob_search`: **Hamerly's two global
+bounds** for the stay test plus **Pami20's cluster-radius ball** as the
+candidate set on rescan.
+
+Mechanics per failed point (assigned to ``a``):
+
+* tighten ``ub`` with the exact distance ``da``; re-test;
+* scan only centroids with ``d(c_a, c_j) / 2 <= ra(a)`` — sound because
+  ``d(x, c_a) <= ub <= ra(a)``, so anything farther cannot win ``x``;
+* refresh Hamerly's second-nearest bound as the min of the in-ball
+  runner-up and ``min_j (d(c_a, c_j) - da)`` over out-of-ball centroids
+  (triangle inequality), keeping the global bound sound.
+
+State: ``2n + k`` floats — Hamerly's memory plus Pami20's radii.  On
+well-clustered data it prunes more than either parent at the same
+footprint (see ``examples/custom_algorithm.py`` for the head-to-head).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import KMeansAlgorithm
+from repro.core.pruning import centroid_separations, second_max, two_smallest
+
+
+class SphereKMeans(KMeansAlgorithm):
+    """Hamerly bounds + cluster-radius candidate balls."""
+
+    name = "sphere"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ub: np.ndarray | None = None
+        self._lb: np.ndarray | None = None
+        self._radii: np.ndarray | None = None
+
+    def _setup(self) -> None:
+        self.counters.record_footprint(2 * len(self.X) + self.k)
+
+    def _assign(self, iteration: int) -> None:
+        if iteration == 0:
+            dists = self._full_scan_assign()
+            idx = np.arange(len(self.X))
+            self._ub = dists[idx, self._labels].copy()
+            masked = dists.copy()
+            masked[idx, self._labels] = np.inf
+            self._lb = masked.min(axis=1) if self.k > 1 else np.full(len(self.X), np.inf)
+            self._radii = np.zeros(self.k)
+            np.maximum.at(self._radii, self._labels, self._ub)
+            self.counters.add_bound_updates(2 * len(self.X) + self.k)
+            return
+
+        cc, s = centroid_separations(self._centroids, self.counters)
+        counters = self.counters
+        thresholds = np.maximum(self._lb, s[self._labels])
+        counters.add_bound_accesses(2 * len(self.X))
+        for i in np.flatnonzero(self._ub > thresholds):
+            i = int(i)
+            a = int(self._labels[i])
+            da = self._point_centroid_distance(i, a)
+            self._ub[i] = da
+            counters.add_bound_updates(1)
+            if da <= thresholds[i]:
+                continue
+            # Radius-ball candidate set (Pami20 argument).
+            counters.add_bound_accesses(self.k)
+            in_ball = 0.5 * cc[a] <= self._radii[a]
+            cand = np.flatnonzero(in_ball)
+            dists = self._point_distances(i, cand)
+            pos, d1, d2 = two_smallest(dists)
+            # Out-of-ball centroids are at least cc[a, j] - da away.
+            if in_ball.all():
+                lb_out = np.inf
+            else:
+                lb_out = float((cc[a, ~in_ball] - da).min())
+            self._labels[i] = int(cand[pos])
+            self._ub[i] = d1
+            self._lb[i] = min(d2, lb_out)
+            counters.add_bound_updates(2)
+        # Exact radii from the refreshed upper bounds.
+        new_radii = np.zeros(self.k)
+        np.maximum.at(new_radii, self._labels, self._ub)
+        self._radii = new_radii
+        self.counters.add_bound_updates(self.k)
+
+    def _update_bounds(self, drifts: np.ndarray) -> None:
+        top_j, top, second = second_max(drifts)
+        self._ub += drifts[self._labels]
+        self._lb -= np.where(self._labels == top_j, second, top)
+        self._radii += drifts
+        self.counters.add_bound_updates(2 * len(self.X) + self.k)

@@ -1,0 +1,448 @@
+"""UniK — the paper's unified, adaptive k-means pipeline (Section 5).
+
+UniK scans *objects* — index nodes and points — through one pruning
+pipeline.  A node shares the point's bound pipeline with its radius ``r``
+folded into every test (``r = 0`` recovers the point case):
+
+* global stay test (Eq. 10):  ``min_g lb(p, g) - r > ub(p) + r``;
+* group pruning over Yinyang-style centroid groups;
+* local test (Eq. 11) folded into the group scan;
+* whole-node assignment (Eq. 9): assign when the gap between the two
+  nearest centroids exceeds ``2r``, moving the node's precomputed sum
+  vector between clusters in batch;
+* node splitting with bound inheritance (Eq. 12): children reuse the
+  parent's bounds shifted by the parent-to-child pivot distance ``psi``
+  (cached per point at build time for leaf members).
+
+Refinement is the incremental sum-vector update of Section 5.1.2: clusters
+carry exact sums at all times, so no data point is re-read.
+
+Traversal modes (Section 5.3):
+
+``single``
+    Iteration 0 descends from the root; surviving nodes and points become
+    persistent objects carrying bounds across iterations.
+``multiple``
+    Every iteration re-descends from the root with fresh bound inheritance.
+``adaptive`` (default)
+    Runs iteration 0 from the root and iteration 1 from the object lists,
+    then keeps whichever assignment phase was faster — the paper's
+    index-single / index-multiple switch.
+
+Setting ``t = k`` gives per-centroid bounds (Elkan-strength locals), and
+``block_filter=True`` adds the block-vector pre-distance test on points;
+enabling both yields the paper's ``Full`` configuration (maximum pruning
+ratio, heavy bound traffic).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.core.base import KMeansAlgorithm
+from repro.core.pruning import GroupView, default_group_count, group_centroids_kmeans
+from repro.core.vector import block_norms
+from repro.indexes import INDEX_CLASSES, MetricTree, TreeNode
+
+_TRAVERSALS = ("single", "multiple", "adaptive")
+
+
+class _Obj:
+    """A pipeline object: an index node or a single point, with bounds."""
+
+    __slots__ = ("node", "point", "a", "ub", "glb")
+
+    def __init__(
+        self,
+        node: Optional[TreeNode],
+        point: int,
+        a: int,
+        ub: float,
+        glb: np.ndarray,
+    ) -> None:
+        self.node = node
+        self.point = point
+        self.a = a
+        self.ub = ub
+        self.glb = glb
+
+    @property
+    def radius(self) -> float:
+        return self.node.radius if self.node is not None else 0.0
+
+
+class UniKKMeans(KMeansAlgorithm):
+    """The unified adaptive index+bound algorithm (Algorithm 1)."""
+
+    name = "unik"
+    refinement = "none"
+
+    def __init__(
+        self,
+        *,
+        index: str = "ball-tree",
+        capacity: int = 30,
+        traversal: str = "adaptive",
+        t: Optional[int] = None,
+        block_filter: bool = False,
+        group_seed: int = 0,
+        tree: Optional[MetricTree] = None,
+    ) -> None:
+        super().__init__()
+        if traversal not in _TRAVERSALS:
+            raise ConfigurationError(
+                f"traversal must be one of {_TRAVERSALS}, got {traversal!r}"
+            )
+        self.index_name = index.lower()
+        if self.index_name not in INDEX_CLASSES and tree is None:
+            known = ", ".join(sorted(INDEX_CLASSES))
+            raise ConfigurationError(f"unknown index {index!r}; known: {known}")
+        self.capacity = int(capacity)
+        self.traversal = traversal
+        self._t_param = t
+        self.block_filter = bool(block_filter)
+        self._group_seed = group_seed
+        self.tree = tree
+        self._mode = traversal  # resolved mode after the adaptive probe
+
+    # ------------------------------------------------------------------
+    # Setup.
+    # ------------------------------------------------------------------
+
+    def _setup(self) -> None:
+        if self.tree is None or self.tree.X is not self.X:
+            cls = INDEX_CLASSES[self.index_name]
+            kwargs = {}
+            if self.index_name != "cover-tree":
+                kwargs["capacity"] = self.capacity
+            self.tree = cls(self.X, **kwargs)
+        self._t = self._t_param if self._t_param is not None else default_group_count(self.k)
+        self._t = max(1, min(int(self._t), self.k))
+        self._leaf_psi: Dict[int, np.ndarray] = {}
+        for leaf in self.tree.leaves():
+            diff = self.X[leaf.point_indices] - leaf.pivot
+            self._leaf_psi[id(leaf)] = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        if self.block_filter:
+            self._xblocks = block_norms(self.X, 2)
+            self._xnorm_sq = np.einsum("ij,ij->i", self.X, self.X)
+        self._objects: List[_Obj] = []
+        self._mode = self.traversal
+        self._assign_times: List[float] = []
+        self.counters.record_footprint(
+            self.tree.space_cost_floats() + len(self.X) * (self._t + 1)
+        )
+
+    # ------------------------------------------------------------------
+    # Assignment dispatch.
+    # ------------------------------------------------------------------
+
+    def _assign(self, iteration: int) -> None:
+        begin = time.perf_counter()
+        if self.block_filter:
+            self._cblocks = block_norms(self._centroids, 2)
+            self._cnorm_sq = np.einsum("ij,ij->i", self._centroids, self._centroids)
+            self.counters.add_bound_updates(3 * self.k)
+        if iteration == 0:
+            self.groups = GroupView(
+                group_centroids_kmeans(self._centroids, self._t, seed=self._group_seed)
+            )
+            self._group_decay = np.zeros(self.groups.t)
+            self._last_drifts = np.zeros(self.k)
+            self._root_pass()
+        elif self._mode == "multiple" and self.traversal != "adaptive":
+            self._root_pass()
+        elif self.traversal == "adaptive" and iteration == 1:
+            self._list_pass()
+        elif self.traversal == "adaptive" and iteration == 2 and len(self._assign_times) >= 2:
+            # The adaptive switch: keep whichever first-iteration style won.
+            if self._assign_times[0] < self._assign_times[1]:
+                self._mode = "multiple"
+                self._root_pass()
+            else:
+                self._mode = "single"
+                self._list_pass()
+        elif self._mode == "multiple":
+            self._root_pass()
+        else:
+            self._list_pass()
+        self._assign_times.append(time.perf_counter() - begin)
+
+    # ------------------------------------------------------------------
+    # Root traversal (iteration 0 and index-multiple mode).
+    # ------------------------------------------------------------------
+
+    def _root_pass(self) -> None:
+        self._sums.fill(0.0)
+        self._counts.fill(0)
+        self._objects = []
+        self._fresh_descend(self.tree.root, None, np.inf, None)
+
+    def _fresh_descend(
+        self,
+        node: TreeNode,
+        anchor: Optional[int],
+        ub: float,
+        glb: Optional[np.ndarray],
+    ) -> None:
+        """Descend with inherited bounds; assign, or split and recurse."""
+        self.counters.add_node_accesses(1)
+        best, d1, d2_lower, new_glb = self._scan(node.pivot, node.radius, anchor, ub, glb)
+        if d2_lower - d1 > 2.0 * node.radius:
+            self._install_node(node, best, d1, new_glb)
+            return
+        if node.is_leaf:
+            self._dissolve_leaf(node, best, d1, new_glb)
+            return
+        for child in node.children:
+            child_glb = new_glb - child.psi
+            self.counters.add_bound_updates(self.groups.t + 1)
+            self._fresh_descend(child, best, d1 + child.psi, child_glb)
+
+    def _install_node(self, node: TreeNode, cluster: int, d1: float, glb: np.ndarray) -> None:
+        self._sums[cluster] += node.sv
+        self._counts[cluster] += node.num
+        self._labels[node.subtree_point_indices()] = cluster
+        self._objects.append(_Obj(node, -1, cluster, d1, glb))
+
+    def _dissolve_leaf(
+        self, node: TreeNode, anchor: int, d1: float, glb: np.ndarray
+    ) -> None:
+        """A leaf that cannot assign in batch dissolves into point objects."""
+        psis = self._leaf_psi[id(node)]
+        for pos, i in enumerate(node.point_indices):
+            i = int(i)
+            psi = float(psis[pos])
+            self.counters.add_bound_updates(self.groups.t + 1)
+            point_glb = glb - psi
+            best, dist, _, new_glb = self._scan(
+                self.X[i], 0.0, anchor, d1 + psi, point_glb,
+                is_point=True, point_index=i,
+            )
+            self._sums[best] += self.X[i]
+            self._counts[best] += 1
+            self._labels[i] = best
+            self._objects.append(_Obj(None, i, best, dist, new_glb))
+
+    # ------------------------------------------------------------------
+    # Object-list traversal (index-single steady state).
+    # ------------------------------------------------------------------
+
+    def _list_pass(self) -> None:
+        objects = self._objects
+        self._objects = []
+        for obj in objects:
+            if obj.node is not None:
+                self._process_node_obj(obj)
+            else:
+                self._process_point_obj(obj)
+
+    def _process_node_obj(self, obj: _Obj) -> None:
+        node = obj.node
+        self.counters.add_node_accesses(1)
+        r = node.radius
+        self.counters.add_bound_accesses(self.groups.t + 1)
+        if float(obj.glb.min()) - r > obj.ub + r:  # Eq. 10: whole node stays
+            self._objects.append(obj)
+            return
+        best, d1, d2_lower, new_glb = self._scan(node.pivot, r, obj.a, obj.ub, obj.glb)
+        if d2_lower - d1 > 2.0 * r:
+            if best != obj.a:
+                self._sums[obj.a] -= node.sv
+                self._counts[obj.a] -= node.num
+                self._sums[best] += node.sv
+                self._counts[best] += node.num
+                self._labels[node.subtree_point_indices()] = best
+            obj.a = best
+            obj.ub = d1
+            obj.glb = new_glb
+            self._objects.append(obj)
+            return
+        # Split: the node leaves its cluster; children re-enter the pipeline
+        # with inherited bounds (Eq. 12) and are assigned immediately.
+        self._sums[obj.a] -= node.sv
+        self._counts[obj.a] -= node.num
+        if node.is_leaf:
+            self._dissolve_leaf(node, best, d1, new_glb)
+        else:
+            for child in node.children:
+                child_glb = new_glb - child.psi
+                self.counters.add_bound_updates(self.groups.t + 1)
+                self._fresh_descend(child, best, d1 + child.psi, child_glb)
+
+    def _process_point_obj(self, obj: _Obj) -> None:
+        i = obj.point
+        self.counters.add_bound_accesses(self.groups.t + 1)
+        if float(obj.glb.min()) > obj.ub:  # global stay test, r = 0
+            self._objects.append(obj)
+            return
+        best, d1, _, new_glb = self._scan(
+            self.X[i], 0.0, obj.a, obj.ub, obj.glb,
+            is_point=True, point_index=i,
+        )
+        if best != obj.a:
+            self._sums[obj.a] -= self.X[i]
+            self._counts[obj.a] -= 1
+            self._sums[best] += self.X[i]
+            self._counts[best] += 1
+            self._labels[i] = best
+        obj.a = best
+        obj.ub = d1
+        obj.glb = new_glb
+        self._objects.append(obj)
+
+    # ------------------------------------------------------------------
+    # The shared scan: global tighten + group pruning + local scan.
+    # ------------------------------------------------------------------
+
+    def _scan(
+        self,
+        vec: np.ndarray,
+        r: float,
+        anchor: Optional[int],
+        ub: float,
+        glb: Optional[np.ndarray],
+        *,
+        is_point: bool = False,
+        point_index: int = -1,
+    ) -> Tuple[int, float, float, np.ndarray]:
+        """Find the nearest centroid for ``vec`` using the bound pipeline.
+
+        Returns ``(best, d1, d2_lower, new_glb)`` where ``d2_lower`` is a
+        lower bound on the second-nearest distance (exact when every group
+        is scanned) and ``new_glb`` the refreshed per-group bounds.
+        """
+        counters = self.counters
+        groups = self.groups
+        if glb is None:
+            glb = np.full(groups.t, -np.inf)
+        if anchor is not None:
+            da = self._object_distance(vec, anchor, is_point)
+            best, d1 = anchor, da
+            ub = min(ub, da)
+        else:
+            da = np.inf
+            best, d1 = -1, np.inf
+        second = np.inf
+        scanned: List[int] = []
+        computed: List[Tuple[int, float]] = []
+        skip_bounds: Dict[int, float] = {}
+        for g, members in enumerate(groups.members):
+            counters.add_bound_accesses(1)
+            if glb[g] - r > min(ub, d1) + r:  # group pruning (Eq. 11 with r)
+                second = min(second, float(glb[g]))
+                continue
+            scanned.append(g)
+            others = members[members != anchor] if anchor is not None else members
+            if len(others) == 0:
+                continue
+            if is_point and self.block_filter and point_index >= 0 and np.isfinite(d1):
+                # Vectorized block-vector pre-filter: members whose block
+                # bound already exceeds the current best cannot win; their
+                # bound is a valid lower bound for the group refresh.
+                counters.add_bound_accesses(len(others))
+                bbs = self._block_bounds(point_index, others)
+                mask = bbs < d1
+                if not mask.all():
+                    skipped_min = float(bbs[~mask].min())
+                    skip_bounds[g] = min(skip_bounds.get(g, np.inf), skipped_min)
+                    second = min(second, skipped_min)
+                others = others[mask]
+                if len(others) == 0:
+                    continue
+            dists = self._object_distances(vec, others, is_point)
+            for pos, j in enumerate(others):
+                dij = float(dists[pos])
+                computed.append((int(j), dij))
+                if dij < d1:
+                    d1 = dij
+                    best = int(j)
+        # Assemble refreshed group bounds from the scan evidence; attaching
+        # each exact distance to its own group keeps bounds sound even when
+        # the running best hops between groups mid-scan.
+        new_glb = glb.copy()
+        group_min = dict(skip_bounds)
+        for j, dij in computed:
+            if j == best:
+                continue
+            second = min(second, dij)
+            g = int(groups.group_of[j])
+            group_min[g] = min(group_min.get(g, np.inf), dij)
+        for g in scanned:
+            value = group_min.get(g, np.inf)
+            if np.isfinite(value):
+                new_glb[g] = value
+                counters.add_bound_updates(1)
+        if anchor is not None and best != anchor:
+            g_old = int(groups.group_of[anchor])
+            new_glb[g_old] = min(new_glb[g_old], da)
+            second = min(second, da)
+            counters.add_bound_updates(1)
+        return best, d1, second, new_glb
+
+    def _object_distance(self, vec: np.ndarray, j: int, is_point: bool) -> float:
+        self.counters.distance_computations += 1
+        if is_point:
+            self.counters.point_accesses += 1
+        diff = vec - self._centroids[j]
+        return float(np.sqrt(diff @ diff))
+
+    def _object_distances(
+        self, vec: np.ndarray, centroid_idx: np.ndarray, is_point: bool
+    ) -> np.ndarray:
+        count = len(centroid_idx)
+        self.counters.distance_computations += count
+        if is_point:
+            self.counters.point_accesses += count
+        diff = self._centroids[centroid_idx] - vec
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    def _block_bounds(self, i: int, centroid_idx: np.ndarray) -> np.ndarray:
+        """Vectorized block-vector lower bounds from point ``i`` to centroids."""
+        xb = self._xblocks[i]
+        sq = (
+            float(self._xnorm_sq[i])
+            + self._cnorm_sq[centroid_idx]
+            - 2.0 * (self._cblocks[centroid_idx] @ xb)
+        )
+        np.maximum(sq, 0.0, out=sq)
+        return np.sqrt(sq)
+
+    def _block_bound(self, i: int, j: int) -> float:
+        """Block-vector lower bound on the distance from point ``i`` to ``c_j``.
+
+        Uses the per-point and per-centroid block norms cached in
+        :meth:`_setup` / :meth:`_assign` (Cauchy-Schwarz per block).
+        """
+        xb = self._xblocks[i]
+        cb = self._cblocks[j]
+        sq = float(self._xnorm_sq[i]) + float(self._cnorm_sq[j]) - 2.0 * float(xb @ cb)
+        return float(np.sqrt(sq)) if sq > 0.0 else 0.0
+
+    # ------------------------------------------------------------------
+    # Drift maintenance.
+    # ------------------------------------------------------------------
+
+    def _update_bounds(self, drifts: np.ndarray) -> None:
+        self._last_drifts = drifts.copy()
+        decay = self.groups.max_drift_per_group(drifts)
+        self._group_decay = decay
+        for obj in self._objects:
+            obj.ub += float(drifts[obj.a])
+            obj.glb -= decay
+        self.counters.add_bound_updates(len(self._objects) * (self.groups.t + 1))
+
+    def _extras(self) -> dict:
+        node_objects = sum(1 for o in self._objects if o.node is not None)
+        return {
+            "index": self.tree.name,
+            "traversal": self.traversal,
+            "resolved_mode": self._mode,
+            "objects": len(self._objects),
+            "node_objects": node_objects,
+            "point_objects": len(self._objects) - node_objects,
+            "groups": self.groups.t,
+        }

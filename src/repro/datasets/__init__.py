@@ -1,0 +1,41 @@
+"""Dataset substrate.
+
+The paper evaluates on 15 real datasets (Table 2) that cannot be downloaded
+in this offline environment, so :mod:`repro.datasets.registry` provides
+deterministic synthetic surrogates matching each dataset's scale,
+dimensionality, and qualitative distribution (see DESIGN.md, substitution
+table).  :mod:`repro.datasets.synthetic` holds the underlying generators,
+including the Gaussian generator used for the paper's Figure 18 study.
+"""
+
+from repro.datasets.registry import (
+    DatasetSpec,
+    dataset_names,
+    get_dataset_spec,
+    load_dataset,
+)
+from repro.datasets.synthetic import (
+    make_anisotropic,
+    make_annular,
+    make_blobs,
+    make_gaussian_quantiles,
+    make_grid_clusters,
+    make_mnist_like,
+    make_spatial,
+    make_uniform,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "dataset_names",
+    "get_dataset_spec",
+    "load_dataset",
+    "make_anisotropic",
+    "make_blobs",
+    "make_annular",
+    "make_gaussian_quantiles",
+    "make_grid_clusters",
+    "make_mnist_like",
+    "make_spatial",
+    "make_uniform",
+]

@@ -1,0 +1,83 @@
+"""Flat-file persistence for datasets and evaluation logs.
+
+The original artifact reads UCI CSV files from disk; these helpers provide
+the same workflow for the synthetic surrogates so examples and benchmarks can
+cache generated data between runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+import numpy as np
+
+from repro.common.exceptions import DatasetError
+from repro.common.validation import check_data_matrix
+
+PathLike = Union[str, Path]
+
+
+def save_points_csv(path: PathLike, X: np.ndarray) -> None:
+    """Write a data matrix as headerless CSV (one point per row)."""
+    X = check_data_matrix(X)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        for row in X:
+            writer.writerow([repr(float(value)) for value in row])
+
+
+def load_points_csv(path: PathLike) -> np.ndarray:
+    """Read a headerless CSV data matrix written by :func:`save_points_csv`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no such dataset file: {path}")
+    rows: List[List[float]] = []
+    with path.open(newline="") as handle:
+        for lineno, row in enumerate(csv.reader(handle), start=1):
+            if not row:
+                continue
+            try:
+                rows.append([float(value) for value in row])
+            except ValueError as exc:
+                raise DatasetError(f"{path}:{lineno}: malformed row: {exc}") from exc
+    if not rows:
+        raise DatasetError(f"{path} contains no data rows")
+    widths = {len(row) for row in rows}
+    if len(widths) != 1:
+        raise DatasetError(f"{path} has ragged rows (widths {sorted(widths)})")
+    return check_data_matrix(np.asarray(rows))
+
+
+def append_jsonl(path: PathLike, records: Iterable[Dict[str, Any]]) -> int:
+    """Append JSON-lines records (used for evaluation/ground-truth logs)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("a") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: PathLike) -> List[Dict[str, Any]]:
+    """Read all JSON-lines records from ``path`` (empty list if missing)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: List[Dict[str, Any]] = []
+    with path.open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise DatasetError(f"{path}:{lineno}: malformed JSON: {exc}") from exc
+    return records

@@ -1,0 +1,232 @@
+"""Synthetic data generators.
+
+These produce the workloads behind every experiment:
+
+* :func:`make_blobs` — isotropic Gaussian mixtures, the workhorse surrogate
+  for well-clustered UCI data (Kegg, Covtype, Skin, ...).
+* :func:`make_spatial` — dense 2-D "urban" point clouds surrogating the NYC
+  taxi and Europe datasets: many small hot spots plus background noise.
+* :func:`make_mnist_like` — high-dimensional sparse-ish prototype-plus-noise
+  data surrogating Mnist (d=784): most coordinates near zero, cluster
+  structure weak relative to noise, which is exactly the regime where the
+  paper finds pruning hard (Figure 17).
+* :func:`make_uniform` — unstructured data, the worst case for all pruning.
+* :func:`make_annular` — points on concentric rings; stresses norm-based
+  bounds (Annular/Exponion) because norms alone carry little information
+  within a ring.
+* :func:`make_gaussian_quantiles` — the scikit-learn-style generator the
+  paper uses in Section A.3 ("Effect of Data Distribution"), re-implemented
+  here: a single isotropic Gaussian cut into ``k`` shells of equal mass.
+* :func:`make_grid_clusters` — clusters centred on a regular lattice, giving
+  perfectly assembling data where index pruning shines.
+
+All generators take a ``seed`` and are fully deterministic given it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.common.rng import SeedLike, ensure_rng
+from repro.common.validation import check_k, check_positive
+
+
+def make_blobs(
+    n: int,
+    d: int,
+    centers: int,
+    *,
+    cluster_std: float = 1.0,
+    center_box: Tuple[float, float] = (-10.0, 10.0),
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Isotropic Gaussian mixture with ``centers`` components.
+
+    Returns ``(X, y)`` where ``y`` holds the generating component of each
+    point (useful for sanity checks, never consumed by the algorithms).
+    """
+    check_positive(float(n), "n")
+    check_positive(float(d), "d")
+    check_k(centers, n)
+    rng = ensure_rng(seed)
+    lo, hi = center_box
+    means = rng.uniform(lo, hi, size=(centers, d))
+    assignments = rng.integers(0, centers, size=n)
+    X = means[assignments] + rng.normal(0.0, cluster_std, size=(n, d))
+    return X, assignments
+
+
+def make_uniform(
+    n: int,
+    d: int,
+    *,
+    low: float = 0.0,
+    high: float = 1.0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Uniform noise in a box — the pruning worst case."""
+    rng = ensure_rng(seed)
+    return rng.uniform(low, high, size=(n, d))
+
+
+def make_spatial(
+    n: int,
+    *,
+    hotspots: int = 40,
+    hotspot_std: float = 0.01,
+    background_fraction: float = 0.1,
+    extent: Tuple[float, float] = (0.0, 1.0),
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """2-D spatial point cloud mimicking pick-up locations (NYC/Europe).
+
+    A fraction of points is uniform background; the rest concentrates in
+    tight hot spots whose sizes follow a heavy-tailed split, so a Ball-tree
+    gets the small-radius leaves that drive the paper's 150-400x index
+    speedups on NYC.
+    """
+    rng = ensure_rng(seed)
+    lo, hi = extent
+    n_background = int(n * background_fraction)
+    n_clustered = n - n_background
+    centers = rng.uniform(lo, hi, size=(hotspots, 2))
+    weights = rng.pareto(1.5, size=hotspots) + 1.0
+    weights /= weights.sum()
+    counts = rng.multinomial(n_clustered, weights)
+    parts = [rng.uniform(lo, hi, size=(n_background, 2))]
+    for center, count in zip(centers, counts):
+        if count:
+            parts.append(center + rng.normal(0.0, hotspot_std, size=(count, 2)))
+    X = np.concatenate(parts, axis=0)
+    rng.shuffle(X)
+    return X
+
+
+def make_mnist_like(
+    n: int,
+    d: int = 784,
+    *,
+    prototypes: int = 10,
+    active_fraction: float = 0.2,
+    noise_std: float = 25.0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """High-dimensional prototype-plus-noise data surrogating Mnist.
+
+    Each prototype activates a random ~20% subset of coordinates with values
+    in [0, 255]; points add heavy noise and clip to the valid range.  Cluster
+    structure is weak relative to dimensionality, reproducing the regime
+    where every method's pruning ratio collapses (Figure 17).
+    """
+    rng = ensure_rng(seed)
+    protos = np.zeros((prototypes, d))
+    for row in protos:
+        active = rng.random(d) < active_fraction
+        row[active] = rng.uniform(80.0, 255.0, size=int(active.sum()))
+    assignments = rng.integers(0, prototypes, size=n)
+    X = protos[assignments] + rng.normal(0.0, noise_std, size=(n, d))
+    np.clip(X, 0.0, 255.0, out=X)
+    return X
+
+
+def make_annular(
+    n: int,
+    d: int,
+    rings: int,
+    *,
+    ring_gap: float = 2.0,
+    ring_std: float = 0.05,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Points on concentric hyperspherical shells."""
+    rng = ensure_rng(seed)
+    which = rng.integers(0, rings, size=n)
+    radii = (which + 1) * ring_gap + rng.normal(0.0, ring_std, size=n)
+    directions = rng.normal(size=(n, d))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    return directions * radii[:, None]
+
+
+def make_gaussian_quantiles(
+    n: int,
+    d: int,
+    k: int,
+    *,
+    variance: float = 1.0,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Single Gaussian divided into ``k`` equal-mass radial shells.
+
+    Mirrors ``sklearn.datasets.make_gaussian_quantiles``, which the paper
+    uses for its data-distribution study (Figure 18).  Returns ``(X, y)``
+    with ``y`` the shell index.
+    """
+    rng = ensure_rng(seed)
+    X = rng.normal(0.0, np.sqrt(variance), size=(n, d))
+    radii = np.linalg.norm(X, axis=1)
+    order = np.argsort(radii)
+    y = np.empty(n, dtype=np.intp)
+    # Equal-mass shells: the i-th n/k-quantile of the radius distribution.
+    splits = np.array_split(order, k)
+    for shell, idx in enumerate(splits):
+        y[idx] = shell
+    return X, y
+
+
+def make_anisotropic(
+    n: int,
+    d: int,
+    centers: int,
+    *,
+    anisotropy: float = 4.0,
+    cluster_std: float = 1.0,
+    center_box: Tuple[float, float] = (-10.0, 10.0),
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gaussian mixture with a random elongation per component.
+
+    Each component stretches one random direction by ``anisotropy``,
+    producing the correlated, elongated clusters typical of real tabular
+    data (Covtype/Census-style) that axis-aligned generators miss.  Useful
+    for stressing index structures: elongated clusters inflate ball radii
+    without hurting kd-tree boxes the same way.
+    """
+    check_k(centers, n)
+    rng = ensure_rng(seed)
+    lo, hi = center_box
+    means = rng.uniform(lo, hi, size=(centers, d))
+    directions = rng.normal(size=(centers, d))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    assignments = rng.integers(0, centers, size=n)
+    noise = rng.normal(0.0, cluster_std, size=(n, d))
+    # Stretch each point's noise along its component's direction.
+    along = np.einsum("ij,ij->i", noise, directions[assignments])
+    noise += (anisotropy - 1.0) * along[:, None] * directions[assignments]
+    return means[assignments] + noise, assignments
+
+
+def make_grid_clusters(
+    n: int,
+    d: int,
+    side: int,
+    *,
+    jitter: float = 0.05,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Clusters on a ``side**d`` lattice with small jitter.
+
+    The tightest "assembling" distribution: every leaf of a Ball-tree built
+    on this data has a tiny radius, so batch pruning nearly always fires.
+    """
+    rng = ensure_rng(seed)
+    axes = np.arange(side, dtype=np.float64)
+    cells = side**d
+    which = rng.integers(0, cells, size=n)
+    coords = np.empty((n, d))
+    remainder = which.copy()
+    for dim in range(d):
+        coords[:, dim] = axes[remainder % side]
+        remainder //= side
+    return coords + rng.normal(0.0, jitter, size=(n, d))

@@ -1,0 +1,141 @@
+"""Preprocessing transforms.
+
+The UCI datasets behind Table 2 are conventionally preprocessed before
+clustering (standardization, min-max scaling); these utilities provide that
+step for users bringing their own data, plus a power-iteration PCA for
+projecting high-dimensional data (the Figure 17 dimensionality study uses
+such projections to vary ``d`` on a fixed dataset).
+
+Each transformer follows the fit/transform protocol so train-time
+statistics can be applied to held-out data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.exceptions import NotFittedError, ValidationError
+from repro.common.rng import SeedLike, ensure_rng
+from repro.common.validation import check_data_matrix
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling per feature."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = check_data_matrix(X)
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise NotFittedError("StandardScaler used before fit")
+        X = check_data_matrix(X)
+        if X.shape[1] != len(self.mean_):
+            raise ValidationError(
+                f"expected {len(self.mean_)} features, got {X.shape[1]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, Z: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise NotFittedError("StandardScaler used before fit")
+        return np.asarray(Z) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale each feature into [0, 1] (constant features map to 0)."""
+
+    def __init__(self) -> None:
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = check_data_matrix(X)
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        span[span == 0.0] = 1.0
+        self.range_ = span
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise NotFittedError("MinMaxScaler used before fit")
+        X = check_data_matrix(X)
+        if X.shape[1] != len(self.min_):
+            raise ValidationError(
+                f"expected {len(self.min_)} features, got {X.shape[1]}"
+            )
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class PCAProjector:
+    """Top-``n_components`` PCA via orthogonal power iteration.
+
+    Dependency-free (no scipy eigensolvers): repeatedly multiplies a random
+    orthonormal basis by the covariance and re-orthogonalizes (QR), which
+    converges to the leading eigenspace.
+    """
+
+    def __init__(
+        self,
+        n_components: int,
+        *,
+        iterations: int = 60,
+        seed: SeedLike = 0,
+    ) -> None:
+        if n_components < 1:
+            raise ValidationError("n_components must be >= 1")
+        self.n_components = int(n_components)
+        self.iterations = int(iterations)
+        self.seed = seed
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None  # (n_components, d)
+        self.explained_variance_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "PCAProjector":
+        X = check_data_matrix(X)
+        n, d = X.shape
+        if self.n_components > d:
+            raise ValidationError(
+                f"n_components={self.n_components} exceeds d={d}"
+            )
+        rng = ensure_rng(self.seed)
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        cov = centered.T @ centered / max(1, n - 1)
+        basis, _ = np.linalg.qr(rng.normal(size=(d, self.n_components)))
+        for _ in range(self.iterations):
+            basis, _ = np.linalg.qr(cov @ basis)
+        self.components_ = basis.T
+        self.explained_variance_ = np.einsum(
+            "ij,jk,ik->i", self.components_, cov, self.components_
+        )
+        order = np.argsort(-self.explained_variance_)
+        self.components_ = self.components_[order]
+        self.explained_variance_ = self.explained_variance_[order]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise NotFittedError("PCAProjector used before fit")
+        X = check_data_matrix(X)
+        return (X - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,28 @@
+"""Diagnostics: bound audits and trajectory comparison.
+
+Tools the evaluation framework uses to *prove* its central guarantee — that
+every accelerated method is an exact Lloyd acceleration:
+
+* :mod:`repro.diagnostics.bound_audit` re-derives every stored bound from
+  scratch after each iteration and reports violations (a soundness oracle
+  for the triangle-inequality machinery);
+* :mod:`repro.diagnostics.trajectory` records per-iteration centroids and
+  labels and locates the first divergence between two algorithms' runs.
+"""
+
+from repro.diagnostics.bound_audit import BoundAudit, audit_algorithm
+from repro.diagnostics.trajectory import (
+    Trajectory,
+    TrajectoryDivergence,
+    compare_trajectories,
+    record_trajectory,
+)
+
+__all__ = [
+    "BoundAudit",
+    "audit_algorithm",
+    "Trajectory",
+    "TrajectoryDivergence",
+    "compare_trajectories",
+    "record_trajectory",
+]

@@ -1,0 +1,171 @@
+"""Bound auditing: a soundness oracle for the pruning bounds.
+
+After every drift update (the moment stored bounds claim validity against
+the *new* centroids), the audit recomputes all point-centroid distances by
+brute force and checks each algorithm family's invariants:
+
+* upper bounds: ``ub(i) >= d(x_i, c_a(i))``;
+* Elkan:    ``lb(i, j) <= d(x_i, c_j)`` for every centroid;
+* Drift:    the same through the lazy shift, ``stored - cum_drift(j)``;
+* Hamerly (and Annular/Exponion/Vector): ``lb(i) <= min_{j != a} d(x_i, c_j)``;
+* Annular additionally: ``ub2(i) >= d(x_i, c_second(i))``;
+* Yinyang/Regroup: ``glb(i, g) <= min_{j in g, j != a(i)} d(x_i, c_j)``
+  (vacuous when the group's only member is the assigned centroid);
+* Drake: ``lbs(i, z) <= d(x_i, c_j)`` for every centroid outside
+  ``{a} ∪ order[i, :z]``.
+
+A violation is recorded, not raised, so tests can assert on the collected
+list and debugging sessions can inspect every offence at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.base import KMeansAlgorithm
+
+
+@dataclass(frozen=True)
+class BoundViolation:
+    """One audited invariant failure."""
+
+    iteration: int
+    kind: str
+    point: int
+    detail: str
+
+
+@dataclass
+class BoundAudit:
+    """Collected audit state for one run."""
+
+    tolerance: float = 1e-7
+    iterations_audited: int = 0
+    violations: List[BoundViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    # ------------------------------------------------------------------
+
+    def check(self, algorithm: KMeansAlgorithm, iteration: int) -> None:
+        """Audit ``algorithm``'s stored bounds against brute force."""
+        X = algorithm.X
+        centroids = algorithm._centroids
+        labels = algorithm._labels
+        dists = np.linalg.norm(X[:, None, :] - centroids[None, :, :], axis=2)
+        scale = float(dists.max()) if dists.size else 1.0
+        tol = self.tolerance * (1.0 + scale)
+        self.iterations_audited += 1
+
+        ub = getattr(algorithm, "_ub", None)
+        if ub is not None:
+            own = dists[np.arange(len(X)), labels]
+            for i in np.flatnonzero(ub + tol < own):
+                self._record(iteration, "ub", int(i),
+                             f"ub={ub[i]:.6g} < d_a={own[i]:.6g}")
+
+        if hasattr(algorithm, "_lb_shifted"):
+            effective = algorithm._lb_shifted - algorithm._cum_drift[None, :]
+            bad = effective > dists + tol
+            for i, j in zip(*np.nonzero(bad)):
+                self._record(iteration, "drift-lb", int(i),
+                             f"lb[{i},{j}]={effective[i, j]:.6g} > "
+                             f"d={dists[i, j]:.6g}")
+            return
+
+        lb = getattr(algorithm, "_lb", None)
+        if lb is not None and lb.ndim == 2:  # Elkan
+            bad = lb > dists + tol
+            for i, j in zip(*np.nonzero(bad)):
+                self._record(iteration, "elkan-lb", int(i),
+                             f"lb[{i},{j}]={lb[i, j]:.6g} > d={dists[i, j]:.6g}")
+        elif lb is not None:  # Hamerly family
+            masked = dists.copy()
+            masked[np.arange(len(X)), labels] = np.inf
+            second = masked.min(axis=1)
+            for i in np.flatnonzero(lb > second + tol):
+                self._record(iteration, "global-lb", int(i),
+                             f"lb={lb[i]:.6g} > second={second[i]:.6g}")
+
+        second_idx = getattr(algorithm, "_second", None)
+        ub2 = getattr(algorithm, "_ub2", None)
+        if second_idx is not None and ub2 is not None:
+            toward = dists[np.arange(len(X)), second_idx]
+            for i in np.flatnonzero(ub2 + tol < toward):
+                self._record(iteration, "annular-ub2", int(i),
+                             f"ub2={ub2[i]:.6g} < d={toward[i]:.6g}")
+
+        glb = getattr(algorithm, "_glb", None)
+        if glb is not None and getattr(algorithm, "groups", None) is not None:
+            for g, members in enumerate(algorithm.groups.members):
+                for i in range(len(X)):
+                    others = members[members != labels[i]]
+                    if len(others) == 0:
+                        continue  # vacuous bound
+                    true_min = float(dists[i, others].min())
+                    if glb[i, g] > true_min + tol:
+                        self._record(
+                            iteration, "group-lb", i,
+                            f"glb[{i},{g}]={glb[i, g]:.6g} > min={true_min:.6g}",
+                        )
+
+        lbs = getattr(algorithm, "_lbs", None)
+        order = getattr(algorithm, "_order", None)
+        if lbs is not None and order is not None:  # Drake
+            k = centroids.shape[0]
+            for i in range(len(X)):
+                excluded = {int(labels[i])}
+                for z in range(lbs.shape[1]):
+                    outside = [j for j in range(k) if j not in excluded]
+                    if outside:
+                        true_min = float(dists[i, outside].min())
+                        if lbs[i, z] > true_min + tol:
+                            self._record(
+                                iteration, "drake-lb", i,
+                                f"lbs[{i},{z}]={lbs[i, z]:.6g} > "
+                                f"min(rank>={z})={true_min:.6g}",
+                            )
+                    excluded.add(int(order[i, z]))
+
+    def _record(self, iteration: int, kind: str, point: int, detail: str) -> None:
+        self.violations.append(BoundViolation(iteration, kind, point, detail))
+
+
+def audit_algorithm(
+    algorithm: KMeansAlgorithm,
+    X: np.ndarray,
+    k: int,
+    *,
+    max_iter: int = 15,
+    seed: int = 0,
+    initial_centroids: Optional[np.ndarray] = None,
+    tolerance: float = 1e-7,
+) -> BoundAudit:
+    """Run ``algorithm.fit`` with per-iteration bound audits attached.
+
+    The audit hooks ``_update_bounds`` — the exact moment stored bounds
+    claim validity against the freshly refined centroids.
+    """
+    audit = BoundAudit(tolerance=tolerance)
+    original = algorithm._update_bounds
+    state = {"iteration": 0}
+
+    def hooked(drifts):
+        original(drifts)
+        state["iteration"] += 1
+        audit.check(algorithm, state["iteration"])
+
+    algorithm._update_bounds = hooked  # type: ignore[method-assign]
+    try:
+        algorithm.fit(
+            X, k, max_iter=max_iter, seed=seed,
+            initial_centroids=initial_centroids,
+        )
+    finally:
+        algorithm._update_bounds = original  # type: ignore[method-assign]
+    return audit

@@ -1,0 +1,105 @@
+"""Trajectory recording and divergence location.
+
+Exactness means two algorithms agree not only on the final clustering but
+on the *whole trajectory* (labels and centroids after every iteration).
+These helpers record trajectories and pinpoint the first iteration at which
+two runs diverge — the debugging tool behind the exactness test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.base import KMeansAlgorithm
+
+
+@dataclass
+class Trajectory:
+    """Per-iteration snapshots of one run."""
+
+    algorithm: str
+    labels: List[np.ndarray] = field(default_factory=list)
+    centroids: List[np.ndarray] = field(default_factory=list)
+
+    @property
+    def n_iter(self) -> int:
+        return len(self.labels)
+
+
+@dataclass(frozen=True)
+class TrajectoryDivergence:
+    """Description of the first point where two trajectories differ."""
+
+    iteration: int
+    kind: str  # "labels" | "centroids" | "length"
+    detail: str
+
+
+def record_trajectory(
+    algorithm: KMeansAlgorithm,
+    X: np.ndarray,
+    k: int,
+    *,
+    initial_centroids: Optional[np.ndarray] = None,
+    max_iter: int = 30,
+    seed: int = 0,
+) -> Trajectory:
+    """Run ``algorithm`` capturing labels/centroids after every iteration.
+
+    Hooks ``_refine`` (called exactly once per iteration, after the
+    assignment) so no algorithm cooperation is needed.
+    """
+    trajectory = Trajectory(algorithm=algorithm.name)
+    original = algorithm._refine
+
+    def hooked(iteration, previous_labels):
+        new_centroids = original(iteration, previous_labels)
+        trajectory.labels.append(algorithm._labels.copy())
+        trajectory.centroids.append(new_centroids.copy())
+        return new_centroids
+
+    algorithm._refine = hooked  # type: ignore[method-assign]
+    try:
+        algorithm.fit(
+            X, k, initial_centroids=initial_centroids,
+            max_iter=max_iter, seed=seed,
+        )
+    finally:
+        algorithm._refine = original  # type: ignore[method-assign]
+    return trajectory
+
+
+def compare_trajectories(
+    a: Trajectory,
+    b: Trajectory,
+    *,
+    centroid_atol: float = 1e-8,
+) -> Optional[TrajectoryDivergence]:
+    """First divergence between two trajectories, or ``None`` if identical.
+
+    Length differences beyond the shared prefix only count as divergence
+    when the shared prefix itself already differs is ruled out — a shorter
+    run that matches the longer run's prefix and simply converged earlier
+    is reported as a ``length`` divergence.
+    """
+    shared = min(a.n_iter, b.n_iter)
+    for t in range(shared):
+        if not np.array_equal(a.labels[t], b.labels[t]):
+            mismatches = int(np.count_nonzero(a.labels[t] != b.labels[t]))
+            return TrajectoryDivergence(
+                t, "labels", f"{mismatches} points assigned differently"
+            )
+        if not np.allclose(a.centroids[t], b.centroids[t], atol=centroid_atol):
+            gap = float(np.abs(a.centroids[t] - b.centroids[t]).max())
+            return TrajectoryDivergence(
+                t, "centroids", f"max centroid gap {gap:.3g}"
+            )
+    if a.n_iter != b.n_iter:
+        return TrajectoryDivergence(
+            shared, "length", f"{a.algorithm}: {a.n_iter} iters vs "
+            f"{b.algorithm}: {b.n_iter} iters"
+        )
+    return None

@@ -1,0 +1,220 @@
+"""Run harness: executes algorithms under identical conditions.
+
+The paper's measurement protocol (Section 7.1): run the first ten
+iterations, average over ten sets of k-means++ initial centroids, and record
+running time, pruning power, data accesses, bound accesses/updates, and
+footprint.  :func:`compare_algorithms` reproduces that protocol — every
+algorithm receives the *same* initial centroids per repeat, so differences
+are attributable to the method alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core import KnobConfig, build_algorithm, make_algorithm
+from repro.core.base import DEFAULT_MAX_ITER, KMeansAlgorithm
+from repro.core.initialization import initialize_centroids
+from repro.core.result import KMeansResult
+
+AlgorithmSpec = Union[str, KnobConfig, Callable[[], KMeansAlgorithm]]
+
+#: iteration budget used in the paper's timing experiments
+PAPER_ITER_BUDGET = 10
+
+
+@dataclass
+class RunRecord:
+    """Averaged metrics of one (algorithm, task) pair across repeats."""
+
+    algorithm: str
+    n: int
+    d: int
+    k: int
+    repeats: int
+    total_time: float
+    assignment_time: float
+    refinement_time: float
+    setup_time: float
+    sse: float
+    n_iter: float
+    pruning_ratio: float
+    distance_computations: float
+    point_accesses: float
+    node_accesses: float
+    bound_accesses: float
+    bound_updates: float
+    footprint_floats: float
+    modeled_cost: float = 0.0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        record = {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "d": self.d,
+            "k": self.k,
+            "repeats": self.repeats,
+            "total_time": self.total_time,
+            "assignment_time": self.assignment_time,
+            "refinement_time": self.refinement_time,
+            "setup_time": self.setup_time,
+            "sse": self.sse,
+            "n_iter": self.n_iter,
+            "pruning_ratio": self.pruning_ratio,
+            "distance_computations": self.distance_computations,
+            "point_accesses": self.point_accesses,
+            "node_accesses": self.node_accesses,
+            "bound_accesses": self.bound_accesses,
+            "bound_updates": self.bound_updates,
+            "footprint_floats": self.footprint_floats,
+            "modeled_cost": self.modeled_cost,
+        }
+        record.update(self.extras)
+        return record
+
+
+def _materialize(spec: AlgorithmSpec) -> KMeansAlgorithm:
+    if isinstance(spec, str):
+        return make_algorithm(spec)
+    if isinstance(spec, KnobConfig):
+        return build_algorithm(spec)
+    return spec()
+
+
+def _spec_label(spec: AlgorithmSpec) -> str:
+    if isinstance(spec, str):
+        return spec
+    if isinstance(spec, KnobConfig):
+        return spec.label
+    return _materialize(spec).name
+
+
+def run_algorithm(
+    spec: AlgorithmSpec,
+    X: np.ndarray,
+    k: int,
+    *,
+    initial_centroids: Optional[Sequence[np.ndarray]] = None,
+    repeats: int = 3,
+    max_iter: int = PAPER_ITER_BUDGET,
+    seed: int = 0,
+) -> RunRecord:
+    """Run one algorithm ``repeats`` times and average the metrics.
+
+    When ``initial_centroids`` is not given, k-means++ seeds with
+    ``seed + r`` are generated per repeat (and are identical for any other
+    algorithm run with the same arguments — the comparability guarantee).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if initial_centroids is None:
+        initial_centroids = [
+            initialize_centroids(X, k, "k-means++", seed=seed + r) for r in range(repeats)
+        ]
+    results: List[KMeansResult] = []
+    for centroids in initial_centroids:
+        algorithm = _materialize(spec)
+        results.append(
+            algorithm.fit(X, k, initial_centroids=centroids, max_iter=max_iter)
+        )
+    return _aggregate(_spec_label(spec), results)
+
+
+def _aggregate(label: str, results: List[KMeansResult]) -> RunRecord:
+    def mean(attr: Callable[[KMeansResult], float]) -> float:
+        return float(np.mean([attr(r) for r in results]))
+
+    first = results[0]
+    extras = dict(first.extras)
+    return RunRecord(
+        algorithm=label,
+        n=first.n,
+        d=first.d,
+        k=first.k,
+        repeats=len(results),
+        total_time=mean(lambda r: r.total_time),
+        assignment_time=mean(lambda r: r.assignment_time),
+        refinement_time=mean(lambda r: r.refinement_time),
+        setup_time=mean(lambda r: r.setup_time),
+        sse=mean(lambda r: r.sse),
+        n_iter=mean(lambda r: r.n_iter),
+        pruning_ratio=mean(lambda r: r.pruning_ratio),
+        distance_computations=mean(lambda r: r.counters.distance_computations),
+        point_accesses=mean(lambda r: r.counters.point_accesses),
+        node_accesses=mean(lambda r: r.counters.node_accesses),
+        bound_accesses=mean(lambda r: r.counters.bound_accesses),
+        bound_updates=mean(lambda r: r.counters.bound_updates),
+        footprint_floats=mean(lambda r: r.footprint_floats),
+        modeled_cost=mean(lambda r: r.modeled_cost),
+        extras=extras,
+    )
+
+
+def compare_algorithms(
+    specs: Iterable[AlgorithmSpec],
+    X: np.ndarray,
+    k: int,
+    *,
+    repeats: int = 3,
+    max_iter: int = PAPER_ITER_BUDGET,
+    seed: int = 0,
+) -> List[RunRecord]:
+    """Run several algorithms on the same task with shared initializations."""
+    X = np.asarray(X, dtype=np.float64)
+    initial_centroids = [
+        initialize_centroids(X, k, "k-means++", seed=seed + r) for r in range(repeats)
+    ]
+    return [
+        run_algorithm(
+            spec, X, k,
+            initial_centroids=initial_centroids,
+            repeats=repeats, max_iter=max_iter, seed=seed,
+        )
+        for spec in specs
+    ]
+
+
+def speedup_table(
+    records: List[RunRecord], baseline: str = "lloyd"
+) -> Dict[str, Dict[str, float]]:
+    """Speedups over a baseline record, wall-clock and work-based.
+
+    ``time`` is the wall-clock ratio (the paper's headline number);
+    ``work`` is the distance-computation ratio, which is hardware- and
+    language-independent and therefore the faithful cross-substrate
+    comparison (see EXPERIMENTS.md).
+    """
+    by_name = {record.algorithm: record for record in records}
+    if baseline not in by_name:
+        raise KeyError(f"baseline {baseline!r} not among records: {sorted(by_name)}")
+    base = by_name[baseline]
+    table: Dict[str, Dict[str, float]] = {}
+    for name, record in by_name.items():
+        table[name] = {
+            "time": base.total_time / record.total_time if record.total_time else float("inf"),
+            "assignment": (
+                base.assignment_time / record.assignment_time
+                if record.assignment_time
+                else float("inf")
+            ),
+            "refinement": (
+                base.refinement_time / record.refinement_time
+                if record.refinement_time
+                else float("inf")
+            ),
+            "work": (
+                base.distance_computations / record.distance_computations
+                if record.distance_computations
+                else float("inf")
+            ),
+            "cost": (
+                base.modeled_cost / record.modeled_cost
+                if record.modeled_cost
+                else float("inf")
+            ),
+            "pruning": record.pruning_ratio,
+        }
+    return table

@@ -1,0 +1,60 @@
+"""Leaderboard aggregation (Figure 12): top-1 and top-3 counts per method.
+
+Each clustering task contributes one ranking of the competing methods by
+running time (or any chosen metric); the leaderboard counts how often each
+method places first and how often it lands in the top three — the two pie
+charts of Figure 12 that justify the five-method selection pool.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Sequence
+
+from repro.eval.harness import RunRecord
+
+
+class Leaderboard:
+    """Accumulates per-task rankings and reports aggregate placements."""
+
+    def __init__(self, metric: str = "total_time", ascending: bool = True) -> None:
+        self.metric = metric
+        self.ascending = ascending
+        self.top1: Dict[str, int] = defaultdict(int)
+        self.top3: Dict[str, int] = defaultdict(int)
+        self.tasks = 0
+        self._rankings: List[List[str]] = []
+
+    def add_task(self, records: Sequence[RunRecord]) -> List[str]:
+        """Rank one task's records and update the tallies.
+
+        Returns the ranking (best first).
+        """
+        if not records:
+            raise ValueError("cannot rank an empty record list")
+        key: Callable[[RunRecord], float] = lambda r: getattr(r, self.metric)
+        ranked = sorted(records, key=key, reverse=not self.ascending)
+        names = [record.algorithm for record in ranked]
+        self.top1[names[0]] += 1
+        for name in names[:3]:
+            self.top3[name] += 1
+        self.tasks += 1
+        self._rankings.append(names)
+        return names
+
+    def ranking_of(self, task_index: int) -> List[str]:
+        return list(self._rankings[task_index])
+
+    def top1_share(self) -> Dict[str, float]:
+        """Fraction of tasks each method won (the Figure 12 'top 1' pie)."""
+        if not self.tasks:
+            return {}
+        return {name: count / self.tasks for name, count in sorted(self.top1.items())}
+
+    def top3_share(self) -> Dict[str, float]:
+        if not self.tasks:
+            return {}
+        return {name: count / self.tasks for name, count in sorted(self.top3.items())}
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {"top1": self.top1_share(), "top3": self.top3_share()}

@@ -1,0 +1,99 @@
+"""Evaluation-log store: the offline record UTune learns from.
+
+The paper trains its selector "based on our evaluation data ... using the
+offline evaluation logs" (Section 6).  :class:`EvaluationLog` is that
+artifact: an append-only JSONL-backed store of harness records with query
+and aggregation helpers, so long benchmark campaigns accumulate across
+runs and training data generation can reuse them instead of re-timing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from repro.datasets.loaders import append_jsonl, read_jsonl
+from repro.eval.harness import RunRecord
+
+PathLike = Union[str, Path]
+
+
+class EvaluationLog:
+    """Append-only store of run records with simple querying."""
+
+    def __init__(self, path: Optional[PathLike] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._records: List[Dict[str, Any]] = []
+        if self.path is not None:
+            self._records = read_jsonl(self.path)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Writing.
+    # ------------------------------------------------------------------
+
+    def add(self, record: Union[RunRecord, Dict[str, Any]], **context: Any) -> None:
+        """Append one record (harness RunRecord or plain dict) with extra
+        context keys (dataset name, seed, ...)."""
+        data = record.as_dict() if isinstance(record, RunRecord) else dict(record)
+        data.update(context)
+        self._records.append(data)
+        if self.path is not None:
+            append_jsonl(self.path, [data])
+
+    def add_many(
+        self, records: Iterable[Union[RunRecord, Dict[str, Any]]], **context: Any
+    ) -> int:
+        count = 0
+        for record in records:
+            self.add(record, **context)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Querying.
+    # ------------------------------------------------------------------
+
+    def query(self, **filters: Any) -> List[Dict[str, Any]]:
+        """Records whose fields equal every filter value.
+
+        Callable filter values act as predicates:
+        ``log.query(k=lambda k: k >= 100)``.
+        """
+        out = []
+        for record in self._records:
+            ok = True
+            for key, expected in filters.items():
+                actual = record.get(key)
+                if callable(expected):
+                    if actual is None or not expected(actual):
+                        ok = False
+                        break
+                elif actual != expected:
+                    ok = False
+                    break
+            if ok:
+                out.append(dict(record))
+        return out
+
+    def algorithms(self) -> List[str]:
+        return sorted({r.get("algorithm", "?") for r in self._records})
+
+    def mean(self, field: str, **filters: Any) -> float:
+        """Mean of a numeric field over matching records."""
+        values = [r[field] for r in self.query(**filters) if field in r]
+        if not values:
+            raise KeyError(f"no records with field {field!r} match {filters}")
+        return float(sum(values) / len(values))
+
+    def best(
+        self, field: str = "total_time", *, minimize: bool = True, **filters: Any
+    ) -> Dict[str, Any]:
+        """The matching record with the extreme value of ``field``."""
+        matching = [r for r in self.query(**filters) if field in r]
+        if not matching:
+            raise KeyError(f"no records with field {field!r} match {filters}")
+        chooser: Callable = min if minimize else max
+        return chooser(matching, key=lambda r: r[field])

@@ -1,0 +1,67 @@
+"""Parallel harness execution (the paper's "Hardware Acceleration" family).
+
+Section 2.2 lists parallelization as an acceleration orthogonal to the
+exact-pruning family.  The evaluation harness embarrassingly parallelizes
+over (algorithm, task) pairs, so :func:`parallel_compare` runs them in a
+process pool — each worker re-runs :func:`repro.eval.harness.run_algorithm`
+with identical inputs, so results are bit-identical to the serial harness
+(only wall-clock *measurement* noise differs; counters are deterministic).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.initialization import initialize_centroids
+from repro.core.knobs import KnobConfig
+from repro.eval.harness import RunRecord, run_algorithm
+
+SpecLike = Union[str, KnobConfig]
+
+
+def _worker(payload: Tuple) -> RunRecord:
+    spec, X, k, initial_centroids, repeats, max_iter, seed = payload
+    return run_algorithm(
+        spec, X, k,
+        initial_centroids=initial_centroids,
+        repeats=repeats, max_iter=max_iter, seed=seed,
+    )
+
+
+def parallel_compare(
+    specs: Iterable[SpecLike],
+    X: np.ndarray,
+    k: int,
+    *,
+    repeats: int = 2,
+    max_iter: int = 10,
+    seed: int = 0,
+    max_workers: Optional[int] = None,
+) -> List[RunRecord]:
+    """Run several algorithm specs concurrently on the same task.
+
+    Shared k-means++ initializations are generated once in the parent so
+    every worker clusters from identical centroids (the comparability
+    guarantee of the serial harness).  Only string and
+    :class:`KnobConfig` specs are accepted — factories do not pickle.
+    """
+    specs = list(specs)
+    for spec in specs:
+        if not isinstance(spec, (str, KnobConfig)):
+            raise TypeError(
+                "parallel_compare accepts algorithm names or KnobConfig "
+                f"values; got {type(spec).__name__}"
+            )
+    initial_centroids = [
+        initialize_centroids(X, k, "k-means++", seed=seed + r)
+        for r in range(repeats)
+    ]
+    payloads = [
+        (spec, X, k, initial_centroids, repeats, max_iter, seed)
+        for spec in specs
+    ]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_worker, payloads))

@@ -1,0 +1,99 @@
+"""Terminal plotting: ASCII bar charts and line series for reports.
+
+The original artifact plots its results from log files (paper §A.4); in
+this dependency-free reproduction the benchmark reports are text, so these
+helpers render the two shapes the paper's figures use — bars (speedups,
+leaderboards) and series (per-iteration times, sweeps) — directly into the
+report files.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 40,
+    title: Optional[str] = None,
+    fmt: str = "{:.3g}",
+) -> str:
+    """Horizontal ASCII bar chart; one row per labelled value."""
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    labels = list(values)
+    numbers = [float(values[label]) for label in labels]
+    peak = max(numbers)
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = [title] if title else []
+    for label, number in zip(labels, numbers):
+        if peak <= 0:
+            filled, remainder = 0, 0
+        else:
+            cells = number / peak * width
+            filled = int(cells)
+            remainder = int((cells - filled) * 8)
+        bar = "█" * filled + (_BLOCKS[remainder] if remainder else "")
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width + 1)} {fmt.format(number)}")
+    return "\n".join(lines)
+
+
+def line_series(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 12,
+    title: Optional[str] = None,
+) -> str:
+    """Scatter/line plot of one or more ``(x, y)`` series on a text grid.
+
+    Each series gets its own marker (``*+ox#@``); axes are annotated with
+    the data ranges.  Intended for qualitative shape reading (crossovers,
+    trends), matching how the paper's line figures are consumed.
+    """
+    if not series:
+        raise ValueError("line_series needs at least one series")
+    markers = "*+ox#@%&"
+    all_points = [p for points in series.values() for p in points]
+    if not all_points:
+        raise ValueError("line_series needs at least one point")
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in points:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines: List[str] = [title] if title else []
+    lines.append(f"y_max={y_hi:.3g}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"y_min={y_lo:.3g}   x: {x_lo:.3g} .. {x_hi:.3g}")
+    legend = "   ".join(
+        f"{markers[index % len(markers)]} {name}"
+        for index, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend: ▁▂▃▄▅▆▇█ scaled to the value range."""
+    blocks = "▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(
+        blocks[min(7, int((value - lo) / span * 7.999))] for value in values
+    )

@@ -1,0 +1,181 @@
+"""Clustering quality metrics.
+
+The paper's methods are exact, so they share Lloyd's SSE by construction;
+quality metrics matter for the *approximate* extensions (mini-batch,
+sampling) and for sanity-checking surrogate datasets.  Implemented from
+scratch on numpy:
+
+* :func:`sse` — the k-means objective (Equation 1);
+* :func:`silhouette_score` — mean silhouette, with optional subsampling
+  for large ``n`` (the full computation is O(n^2));
+* :func:`davies_bouldin` — average worst-case cluster similarity (lower is
+  better);
+* :func:`calinski_harabasz` — between/within dispersion ratio (higher is
+  better);
+* :func:`adjusted_rand_index` and :func:`normalized_mutual_info` — label
+  agreement between two clusterings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.exceptions import ValidationError
+from repro.common.rng import SeedLike, ensure_rng
+from repro.common.validation import check_data_matrix, check_labels
+
+
+def sse(X: np.ndarray, labels: np.ndarray, centroids: np.ndarray) -> float:
+    """Sum of squared errors to assigned centroids (Equation 1)."""
+    X = check_data_matrix(X)
+    labels = check_labels(labels, len(X), len(centroids))
+    diff = X - centroids[labels]
+    return float(np.einsum("ij,ij->", diff, diff))
+
+
+def silhouette_score(
+    X: np.ndarray,
+    labels: np.ndarray,
+    *,
+    sample_size: Optional[int] = 1000,
+    seed: SeedLike = 0,
+) -> float:
+    """Mean silhouette coefficient, optionally over a uniform subsample."""
+    X = check_data_matrix(X)
+    labels = check_labels(labels, len(X))
+    if len(set(labels.tolist())) < 2:
+        raise ValidationError("silhouette requires at least 2 clusters")
+    rng = ensure_rng(seed)
+    idx = np.arange(len(X))
+    if sample_size is not None and sample_size < len(X):
+        idx = rng.choice(len(X), size=sample_size, replace=False)
+    sample = X[idx]
+    sample_labels = labels[idx]
+    dists = np.linalg.norm(sample[:, None] - X[None, :], axis=2)
+    scores = np.empty(len(idx))
+    for pos in range(len(idx)):
+        own = labels == sample_labels[pos]
+        own_count = int(own.sum())
+        if own_count <= 1:
+            scores[pos] = 0.0
+            continue
+        # a: mean distance to the other members of the own cluster.  The
+        # sampled point itself is in ``own`` with self-distance zero, so
+        # dividing the sum by (count - 1) excludes it exactly.
+        a = dists[pos, own].sum() / (own_count - 1)
+        b = np.inf
+        for other in np.unique(labels):
+            if other == sample_labels[pos]:
+                continue
+            mask = labels == other
+            if mask.any():
+                b = min(b, float(dists[pos, mask].mean()))
+        scores[pos] = 0.0 if max(a, b) == 0 else (b - a) / max(a, b)
+    return float(scores.mean())
+
+
+def davies_bouldin(X: np.ndarray, labels: np.ndarray) -> float:
+    """Davies-Bouldin index (lower is better)."""
+    X = check_data_matrix(X)
+    labels = check_labels(labels, len(X))
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        raise ValidationError("Davies-Bouldin requires at least 2 clusters")
+    centroids = np.vstack([X[labels == c].mean(axis=0) for c in unique])
+    scatter = np.array(
+        [np.linalg.norm(X[labels == c] - centroids[i], axis=1).mean()
+         for i, c in enumerate(unique)]
+    )
+    sep = np.linalg.norm(centroids[:, None] - centroids[None, :], axis=2)
+    ratios = np.zeros(len(unique))
+    for i in range(len(unique)):
+        values = [
+            (scatter[i] + scatter[j]) / sep[i, j]
+            for j in range(len(unique))
+            if j != i and sep[i, j] > 0
+        ]
+        ratios[i] = max(values) if values else 0.0
+    return float(ratios.mean())
+
+
+def calinski_harabasz(X: np.ndarray, labels: np.ndarray) -> float:
+    """Calinski-Harabasz (variance ratio) score (higher is better)."""
+    X = check_data_matrix(X)
+    labels = check_labels(labels, len(X))
+    unique = np.unique(labels)
+    k = len(unique)
+    n = len(X)
+    if k < 2 or k >= n:
+        raise ValidationError("Calinski-Harabasz requires 2 <= k < n")
+    overall = X.mean(axis=0)
+    between = 0.0
+    within = 0.0
+    for c in unique:
+        members = X[labels == c]
+        center = members.mean(axis=0)
+        between += len(members) * float((center - overall) @ (center - overall))
+        within += float(np.einsum("ij,ij->", members - center, members - center))
+    if within == 0.0:
+        return float("inf")
+    return float((between / (k - 1)) / (within / (n - k)))
+
+
+def _contingency(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    ua, ia = np.unique(a, return_inverse=True)
+    ub, ib = np.unique(b, return_inverse=True)
+    table = np.zeros((len(ua), len(ub)), dtype=np.int64)
+    np.add.at(table, (ia, ib), 1)
+    return table
+
+
+def adjusted_rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Adjusted Rand index between two clusterings of the same points."""
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.shape != b.shape:
+        raise ValidationError("label vectors must have equal length")
+    table = _contingency(a, b)
+    n = a.size
+
+    def comb2(x):
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(table).sum()
+    sum_rows = comb2(table.sum(axis=1)).sum()
+    sum_cols = comb2(table.sum(axis=0)).sum()
+    total = comb2(np.array([n]))[0]
+    expected = sum_rows * sum_cols / total if total else 0.0
+    max_index = 0.5 * (sum_rows + sum_cols)
+    denom = max_index - expected
+    if denom == 0:
+        return 1.0
+    return float((sum_cells - expected) / denom)
+
+
+def normalized_mutual_info(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """NMI (arithmetic normalization) between two clusterings."""
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.shape != b.shape:
+        raise ValidationError("label vectors must have equal length")
+    table = _contingency(a, b).astype(float)
+    n = a.size
+    joint = table / n
+    pa = joint.sum(axis=1)
+    pb = joint.sum(axis=0)
+    nonzero = joint > 0
+    mi = float(
+        (joint[nonzero] * np.log(joint[nonzero] / np.outer(pa, pb)[nonzero])).sum()
+    )
+
+    def entropy(p):
+        p = p[p > 0]
+        return float(-(p * np.log(p)).sum())
+
+    ha, hb = entropy(pa), entropy(pb)
+    if ha == 0.0 and hb == 0.0:
+        return 1.0
+    denom = 0.5 * (ha + hb)
+    return mi / denom if denom else 0.0

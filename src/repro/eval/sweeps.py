@@ -1,0 +1,51 @@
+"""Parameter sweeps behind Figures 7, 14, 17 and 18.
+
+A sweep varies one task parameter (data scale ``n``, dimensionality ``d``,
+cluster count ``k``, leaf capacity ``f``, or generator variance) while
+holding everything else fixed, and runs a set of algorithms at each setting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.eval.harness import AlgorithmSpec, RunRecord, compare_algorithms
+
+
+def sweep_parameter(
+    values: Sequence[Any],
+    make_task: Callable[[Any], tuple],
+    specs: Iterable[AlgorithmSpec],
+    *,
+    repeats: int = 2,
+    max_iter: int = 10,
+    seed: int = 0,
+) -> Dict[Any, List[RunRecord]]:
+    """Run ``specs`` for every parameter value.
+
+    ``make_task(value)`` returns ``(X, k)`` for that setting.  Results are
+    keyed by the swept value, each a list of :class:`RunRecord`.
+    """
+    specs = list(specs)
+    out: Dict[Any, List[RunRecord]] = {}
+    for value in values:
+        X, k = make_task(value)
+        out[value] = compare_algorithms(
+            specs, np.asarray(X), k, repeats=repeats, max_iter=max_iter, seed=seed
+        )
+    return out
+
+
+def series(
+    sweep: Dict[Any, List[RunRecord]], algorithm: str, metric: str = "total_time"
+) -> List[tuple]:
+    """Extract one algorithm's metric as ``(value, metric)`` pairs."""
+    points = []
+    for value, records in sweep.items():
+        for record in records:
+            if record.algorithm == algorithm:
+                points.append((value, getattr(record, metric)))
+                break
+    return points

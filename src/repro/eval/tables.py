@@ -1,0 +1,64 @@
+"""Plain-text table rendering for the benchmark reports.
+
+The benchmark harness prints the same rows the paper's tables report;
+:func:`format_table` keeps that output aligned and diff-friendly so
+EXPERIMENTS.md can embed it verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0.0):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    cells: List[List[str]] = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_speedup_rows(
+    table: dict, order: Optional[Sequence[str]] = None
+) -> List[List[Any]]:
+    """Rows for a speedup table as produced by ``speedup_table``."""
+    names = list(order) if order is not None else sorted(table)
+    rows = []
+    for name in names:
+        entry = table[name]
+        rows.append(
+            [
+                name,
+                round(entry["time"], 2),
+                round(entry["assignment"], 2),
+                round(entry["refinement"], 2),
+                round(entry["work"], 2),
+                f"{entry['pruning']:.0%}",
+            ]
+        )
+    return rows

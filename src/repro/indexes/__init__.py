@@ -1,0 +1,55 @@
+"""Tree index substrate for index-based k-means (Section 3).
+
+Five index structures are implemented, matching the paper's Section 7.2.1
+comparison: Ball-tree, kd-tree, M-tree, Cover-tree, and the Hierarchical
+k-means tree (HKT).  All of them expose the *advanced node* of Definition 1 —
+pivot ``p``, radius ``r``, sum vector ``sv``, parent distance ``psi``, point
+count ``num`` and height ``h`` — so the UniK pipeline can assign nodes and
+points through one code path.
+"""
+
+from repro.indexes.anchors import AnchorsHierarchy
+from repro.indexes.base import MetricTree, TreeNode, TreeStats
+from repro.indexes.ball_tree import BallTree
+from repro.indexes.cover_tree import CoverTree
+from repro.indexes.hkt import HierarchicalKMeansTree
+from repro.indexes.kd_tree import KDTree
+from repro.indexes.m_tree import MTree
+
+INDEX_CLASSES = {
+    "ball-tree": BallTree,
+    "kd-tree": KDTree,
+    "m-tree": MTree,
+    "cover-tree": CoverTree,
+    "hkt": HierarchicalKMeansTree,
+    "anchors": AnchorsHierarchy,
+}
+
+
+def build_index(name: str, X, **kwargs):
+    """Build the index ``name`` over data matrix ``X``.
+
+    ``name`` is one of ``ball-tree``, ``kd-tree``, ``m-tree``, ``cover-tree``
+    or ``hkt``; extra keyword arguments are forwarded to the constructor.
+    """
+    try:
+        cls = INDEX_CLASSES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(INDEX_CLASSES))
+        raise KeyError(f"unknown index {name!r}; known indexes: {known}") from None
+    return cls(X, **kwargs)
+
+
+__all__ = [
+    "TreeNode",
+    "TreeStats",
+    "MetricTree",
+    "AnchorsHierarchy",
+    "BallTree",
+    "KDTree",
+    "MTree",
+    "CoverTree",
+    "HierarchicalKMeansTree",
+    "INDEX_CLASSES",
+    "build_index",
+]

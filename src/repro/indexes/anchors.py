@@ -1,0 +1,175 @@
+"""The Anchors Hierarchy (Moore 2000) — the paper's reference [51].
+
+Moore's construction, built "middle-out" rather than top-down:
+
+1. **Anchor growing** — start from one anchor owning every point (each
+   anchor keeps its points sorted by distance, descending).  Repeatedly
+   promote the point farthest from its anchor to a new anchor, which then
+   *steals* points closer to it.  The triangle inequality prunes the steal
+   scan: once an owner's sorted list reaches a point with
+   ``d(point, old_anchor) < d(old_anchor, new_anchor) / 2`` no later point
+   can be stolen.  About ``sqrt(n)`` anchors are grown.
+2. **Agglomeration** — anchors merge bottom-up, always the pair whose
+   merged covering ball is smallest, producing the internal binary
+   structure.
+3. **Recursion** — anchors owning more than ``capacity`` points build a
+   sub-hierarchy of their own.
+
+The result exposes the same Definition 1 nodes as every other index here,
+so it plugs into IndexKMeans and UniK unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.indexes.base import MetricTree, TreeNode, make_internal, make_leaf
+
+
+class _Anchor:
+    """A growing anchor: pivot point plus owned points sorted by distance
+    (descending, so the farthest point is first)."""
+
+    __slots__ = ("pivot_index", "points", "dists")
+
+    def __init__(self, pivot_index: int, points: np.ndarray, dists: np.ndarray):
+        order = np.argsort(-dists, kind="stable")
+        self.pivot_index = pivot_index
+        self.points = points[order]
+        self.dists = dists[order]
+
+    @property
+    def radius(self) -> float:
+        return float(self.dists[0]) if len(self.dists) else 0.0
+
+
+class AnchorsHierarchy(MetricTree):
+    """Moore's anchors hierarchy with triangle-inequality stealing."""
+
+    name = "anchors"
+
+    def _build(self) -> TreeNode:
+        indices = np.arange(len(self.X), dtype=np.intp)
+        return self._build_node(indices)
+
+    def _build_node(self, indices: np.ndarray) -> TreeNode:
+        if len(indices) <= self.capacity:
+            return make_leaf(self.X, indices, height=0)
+        anchors = self._grow_anchors(indices)
+        nonempty = [anchor for anchor in anchors if len(anchor.points)]
+        if len(nonempty) <= 1:
+            # Degenerate data (all points identical): growing cannot split.
+            return make_leaf(self.X, indices, height=0)
+        children = [self._build_node(anchor.points) for anchor in nonempty]
+        return self._agglomerate(children)
+
+    # ------------------------------------------------------------------
+    # Phase 1: anchor growing with stealing.
+    # ------------------------------------------------------------------
+
+    def _grow_anchors(self, indices: np.ndarray) -> List[_Anchor]:
+        target = max(2, int(math.ceil(math.sqrt(len(indices)))))
+        first = int(indices[0])
+        dists = self._dists(indices, self.X[first])
+        anchors = [_Anchor(first, indices.copy(), dists)]
+        while len(anchors) < target:
+            # The new anchor is the point farthest from its current anchor.
+            donor = max(anchors, key=lambda a: a.radius)
+            if donor.radius <= 0.0 or len(donor.points) <= 1:
+                break
+            new_pivot = int(donor.points[0])
+            new_anchor = self._steal(anchors, new_pivot)
+            anchors.append(new_anchor)
+        return anchors
+
+    def _steal(self, anchors: List[_Anchor], new_pivot: int) -> _Anchor:
+        """Create an anchor at ``new_pivot``, stealing closer points.
+
+        For each existing anchor, its descending-sorted list is scanned
+        from the farthest point; once ``d(point, old) < d(old, new) / 2``
+        the triangle inequality guarantees no remaining point prefers the
+        new anchor, and the scan stops without computing more distances.
+        """
+        pivot_vec = self.X[new_pivot]
+        stolen_points: List[int] = []
+        stolen_dists: List[float] = []
+        for anchor in anchors:
+            if len(anchor.points) == 0:
+                continue
+            inter = float(np.linalg.norm(self.X[anchor.pivot_index] - pivot_vec))
+            self.counters.add_distances(1)
+            threshold = inter / 2.0
+            keep_points: List[int] = []
+            keep_dists: List[float] = []
+            cut = len(anchor.dists)
+            for pos in range(len(anchor.dists)):
+                if anchor.dists[pos] < threshold:
+                    cut = pos
+                    break  # triangle inequality: nothing further can move
+                candidate = int(anchor.points[pos])
+                if candidate == new_pivot:
+                    continue  # moves to the new anchor via the final append
+                d_new = float(np.linalg.norm(self.X[candidate] - pivot_vec))
+                self.counters.add_distances(1)
+                if d_new < anchor.dists[pos] and candidate != anchor.pivot_index:
+                    stolen_points.append(candidate)
+                    stolen_dists.append(d_new)
+                else:
+                    keep_points.append(candidate)
+                    keep_dists.append(float(anchor.dists[pos]))
+            # Remainder (below threshold) stays untouched, still sorted.
+            keep_points.extend(int(p) for p in anchor.points[cut:])
+            keep_dists.extend(float(d) for d in anchor.dists[cut:])
+            anchor.points = np.asarray(keep_points, dtype=np.intp)
+            anchor.dists = np.asarray(keep_dists)
+            order = np.argsort(-anchor.dists, kind="stable")
+            anchor.points = anchor.points[order]
+            anchor.dists = anchor.dists[order]
+        return _Anchor(
+            new_pivot,
+            np.asarray(stolen_points + [new_pivot], dtype=np.intp),
+            np.asarray(stolen_dists + [0.0]),
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 2: agglomerative merging into a binary hierarchy.
+    # ------------------------------------------------------------------
+
+    def _agglomerate(self, nodes: List[TreeNode]) -> TreeNode:
+        """Merge the pair with the smallest covering ball until one root."""
+        working = list(nodes)
+        while len(working) > 1:
+            best_pair: Tuple[int, int] = (0, 1)
+            best_radius = np.inf
+            for i in range(len(working)):
+                for j in range(i + 1, len(working)):
+                    radius = self._merged_radius(working[i], working[j])
+                    if radius < best_radius:
+                        best_radius = radius
+                        best_pair = (i, j)
+            i, j = best_pair
+            merged = make_internal(
+                [working[i], working[j]],
+                1 + max(working[i].height, working[j].height),
+            )
+            working = [
+                node for pos, node in enumerate(working) if pos not in (i, j)
+            ] + [merged]
+        return working[0]
+
+    def _merged_radius(self, a: TreeNode, b: TreeNode) -> float:
+        """Covering radius of the ball around the mass-weighted mean."""
+        pivot = (a.sv + b.sv) / (a.num + b.num)
+        self.counters.add_distances(2)
+        return max(
+            float(np.linalg.norm(a.pivot - pivot)) + a.radius,
+            float(np.linalg.norm(b.pivot - pivot)) + b.radius,
+        )
+
+    def _dists(self, indices: np.ndarray, center: np.ndarray) -> np.ndarray:
+        self.counters.add_distances(len(indices))
+        diff = self.X[indices] - center
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))

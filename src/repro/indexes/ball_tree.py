@@ -1,0 +1,59 @@
+"""Ball-tree (Omohundro 1989; Uhlmann 1991) — the paper's default index.
+
+Construction uses the classic top-down two-pivot split: pick the point
+farthest from a seed, then the point farthest from it, and partition by
+proximity.  Leaves hold up to ``capacity`` points (paper default f = 30);
+every node carries the Definition 1 augmentation computed bottom-up.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.indexes.base import MetricTree, TreeNode, make_internal, make_leaf
+
+
+class BallTree(MetricTree):
+    """Augmented Ball-tree with two-way farthest-pair splits."""
+
+    name = "ball-tree"
+
+    def _build(self) -> TreeNode:
+        indices = np.arange(len(self.X), dtype=np.intp)
+        return self._build_node(indices)
+
+    def _build_node(self, indices: np.ndarray) -> TreeNode:
+        if len(indices) <= self.capacity:
+            return make_leaf(self.X, indices, height=0)
+        left_idx, right_idx = self._split(indices)
+        if len(left_idx) == 0 or len(right_idx) == 0:
+            # Degenerate split (all points identical): stop recursing.
+            return make_leaf(self.X, indices, height=0)
+        children = [self._build_node(left_idx), self._build_node(right_idx)]
+        height = 1 + max(child.height for child in children)
+        return make_internal(children, height)
+
+    def _split(self, indices: np.ndarray) -> tuple:
+        """Farthest-pair split: two passes of farthest-point search."""
+        points = self.X[indices]
+        seed = points[0]
+        d0 = self._dists(points, seed)
+        p1 = points[int(np.argmax(d0))]
+        d1 = self._dists(points, p1)
+        p2 = points[int(np.argmax(d1))]
+        d2 = self._dists(points, p2)
+        left_mask = d1 <= d2
+        # Guard against all points collapsing to one side on exact ties.
+        if left_mask.all() or not left_mask.any():
+            half = len(indices) // 2
+            order = np.argsort(d1, kind="stable")
+            left_mask = np.zeros(len(indices), dtype=bool)
+            left_mask[order[:half]] = True
+        return indices[left_mask], indices[~left_mask]
+
+    def _dists(self, points: np.ndarray, center: np.ndarray) -> np.ndarray:
+        self.counters.add_distances(len(points))
+        diff = points - center
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))

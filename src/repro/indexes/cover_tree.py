@@ -1,0 +1,92 @@
+"""Cover-tree (Beygelzimer, Kakade, Langford 2006), batch-built.
+
+This is the standard *simplified batch* construction: at each level a greedy
+cover of the current point set is selected at scale ``s`` (every point lies
+within ``s`` of some selected center, centers are pairwise > ``s`` apart in
+greedy order), points are grouped with their nearest center, and each group
+recurses at scale ``s / 2``.  The result has the cover-tree signature of
+geometrically shrinking node radii.
+
+Like the paper's Cover-tree, there is no capacity parameter: recursion stops
+when a group becomes a single (possibly duplicated) point or the scale
+collapses, and small groups become leaves directly.  Nodes are converted to
+the Definition 1 augmentation bottom-up.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.indexes.base import MetricTree, TreeNode, make_internal, make_leaf
+
+#: groups at or below this size become leaves (not a tunable capacity; just
+#: the point where further cover levels cannot help)
+_MIN_GROUP = 4
+
+
+class CoverTree(MetricTree):
+    """Simplified batch cover tree with greedy covers at halving scales."""
+
+    name = "cover-tree"
+
+    def __init__(self, X, *, capacity: int = _MIN_GROUP, counters=None) -> None:
+        # ``capacity`` kept for interface uniformity; the paper notes the
+        # cover tree has no real capacity knob, so it only bounds leaf size.
+        super().__init__(X, capacity=capacity, counters=counters)
+
+    def _build(self) -> TreeNode:
+        indices = np.arange(len(self.X), dtype=np.intp)
+        if len(indices) <= self.capacity:
+            return make_leaf(self.X, indices, height=0)
+        points = self.X[indices]
+        center = points.mean(axis=0)
+        spread = self._dists(points, center)
+        scale = float(spread.max())
+        return self._build_level(indices, scale)
+
+    def _build_level(self, indices: np.ndarray, scale: float) -> TreeNode:
+        if len(indices) <= self.capacity or scale <= 1e-12:
+            return make_leaf(self.X, indices, height=0)
+        centers = self._greedy_cover(indices, scale)
+        if len(centers) == 1:
+            # One center covers everything at this scale; descend a scale.
+            return self._build_level(indices, scale / 2.0)
+        groups = self._assign_groups(indices, centers)
+        children = [
+            self._build_level(group, scale / 2.0) for group in groups if len(group)
+        ]
+        if len(children) == 1:
+            return children[0]
+        height = 1 + max(child.height for child in children)
+        return make_internal(children, height)
+
+    def _greedy_cover(self, indices: np.ndarray, scale: float) -> np.ndarray:
+        """Greedy scale-``scale`` cover of ``X[indices]`` (center indices)."""
+        points = self.X[indices]
+        uncovered = np.ones(len(indices), dtype=bool)
+        centers: List[int] = []
+        while uncovered.any():
+            pick = int(np.argmax(uncovered))  # first uncovered point
+            centers.append(pick)
+            dists = self._dists(points[uncovered], points[pick])
+            still = np.flatnonzero(uncovered)
+            uncovered[still[dists <= scale]] = False
+        return np.asarray(centers, dtype=np.intp)
+
+    def _assign_groups(
+        self, indices: np.ndarray, centers: np.ndarray
+    ) -> List[np.ndarray]:
+        points = self.X[indices]
+        center_points = points[centers]
+        self.counters.add_distances(len(points) * len(centers))
+        diff = points[:, None, :] - center_points[None, :, :]
+        dists = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        nearest = np.argmin(dists, axis=1)
+        return [indices[nearest == g] for g in range(len(centers))]
+
+    def _dists(self, points: np.ndarray, center: np.ndarray) -> np.ndarray:
+        self.counters.add_distances(len(points))
+        diff = points - center
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))

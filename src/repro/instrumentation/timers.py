@@ -1,0 +1,62 @@
+"""Phase timing for the assignment/refinement breakdown (Tables 8 and 9)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase, per iteration.
+
+    Usage::
+
+        timer = PhaseTimer()
+        timer.start_iteration()
+        with timer.phase("assignment"):
+            ...
+        with timer.phase("refinement"):
+            ...
+
+    ``totals`` gives the per-phase sums; ``iterations`` gives the per-phase
+    time for each iteration, which backs Figure 13 (running time per
+    iteration).
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._iterations: List[Dict[str, float]] = []
+
+    def start_iteration(self) -> None:
+        self._iterations.append({})
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        begin = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - begin
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            if self._iterations:
+                current = self._iterations[-1]
+                current[name] = current.get(name, 0.0) + elapsed
+
+    @property
+    def totals(self) -> Dict[str, float]:
+        return dict(self._totals)
+
+    @property
+    def iterations(self) -> List[Dict[str, float]]:
+        return [dict(entry) for entry in self._iterations]
+
+    def total(self, name: str) -> float:
+        return self._totals.get(name, 0.0)
+
+    def iteration_total(self, index: int) -> float:
+        """Total time across phases for iteration ``index``."""
+        return sum(self._iterations[index].values())
+
+    def grand_total(self) -> float:
+        return sum(self._totals.values())

@@ -1,0 +1,65 @@
+"""UTune: automatic algorithm selection for fast k-means (Section 6).
+
+Pipeline: :func:`generate_ground_truth` labels clustering tasks by timing
+candidate knob configurations (full or selective running, Algorithm 2);
+:class:`UTune` trains two classifiers on Table 1 meta-features and predicts
+a :class:`~repro.core.knobs.KnobConfig` for a new task; accuracy is scored
+by mean reciprocal rank (Equation 13) against the rule-based BDT baseline.
+"""
+
+from repro.tuning.bdt import bdt_predict, bdt_predict_labels
+from repro.tuning.features import (
+    FEATURE_SETS,
+    TaskFeatures,
+    extract_features,
+    feature_names,
+)
+from repro.tuning.knob_search import (
+    SearchResult,
+    enumerate_configurations,
+    exhaustive_search,
+    random_search,
+)
+from repro.tuning.mrr import mean_reciprocal_rank, reciprocal_rank
+from repro.tuning.profiling import (
+    extract_profile_features,
+    hopkins_statistic,
+    nn_distance_profile,
+    variance_ratio,
+)
+from repro.tuning.training import (
+    FULL_BOUND_POOL,
+    INDEX_OPTIONS,
+    GroundTruthRecord,
+    generate_ground_truth,
+    label_task,
+    records_to_training_arrays,
+)
+from repro.tuning.utune import UTune, evaluate_bdt
+
+__all__ = [
+    "FEATURE_SETS",
+    "FULL_BOUND_POOL",
+    "INDEX_OPTIONS",
+    "GroundTruthRecord",
+    "TaskFeatures",
+    "UTune",
+    "bdt_predict",
+    "bdt_predict_labels",
+    "evaluate_bdt",
+    "extract_features",
+    "feature_names",
+    "generate_ground_truth",
+    "label_task",
+    "mean_reciprocal_rank",
+    "reciprocal_rank",
+    "records_to_training_arrays",
+    "SearchResult",
+    "enumerate_configurations",
+    "exhaustive_search",
+    "random_search",
+    "extract_profile_features",
+    "hopkins_statistic",
+    "nn_distance_profile",
+    "variance_ratio",
+]

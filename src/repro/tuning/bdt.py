@@ -1,0 +1,33 @@
+"""BDT — the rule-based basic decision tree baseline (paper Figure 5).
+
+Encodes the folklore selection rules the paper sets out to beat:
+
+* low-dimensional data (``d < 20``) → use the index-based method;
+* otherwise big ``k`` (``k >= 50``) → Yinyang;
+* otherwise → Hamerly (the paper notes Yinyang with ``t = 1`` *is* Hamerly
+  for small ``k``).
+
+UTune's learned models are evaluated against this baseline in Table 5,
+where BDT lands around 0.4 MRR.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.knobs import KnobConfig
+
+
+def bdt_predict(n: int, k: int, d: int) -> KnobConfig:
+    """Predict a knob configuration from the folklore rules."""
+    if d < 20:
+        return KnobConfig(index="pure")
+    if k >= 50:
+        return KnobConfig(bound="yinyang", index="none")
+    return KnobConfig(bound="hamerly", index="none")
+
+
+def bdt_predict_labels(n: int, k: int, d: int) -> Tuple[str, str]:
+    """The (bound, index) knob labels of the BDT prediction."""
+    config = bdt_predict(n, k, d)
+    return config.bound, config.index

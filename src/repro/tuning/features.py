@@ -1,0 +1,135 @@
+"""Meta-feature extraction (paper Table 1).
+
+Three cumulative feature groups describe a clustering task:
+
+* **basic** — ``n``, ``k``, ``d``;
+* **tree** — Ball-tree shape: height (normalized by ``log2(n/f)``),
+  internal/leaf node counts (normalized by ``n/f``), and the tree imbalance
+  (mean/std of leaf heights, same normalizer);
+* **leaf** — leaf geometry: mean/std of leaf radii and parent distances
+  (normalized by the root radius) and of leaf occupancy (normalized by the
+  capacity ``f``).
+
+The index construction "conducts a more in-depth scanning of the data and
+reveals whether the data assemble well" (Section 6.1) — these features are
+the signal UTune reads from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import math
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.indexes.ball_tree import BallTree
+from repro.indexes.base import MetricTree
+
+FEATURE_SETS = ("basic", "tree", "leaf", "profile")
+
+BASIC_FEATURES = ("n", "k", "d")
+TREE_FEATURES = ("tree_height", "n_internal", "n_leaves", "height_mean", "height_std")
+LEAF_FEATURES = (
+    "leaf_radius_mean",
+    "leaf_radius_std",
+    "leaf_psi_mean",
+    "leaf_psi_std",
+    "leaf_size_mean",
+    "leaf_size_std",
+)
+#: sampled data-profiling features (Section A.5 extension); see
+#: :mod:`repro.tuning.profiling`
+PROFILE_FEATURES = (
+    "hopkins",
+    "nn_dist_mean",
+    "nn_dist_cv",
+    "variance_ratio",
+)
+
+
+def feature_names(feature_set: str = "leaf") -> Tuple[str, ...]:
+    """Names of the features in a cumulative feature set."""
+    if feature_set not in FEATURE_SETS:
+        raise ConfigurationError(
+            f"feature_set must be one of {FEATURE_SETS}, got {feature_set!r}"
+        )
+    names: Tuple[str, ...] = BASIC_FEATURES
+    if feature_set in ("tree", "leaf", "profile"):
+        names = names + TREE_FEATURES
+    if feature_set in ("leaf", "profile"):
+        names = names + LEAF_FEATURES
+    if feature_set == "profile":
+        names = names + PROFILE_FEATURES
+    return names
+
+
+@dataclass(frozen=True)
+class TaskFeatures:
+    """Full feature dictionary of one clustering task."""
+
+    values: Dict[str, float]
+
+    def vector(self, feature_set: str = "leaf") -> np.ndarray:
+        names = feature_names(feature_set)
+        missing = [name for name in names if name not in self.values]
+        if missing:
+            raise ConfigurationError(
+                f"features {missing} not extracted; pass profile=True to "
+                "extract_features for the 'profile' set"
+            )
+        return np.asarray([self.values[name] for name in names])
+
+
+def extract_features(
+    X: np.ndarray,
+    k: int,
+    *,
+    tree: Optional[MetricTree] = None,
+    capacity: int = 30,
+    profile: bool = False,
+    profile_seed: int = 0,
+) -> TaskFeatures:
+    """Extract all Table 1 features for clustering ``X`` into ``k`` clusters.
+
+    A Ball-tree is built when ``tree`` is not supplied; pass a prebuilt tree
+    to reuse it (UTune and UniK share one build).  ``profile=True``
+    additionally extracts the sampled data-profiling features of
+    :mod:`repro.tuning.profiling` (the Section A.5 extension), costing a
+    few hundred k-NN queries.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    n, d = X.shape
+    if tree is None:
+        tree = BallTree(X, capacity=capacity)
+    stats = tree.stats()
+    f = float(tree.capacity)
+    # Normalizers from Table 1; guard degenerate trees (tiny n).
+    log_norm = max(1.0, math.log2(max(2.0, n / f)))
+    count_norm = max(1.0, n / f)
+    radius_norm = stats.root_radius if stats.root_radius > 0 else 1.0
+    values: Dict[str, float] = {
+        "n": float(n),
+        "k": float(k),
+        "d": float(d),
+        "tree_height": stats.height / log_norm,
+        "n_internal": stats.n_internal / count_norm,
+        "n_leaves": stats.n_leaves / count_norm,
+        "height_mean": stats.leaf_height_mean / log_norm,
+        "height_std": stats.leaf_height_std / log_norm,
+        "leaf_radius_mean": stats.leaf_radius_mean / radius_norm,
+        "leaf_radius_std": stats.leaf_radius_std / radius_norm,
+        "leaf_psi_mean": stats.leaf_psi_mean / radius_norm,
+        "leaf_psi_std": stats.leaf_psi_std / radius_norm,
+        "leaf_size_mean": stats.leaf_size_mean / f,
+        "leaf_size_std": stats.leaf_size_std / f,
+    }
+    if profile:
+        from repro.tuning.profiling import extract_profile_features
+
+        values.update(
+            extract_profile_features(X, tree=tree, seed=profile_seed)
+        )
+    return TaskFeatures(values)

@@ -1,0 +1,152 @@
+"""Configuration-knob discovery (paper Section A.5).
+
+The paper notes that the tested algorithms cover "only a tiny proportion"
+of the knob space Theta and that new combinations "will form new algorithms
+that can be potentially fast for a certain group of clustering tasks".
+This module searches that space:
+
+* :func:`enumerate_configurations` — the full cross product of bound knobs,
+  index traversals, capacities and the block filter;
+* :func:`random_search` — evaluate a random subset on a task and return
+  configurations ranked by the chosen metric;
+* :func:`exhaustive_search` — small-space variant for careful studies.
+
+Found configurations are plain :class:`~repro.core.knobs.KnobConfig`
+values, so they feed straight into UTune's ground-truth pool.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.rng import SeedLike, ensure_rng
+from repro.core.knobs import INDEX_KNOBS, SELECTION_POOL, KnobConfig
+from repro.eval.harness import run_algorithm
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One evaluated configuration."""
+
+    config: KnobConfig
+    metric_value: float
+    total_time: float
+    pruning_ratio: float
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.config.label,
+            "bound": self.config.bound,
+            "index": self.config.index,
+            "capacity": self.config.capacity,
+            "block_filter": self.config.block_filter,
+            "metric_value": self.metric_value,
+            "total_time": self.total_time,
+            "pruning_ratio": self.pruning_ratio,
+        }
+
+
+def enumerate_configurations(
+    *,
+    bounds: Sequence[str] = SELECTION_POOL,
+    indexes: Sequence[str] = ("none", "pure", "single", "multiple"),
+    capacities: Sequence[int] = (30,),
+    block_filters: Sequence[bool] = (False, True),
+) -> List[KnobConfig]:
+    """Cross product of knob values, with incoherent combos removed.
+
+    The block filter only matters inside UniK traversals, and the bound
+    knob is ignored by pure-index runs, so those duplicates are dropped.
+    """
+    configs: List[KnobConfig] = []
+    seen = set()
+    for index in indexes:
+        for capacity in capacities:
+            for block in block_filters:
+                if index in ("none", "pure") and block:
+                    continue  # the filter has no effect there
+                for bound in bounds:
+                    if index == "pure":
+                        key = (index, capacity)  # bound irrelevant
+                    else:
+                        key = (bound, index, capacity, block)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    configs.append(
+                        KnobConfig(
+                            bound=bound, index=index,
+                            capacity=capacity, block_filter=block,
+                        )
+                    )
+    return configs
+
+
+def _evaluate(
+    config: KnobConfig,
+    X: np.ndarray,
+    k: int,
+    metric: str,
+    max_iter: int,
+    repeats: int,
+    seed: int,
+) -> SearchResult:
+    record = run_algorithm(
+        config, X, k, repeats=repeats, max_iter=max_iter, seed=seed
+    )
+    return SearchResult(
+        config=config,
+        metric_value=float(getattr(record, metric)),
+        total_time=record.total_time,
+        pruning_ratio=record.pruning_ratio,
+    )
+
+
+def exhaustive_search(
+    X: np.ndarray,
+    k: int,
+    configs: Optional[Iterable[KnobConfig]] = None,
+    *,
+    metric: str = "modeled_cost",
+    max_iter: int = 6,
+    repeats: int = 1,
+    seed: int = 0,
+) -> List[SearchResult]:
+    """Evaluate every configuration; return results best-first."""
+    configs = list(configs) if configs is not None else enumerate_configurations()
+    results = [
+        _evaluate(config, X, k, metric, max_iter, repeats, seed)
+        for config in configs
+    ]
+    return sorted(results, key=lambda r: r.metric_value)
+
+
+def random_search(
+    X: np.ndarray,
+    k: int,
+    *,
+    budget: int = 10,
+    metric: str = "modeled_cost",
+    max_iter: int = 6,
+    repeats: int = 1,
+    seed: SeedLike = 0,
+    capacities: Sequence[int] = (10, 30, 60, 120),
+) -> List[SearchResult]:
+    """Sample ``budget`` configurations from the extended space.
+
+    The extended space varies capacity and the block filter in addition to
+    the bound/index knobs — combinations the paper's evaluation never ran.
+    """
+    rng = ensure_rng(seed)
+    space = enumerate_configurations(capacities=tuple(capacities))
+    budget = min(budget, len(space))
+    chosen = rng.choice(len(space), size=budget, replace=False)
+    results = [
+        _evaluate(space[int(idx)], X, k, metric, max_iter, repeats, 0)
+        for idx in chosen
+    ]
+    return sorted(results, key=lambda r: r.metric_value)

@@ -1,0 +1,56 @@
+"""From-scratch classifiers used by UTune (paper Table 5).
+
+The original study trains scikit-learn models; this offline reproduction
+implements the same model classes directly on numpy:
+
+* :class:`DecisionTreeClassifier` — CART with Gini impurity,
+* :class:`RandomForestClassifier` — bagged trees with feature subsampling,
+* :class:`KNeighborsClassifier` — distance-vote kNN,
+* :class:`LinearSVMClassifier` — one-vs-rest linear SVM (subgradient hinge),
+* :class:`RidgeClassifier` — closed-form regularized least squares on
+  one-hot targets.
+
+Every model exposes ``decision_scores`` so predictions can be *ranked*,
+which the MRR metric (Equation 13) requires.
+"""
+
+from repro.tuning.models.base import Classifier, LabelEncoder
+from repro.tuning.models.decision_tree import DecisionTreeClassifier
+from repro.tuning.models.knn import KNeighborsClassifier
+from repro.tuning.models.metrics import accuracy_score, confusion_matrix
+from repro.tuning.models.random_forest import RandomForestClassifier
+from repro.tuning.models.ridge import RidgeClassifier
+from repro.tuning.models.svm import LinearSVMClassifier
+
+MODEL_CLASSES = {
+    "dt": DecisionTreeClassifier,
+    "rf": RandomForestClassifier,
+    "knn": KNeighborsClassifier,
+    "svm": LinearSVMClassifier,
+    "rc": RidgeClassifier,
+}
+
+
+def make_model(name: str, **kwargs) -> Classifier:
+    """Instantiate a classifier by its Table 5 abbreviation."""
+    try:
+        cls = MODEL_CLASSES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_CLASSES))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Classifier",
+    "LabelEncoder",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "KNeighborsClassifier",
+    "LinearSVMClassifier",
+    "RidgeClassifier",
+    "MODEL_CLASSES",
+    "make_model",
+    "accuracy_score",
+    "confusion_matrix",
+]

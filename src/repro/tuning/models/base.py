@@ -1,0 +1,98 @@
+"""Classifier protocol and label encoding."""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.exceptions import NotFittedError, ValidationError
+
+
+class LabelEncoder:
+    """Maps arbitrary hashable labels to contiguous integer codes."""
+
+    def __init__(self) -> None:
+        self.classes_: Optional[List] = None
+
+    def fit(self, labels: Sequence) -> "LabelEncoder":
+        self.classes_ = sorted(set(labels), key=str)
+        self._index = {label: idx for idx, label in enumerate(self.classes_)}
+        return self
+
+    def transform(self, labels: Sequence) -> np.ndarray:
+        if self.classes_ is None:
+            raise NotFittedError("LabelEncoder used before fit")
+        try:
+            return np.asarray([self._index[label] for label in labels], dtype=np.intp)
+        except KeyError as exc:
+            raise ValidationError(f"unseen label {exc.args[0]!r}") from exc
+
+    def fit_transform(self, labels: Sequence) -> np.ndarray:
+        return self.fit(labels).transform(labels)
+
+    def inverse_transform(self, codes: np.ndarray) -> List:
+        if self.classes_ is None:
+            raise NotFittedError("LabelEncoder used before fit")
+        return [self.classes_[int(code)] for code in codes]
+
+    @property
+    def n_classes(self) -> int:
+        if self.classes_ is None:
+            raise NotFittedError("LabelEncoder used before fit")
+        return len(self.classes_)
+
+
+class Classifier(abc.ABC):
+    """Common protocol: fit / predict / decision_scores / rank."""
+
+    def __init__(self) -> None:
+        self.encoder = LabelEncoder()
+        self._fitted = False
+
+    def fit(self, X: np.ndarray, y: Sequence) -> "Classifier":
+        X = self._check_X(X)
+        codes = self.encoder.fit_transform(y)
+        if len(X) != len(codes):
+            raise ValidationError(
+                f"X has {len(X)} rows but y has {len(codes)} labels"
+            )
+        self._fit(X, codes)
+        self._fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> List:
+        scores = self.decision_scores(X)
+        return self.encoder.inverse_transform(np.argmax(scores, axis=1))
+
+    def decision_scores(self, X: np.ndarray) -> np.ndarray:
+        """Per-class scores, shape ``(n, n_classes)``; higher is better."""
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} used before fit")
+        return self._scores(self._check_X(X))
+
+    def rank(self, X: np.ndarray) -> List[List]:
+        """Classes ranked best-first for each row — the MRR input."""
+        scores = self.decision_scores(X)
+        order = np.argsort(-scores, axis=1, kind="stable")
+        return [self.encoder.inverse_transform(row) for row in order]
+
+    @abc.abstractmethod
+    def _fit(self, X: np.ndarray, codes: np.ndarray) -> None:
+        """Train on encoded labels."""
+
+    @abc.abstractmethod
+    def _scores(self, X: np.ndarray) -> np.ndarray:
+        """Per-class decision scores for validated input."""
+
+    @staticmethod
+    def _check_X(X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if X.ndim != 2:
+            raise ValidationError(f"X must be 2-D, got ndim={X.ndim}")
+        if not np.isfinite(X).all():
+            raise ValidationError("X contains NaN or infinite values")
+        return X

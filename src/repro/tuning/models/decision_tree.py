@@ -1,0 +1,135 @@
+"""CART decision tree with Gini impurity.
+
+The paper's best-performing selector is a depth-10 decision tree
+(Section 7.3.1); ``max_depth`` defaults to 10 accordingly.  Splits are
+axis-aligned thresholds chosen by exhaustive scan over midpoints of sorted
+unique feature values, with class-count prefix sums so each feature costs
+O(n log n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.tuning.models.base import Classifier
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    proba: Optional[np.ndarray] = None  # leaf class distribution
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.proba is not None
+
+
+def _gini_from_counts(counts: np.ndarray, total: float) -> float:
+    if total <= 0:
+        return 0.0
+    p = counts / total
+    return 1.0 - float(p @ p)
+
+
+class DecisionTreeClassifier(Classifier):
+    """Gini-split CART classifier."""
+
+    def __init__(
+        self,
+        max_depth: int = 10,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.seed = seed
+        self._root: Optional[_Node] = None
+
+    def _fit(self, X: np.ndarray, codes: np.ndarray) -> None:
+        self._n_classes = self.encoder.n_classes
+        self._rng = np.random.default_rng(self.seed)
+        self._root = self._grow(X, codes, depth=0)
+
+    def _grow(self, X: np.ndarray, codes: np.ndarray, depth: int) -> _Node:
+        counts = np.bincount(codes, minlength=self._n_classes).astype(float)
+        if (
+            depth >= self.max_depth
+            or len(codes) < self.min_samples_split
+            or np.count_nonzero(counts) <= 1
+        ):
+            return _Node(proba=counts / counts.sum())
+        split = self._best_split(X, codes, counts)
+        if split is None:
+            return _Node(proba=counts / counts.sum())
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        left = self._grow(X[mask], codes[mask], depth + 1)
+        right = self._grow(X[~mask], codes[~mask], depth + 1)
+        return _Node(feature=feature, threshold=threshold, left=left, right=right)
+
+    def _best_split(
+        self, X: np.ndarray, codes: np.ndarray, counts: np.ndarray
+    ) -> Optional[tuple]:
+        n, d = X.shape
+        parent_gini = _gini_from_counts(counts, float(n))
+        best_gain = 1e-12
+        best = None
+        if self.max_features is not None and self.max_features < d:
+            features = self._rng.choice(d, size=self.max_features, replace=False)
+        else:
+            features = np.arange(d)
+        for feature in features:
+            order = np.argsort(X[:, feature], kind="stable")
+            values = X[order, feature]
+            sorted_codes = codes[order]
+            onehot = np.zeros((n, self._n_classes))
+            onehot[np.arange(n), sorted_codes] = 1.0
+            prefix = np.cumsum(onehot, axis=0)
+            # Candidate cut after position i (1-based count i+1 on the left);
+            # only where the value actually changes.
+            cuts = np.flatnonzero(values[:-1] < values[1:])
+            for cut in cuts:
+                n_left = cut + 1
+                n_right = n - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                left_counts = prefix[cut]
+                right_counts = counts - left_counts
+                gini = (
+                    n_left * _gini_from_counts(left_counts, n_left)
+                    + n_right * _gini_from_counts(right_counts, n_right)
+                ) / n
+                gain = parent_gini - gini
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feature), float((values[cut] + values[cut + 1]) / 2.0))
+        return best
+
+    def _scores(self, X: np.ndarray) -> np.ndarray:
+        out = np.empty((len(X), self._n_classes))
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.proba
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root) if self._root is not None else 0

@@ -1,0 +1,53 @@
+"""Basic classification metrics for model evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def accuracy_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Fraction of exact matches."""
+    if len(y_true) != len(y_pred):
+        raise ValueError("y_true and y_pred must have the same length")
+    if not len(y_true):
+        return 0.0
+    return sum(a == b for a, b in zip(y_true, y_pred)) / len(y_true)
+
+
+def confusion_matrix(
+    y_true: Sequence, y_pred: Sequence
+) -> Tuple[np.ndarray, List]:
+    """Confusion matrix and the label order it uses."""
+    labels = sorted(set(y_true) | set(y_pred), key=str)
+    index: Dict = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for truth, pred in zip(y_true, y_pred):
+        matrix[index[truth], index[pred]] += 1
+    return matrix, labels
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: Sequence,
+    *,
+    test_fraction: float = 0.3,
+    seed: int = 0,
+) -> Tuple[np.ndarray, list, np.ndarray, list]:
+    """Shuffled split, 70/30 by default (the paper's protocol)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    n = len(X)
+    order = rng.permutation(n)
+    cut = max(1, int(round(n * (1.0 - test_fraction))))
+    cut = min(cut, n - 1)
+    train_idx, test_idx = order[:cut], order[cut:]
+    y = list(y)
+    return (
+        X[train_idx],
+        [y[i] for i in train_idx],
+        X[test_idx],
+        [y[i] for i in test_idx],
+    )

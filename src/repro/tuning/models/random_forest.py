@@ -1,0 +1,68 @@
+"""Random forest: bootstrap-bagged Gini trees with feature subsampling."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.tuning.models.base import Classifier
+from repro.tuning.models.decision_tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(Classifier):
+    """Averaged ensemble of randomized decision trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int = 10,
+        min_samples_leaf: int = 1,
+        max_features: Optional[str] = "sqrt",
+        seed: Optional[int] = 0,
+    ) -> None:
+        super().__init__()
+        self.n_estimators = int(n_estimators)
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: List[DecisionTreeClassifier] = []
+
+    def _resolve_max_features(self, d: int) -> Optional[int]:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        if self.max_features == "log2":
+            return max(1, int(np.log2(d)))
+        return max(1, min(int(self.max_features), d))
+
+    def _fit(self, X: np.ndarray, codes: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        n, d = X.shape
+        self._n_classes = self.encoder.n_classes
+        max_features = self._resolve_max_features(d)
+        self._trees = []
+        for _ in range(self.n_estimators):
+            sample = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            # Fit on encoded codes directly: reuse the outer encoder so all
+            # trees share one class space even if a bootstrap misses a class.
+            tree.encoder = self.encoder
+            tree._n_classes = self._n_classes
+            tree._rng = np.random.default_rng(tree.seed)
+            tree._root = tree._grow(X[sample], codes[sample], depth=0)
+            tree._fitted = True
+            self._trees.append(tree)
+
+    def _scores(self, X: np.ndarray) -> np.ndarray:
+        total = np.zeros((len(X), self._n_classes))
+        for tree in self._trees:
+            total += tree._scores(X)
+        return total / len(self._trees)

@@ -1,0 +1,107 @@
+"""Pairwise ranking model — the paper's future-work direction realized.
+
+Section A.5 ("New ML Models to be Adopted") observes that the classifiers
+of Table 5 optimize exact-match loss while the evaluation metric is MRR,
+and proposes "designing a specific machine learning model with a loss
+function like MRR".  :class:`PairwiseRanker` does that: a linear scoring
+model per configuration trained with the pairwise logistic (RankNet-style)
+loss over the *full ground-truth rankings*, so every position in the
+ranking — not only the winner — shapes the decision boundary.
+
+Unlike the classifiers it consumes rankings at fit time, which UTune feeds
+it when constructed with ``model="ranker"``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.common.exceptions import NotFittedError, ValidationError
+
+
+class PairwiseRanker:
+    """Linear per-class scorer trained with pairwise logistic loss."""
+
+    def __init__(
+        self,
+        epochs: int = 300,
+        learning_rate: float = 0.05,
+        l2: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        self.epochs = int(epochs)
+        self.learning_rate = float(learning_rate)
+        self.l2 = float(l2)
+        self.seed = seed
+        self.classes_: List = []
+        self._W: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Training.
+    # ------------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, rankings: Sequence[Sequence]) -> "PairwiseRanker":
+        """Fit from feature rows and their ground-truth rankings.
+
+        ``rankings[i]`` lists configurations best-first for row ``i``;
+        partial rankings (selective running) are supported — only observed
+        pairs contribute loss.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or len(X) != len(rankings):
+            raise ValidationError("X and rankings must align, X must be 2-D")
+        self.classes_ = sorted({label for ranking in rankings for label in ranking}, key=str)
+        index = {label: i for i, label in enumerate(self.classes_)}
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0
+        self._std = std
+        Z = np.hstack([(X - self._mean) / self._std, np.ones((len(X), 1))])
+        n, d = Z.shape
+        c = len(self.classes_)
+        rng = np.random.default_rng(self.seed)
+        W = rng.normal(0.0, 0.01, size=(c, d))
+        pairs = []  # (row, better_class, worse_class)
+        for row, ranking in enumerate(rankings):
+            codes = [index[label] for label in ranking]
+            for pos, better in enumerate(codes):
+                for worse in codes[pos + 1 :]:
+                    pairs.append((row, better, worse))
+        pairs = np.asarray(pairs, dtype=np.intp)
+        if len(pairs) == 0:
+            self._W = W
+            return self
+        for epoch in range(self.epochs):
+            eta = self.learning_rate / (1.0 + 0.01 * epoch)
+            order = rng.permutation(len(pairs))
+            for row, better, worse in pairs[order]:
+                z = Z[row]
+                margin = float((W[better] - W[worse]) @ z)
+                # d/dmargin log(1 + exp(-margin)) = -sigmoid(-margin)
+                grad = -1.0 / (1.0 + np.exp(margin))
+                W[better] -= eta * (grad * z + self.l2 * W[better])
+                W[worse] -= eta * (-grad * z + self.l2 * W[worse])
+        self._W = W
+        return self
+
+    # ------------------------------------------------------------------
+    # Prediction (classifier-compatible surface).
+    # ------------------------------------------------------------------
+
+    def decision_scores(self, X: np.ndarray) -> np.ndarray:
+        if self._W is None:
+            raise NotFittedError("PairwiseRanker used before fit")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        Z = np.hstack([(X - self._mean) / self._std, np.ones((len(X), 1))])
+        return Z @ self._W.T
+
+    def predict(self, X: np.ndarray) -> List:
+        scores = self.decision_scores(X)
+        return [self.classes_[int(i)] for i in np.argmax(scores, axis=1)]
+
+    def rank(self, X: np.ndarray) -> List[List]:
+        scores = self.decision_scores(X)
+        order = np.argsort(-scores, axis=1, kind="stable")
+        return [[self.classes_[int(i)] for i in row] for row in order]

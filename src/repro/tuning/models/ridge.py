@@ -1,0 +1,37 @@
+"""Ridge classifier: closed-form L2-regularized least squares on one-hot
+targets (scikit-learn's ``RidgeClassifier`` equivalent)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tuning.models.base import Classifier
+
+
+class RidgeClassifier(Classifier):
+    """One-hot ridge regression; scores are the regression outputs."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        super().__init__()
+        self.alpha = float(alpha)
+
+    def _fit(self, X: np.ndarray, codes: np.ndarray) -> None:
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0
+        self._std = std
+        Z = (X - self._mean) / self._std
+        n, d = Z.shape
+        n_classes = self.encoder.n_classes
+        # Targets in {-1, +1}, matching RidgeClassifier's label coding.
+        Y = -np.ones((n, n_classes))
+        Y[np.arange(n), codes] = 1.0
+        A = np.hstack([Z, np.ones((n, 1))])
+        gram = A.T @ A + self.alpha * np.eye(d + 1)
+        gram[-1, -1] -= self.alpha  # do not regularize the intercept
+        self._coef = np.linalg.solve(gram, A.T @ Y)
+
+    def _scores(self, X: np.ndarray) -> np.ndarray:
+        Z = (X - self._mean) / self._std
+        A = np.hstack([Z, np.ones((len(Z), 1))])
+        return A @ self._coef

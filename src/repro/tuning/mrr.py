@@ -1,0 +1,36 @@
+"""Mean reciprocal rank (Equation 13).
+
+For each test record the ground truth is a *ranking* of configurations
+(fastest first); the model emits one prediction; the score contribution is
+``1 / rank`` of that prediction inside the ground-truth ranking.  A
+prediction absent from the ranking contributes 0 (rank = infinity).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence
+
+
+def reciprocal_rank(ranking: Sequence[Hashable], prediction: Hashable) -> float:
+    """``1 / rank`` of ``prediction`` in ``ranking`` (1-based); 0 if absent."""
+    for position, item in enumerate(ranking, start=1):
+        if item == prediction:
+            return 1.0 / position
+    return 0.0
+
+
+def mean_reciprocal_rank(
+    rankings: Sequence[Sequence[Hashable]], predictions: Sequence[Hashable]
+) -> float:
+    """MRR over a test set of (ground-truth ranking, prediction) pairs."""
+    if len(rankings) != len(predictions):
+        raise ValueError(
+            f"{len(rankings)} rankings but {len(predictions)} predictions"
+        )
+    if not rankings:
+        return 0.0
+    total = sum(
+        reciprocal_rank(ranking, prediction)
+        for ranking, prediction in zip(rankings, predictions)
+    )
+    return total / len(rankings)

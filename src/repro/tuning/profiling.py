@@ -1,0 +1,137 @@
+"""Data-profiling meta-features (paper Section A.5, "More Meta-Features").
+
+The paper's feature set (Table 1) reads everything from the Ball-tree to
+stay cheap; its future-work section points at data profiling and richer
+meta-feature extraction as the next precision lever.  This module provides
+that extension with *sampled* statistics so extraction stays near-linear:
+
+* **Hopkins statistic** — the classic clusterability test: compares
+  nearest-neighbour distances of uniform probes vs real sample points;
+  ~0.5 for uniform data, →1.0 for strongly clustered data;
+* **nearest-neighbour distance profile** — mean/std/CV of sampled 1-NN
+  distances (tight hot spots → small mean, large CV);
+* **feature dispersion** — mean/max variance ratio across dimensions
+  (detects dominating axes that favour kd-trees).
+
+``extract_profile_features`` returns a dict compatible with
+:class:`~repro.tuning.features.TaskFeatures`; the ``"profile"`` feature set
+appends these to the Table 1 groups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.common.rng import SeedLike, ensure_rng
+from repro.common.validation import check_data_matrix
+from repro.indexes.base import MetricTree
+from repro.indexes.ball_tree import BallTree
+
+PROFILE_FEATURES = (
+    "hopkins",
+    "nn_dist_mean",
+    "nn_dist_cv",
+    "variance_ratio",
+)
+
+
+def hopkins_statistic(
+    X: np.ndarray,
+    *,
+    sample_size: int = 50,
+    seed: SeedLike = 0,
+    tree: Optional[MetricTree] = None,
+) -> float:
+    """Hopkins clusterability statistic in [0, 1] (0.5 ≈ uniform).
+
+    Uses the Ball-tree's k-NN search for both probe kinds, so the cost is
+    O(sample * log n) rather than O(sample * n).
+    """
+    X = check_data_matrix(X)
+    n, d = X.shape
+    m = min(sample_size, max(1, n // 2))
+    rng = ensure_rng(seed)
+    if tree is None:
+        tree = BallTree(X, capacity=30)
+    lo = X.min(axis=0)
+    hi = X.max(axis=0)
+    probes = rng.uniform(lo, hi, size=(m, d))
+    sample_idx = rng.choice(n, size=m, replace=False)
+
+    u_total = 0.0  # uniform-probe NN distances
+    for probe in probes:
+        nearest = tree.knn_search(probe, 1)
+        u_total += float(np.linalg.norm(X[nearest[0]] - probe))
+    w_total = 0.0  # real-point NN distances (2-NN: first hit is itself)
+    for i in sample_idx:
+        nearest = tree.knn_search(X[int(i)], 2)
+        other = nearest[1] if int(nearest[0]) == int(i) else nearest[0]
+        w_total += float(np.linalg.norm(X[other] - X[int(i)]))
+    denominator = u_total + w_total
+    if denominator == 0.0:
+        return 0.5  # fully degenerate data: call it "uniform"
+    return u_total / denominator
+
+
+def nn_distance_profile(
+    X: np.ndarray,
+    *,
+    sample_size: int = 100,
+    seed: SeedLike = 0,
+    tree: Optional[MetricTree] = None,
+) -> Dict[str, float]:
+    """Mean and coefficient of variation of sampled 1-NN distances."""
+    X = check_data_matrix(X)
+    n = len(X)
+    m = min(sample_size, n)
+    rng = ensure_rng(seed)
+    if tree is None:
+        tree = BallTree(X, capacity=30)
+    idx = rng.choice(n, size=m, replace=False)
+    dists = np.empty(m)
+    for pos, i in enumerate(idx):
+        nearest = tree.knn_search(X[int(i)], 2)
+        other = nearest[1] if int(nearest[0]) == int(i) else nearest[0]
+        dists[pos] = float(np.linalg.norm(X[other] - X[int(i)]))
+    mean = float(dists.mean())
+    std = float(dists.std())
+    # Normalize the mean by the data diameter estimate so the feature is
+    # scale-free; CV is scale-free already.
+    extent = float(np.linalg.norm(X.max(axis=0) - X.min(axis=0)))
+    return {
+        "nn_dist_mean": mean / extent if extent > 0 else 0.0,
+        "nn_dist_cv": std / mean if mean > 0 else 0.0,
+    }
+
+
+def variance_ratio(X: np.ndarray) -> float:
+    """Max/mean per-dimension variance (1.0 = perfectly isotropic)."""
+    X = check_data_matrix(X)
+    variances = X.var(axis=0)
+    mean = float(variances.mean())
+    if mean == 0.0:
+        return 1.0
+    return float(variances.max()) / mean
+
+
+def extract_profile_features(
+    X: np.ndarray,
+    *,
+    sample_size: int = 50,
+    seed: SeedLike = 0,
+    tree: Optional[MetricTree] = None,
+) -> Dict[str, float]:
+    """All profiling features as a flat dict (see module docstring)."""
+    X = check_data_matrix(X)
+    if tree is None:
+        tree = BallTree(X, capacity=30)
+    features: Dict[str, float] = {
+        "hopkins": hopkins_statistic(X, sample_size=sample_size, seed=seed, tree=tree),
+        "variance_ratio": variance_ratio(X),
+    }
+    features.update(
+        nn_distance_profile(X, sample_size=2 * sample_size, seed=seed, tree=tree)
+    )
+    return features

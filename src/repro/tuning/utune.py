@@ -1,0 +1,157 @@
+"""UTune — learned algorithm selection (Section 6, Figure 6).
+
+Two classifiers are trained on the ground-truth records: one predicts the
+best *bound* configuration, the other the best *index* configuration
+(Section 6.2's two-part prediction).  The final knob configuration combines
+them: a ``none`` index prediction yields the predicted sequential method;
+``pure`` yields index filtering; ``single``/``multiple`` yield the UniK
+traversals.
+
+For a new clustering task, features are extracted from a freshly built (or
+supplied) Ball-tree and pushed through both models.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError, NotFittedError
+from repro.core.knobs import KnobConfig
+from repro.indexes.base import MetricTree
+from repro.tuning.features import TaskFeatures, extract_features, feature_names
+from repro.tuning.models import make_model
+from repro.tuning.mrr import mean_reciprocal_rank
+from repro.tuning.training import GroundTruthRecord, records_to_training_arrays
+
+
+class UTune:
+    """Meta-learning selector over the UniK knob space."""
+
+    def __init__(
+        self,
+        model: str = "dt",
+        feature_set: str = "leaf",
+        **model_kwargs,
+    ) -> None:
+        self.model_name = model
+        self.feature_set = feature_set
+        self.model_kwargs = model_kwargs
+        self.bound_model = None
+        self.index_model = None
+        self.train_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Training.
+    # ------------------------------------------------------------------
+
+    def fit(self, records: Sequence[GroundTruthRecord]) -> "UTune":
+        """Train both knob models from ground-truth records."""
+        if not records:
+            raise ConfigurationError("cannot train UTune on zero records")
+        X, bound_labels, index_labels = records_to_training_arrays(
+            records, self.feature_set
+        )
+        begin = time.perf_counter()
+        if self.model_name == "ranker":
+            # Rank-aware training (Section A.5): learn from full rankings
+            # with a pairwise loss instead of top-1 classification.
+            from repro.tuning.models.ranker import PairwiseRanker
+
+            self.bound_model = PairwiseRanker(**self.model_kwargs).fit(
+                X, [record.bound_ranking for record in records]
+            )
+            self.index_model = PairwiseRanker(**self.model_kwargs).fit(
+                X, [record.index_ranking for record in records]
+            )
+        else:
+            self.bound_model = make_model(self.model_name, **self.model_kwargs)
+            self.bound_model.fit(X, bound_labels)
+            self.index_model = make_model(self.model_name, **self.model_kwargs)
+            self.index_model.fit(X, index_labels)
+        self.train_time = time.perf_counter() - begin
+        return self
+
+    # ------------------------------------------------------------------
+    # Prediction.
+    # ------------------------------------------------------------------
+
+    def predict_labels(self, features: TaskFeatures) -> Dict[str, str]:
+        """Predict the (bound, index) knob labels for one task."""
+        if self.bound_model is None or self.index_model is None:
+            raise NotFittedError("UTune used before fit")
+        vector = features.vector(self.feature_set).reshape(1, -1)
+        return {
+            "bound": self.bound_model.predict(vector)[0],
+            "index": self.index_model.predict(vector)[0],
+        }
+
+    def predict_config(
+        self,
+        X: np.ndarray,
+        k: int,
+        *,
+        tree: Optional[MetricTree] = None,
+        capacity: int = 30,
+    ) -> KnobConfig:
+        """Predict the knob configuration for clustering ``X`` into ``k``."""
+        features = extract_features(
+            X, k, tree=tree, capacity=capacity,
+            profile=(self.feature_set == "profile"),
+        )
+        labels = self.predict_labels(features)
+        if labels["index"] == "none":
+            return KnobConfig(bound=labels["bound"], index="none")
+        if labels["index"] == "pure":
+            return KnobConfig(index="pure", capacity=capacity)
+        return KnobConfig(
+            bound=labels["bound"], index=labels["index"], capacity=capacity
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation (Table 5's MRR protocol).
+    # ------------------------------------------------------------------
+
+    def evaluate(self, records: Sequence[GroundTruthRecord]) -> Dict[str, float]:
+        """Bound@MRR and Index@MRR on held-out records, plus prediction time."""
+        if self.bound_model is None or self.index_model is None:
+            raise NotFittedError("UTune used before fit")
+        X = np.vstack(
+            [record.task_features().vector(self.feature_set) for record in records]
+        )
+        begin = time.perf_counter()
+        bound_predictions = self.bound_model.predict(X)
+        index_predictions = self.index_model.predict(X)
+        predict_time = time.perf_counter() - begin
+        return {
+            "bound_mrr": mean_reciprocal_rank(
+                [record.bound_ranking for record in records], bound_predictions
+            ),
+            "index_mrr": mean_reciprocal_rank(
+                [record.index_ranking for record in records], index_predictions
+            ),
+            "predict_time": predict_time / max(1, len(records)),
+            "train_time": self.train_time,
+        }
+
+
+def evaluate_bdt(records: Sequence[GroundTruthRecord]) -> Dict[str, float]:
+    """MRR of the rule-based BDT baseline on the same records."""
+    from repro.tuning.bdt import bdt_predict_labels
+
+    bound_predictions: List[str] = []
+    index_predictions: List[str] = []
+    for record in records:
+        bound, index = bdt_predict_labels(record.n, record.k, record.d)
+        bound_predictions.append(bound)
+        index_predictions.append(index)
+    return {
+        "bound_mrr": mean_reciprocal_rank(
+            [record.bound_ranking for record in records], bound_predictions
+        ),
+        "index_mrr": mean_reciprocal_rank(
+            [record.index_ranking for record in records], index_predictions
+        ),
+    }

@@ -1,0 +1,45 @@
+"""Shared fixtures: small deterministic datasets and initializations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.initialization import init_kmeans_plus_plus
+from repro.datasets import make_blobs, make_spatial, make_uniform
+
+
+@pytest.fixture(scope="session")
+def blobs_small():
+    """Well-clustered mid-dimensional blobs: 400 x 6, 5 components."""
+    X, _ = make_blobs(400, 6, 5, seed=11)
+    return X
+
+
+@pytest.fixture(scope="session")
+def blobs_medium():
+    """Larger blobs used by exactness sweeps: 900 x 10, 8 components."""
+    X, _ = make_blobs(900, 10, 8, seed=13)
+    return X
+
+
+@pytest.fixture(scope="session")
+def spatial_small():
+    """Low-dimensional spatial data (NYC-like hot spots): 600 x 2."""
+    return make_spatial(600, hotspots=15, seed=17)
+
+
+@pytest.fixture(scope="session")
+def uniform_small():
+    """Unstructured uniform data — pruning worst case: 300 x 4."""
+    return make_uniform(300, 4, seed=19)
+
+
+@pytest.fixture
+def centroids_factory():
+    """Factory producing shared k-means++ initializations."""
+
+    def factory(X: np.ndarray, k: int, seed: int = 0) -> np.ndarray:
+        return init_kmeans_plus_plus(X, k, seed=seed)
+
+    return factory

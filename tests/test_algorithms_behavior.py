@@ -1,0 +1,170 @@
+"""Behavioral characteristics of individual algorithms: footprints,
+counter profiles, and the paper's qualitative claims."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_algorithm
+from repro.core.drake import DrakeKMeans
+from repro.core.elkan import ElkanKMeans
+from repro.core.hamerly import HamerlyKMeans
+from repro.core.heap import HeapKMeans
+from repro.core.pami20 import Pami20KMeans
+from repro.core.vector import VectorKMeans
+from repro.core.yinyang import YinyangKMeans
+from repro.core.vector import block_norms
+
+
+@pytest.fixture(scope="module")
+def task(blobs_medium_module):
+    return blobs_medium_module
+
+
+@pytest.fixture(scope="module")
+def blobs_medium_module():
+    from repro.datasets import make_blobs
+
+    X, _ = make_blobs(900, 10, 8, seed=13)
+    return X
+
+
+class TestFootprints:
+    """Figure 10: the memory ordering of the methods' auxiliary state."""
+
+    def test_elkan_largest_sequential(self, task):
+        k = 20
+        elkan = ElkanKMeans().fit(task, k, seed=0, max_iter=5)
+        hamerly = HamerlyKMeans().fit(task, k, seed=0, max_iter=5)
+        yinyang = YinyangKMeans().fit(task, k, seed=0, max_iter=5)
+        assert elkan.footprint_floats > yinyang.footprint_floats
+        assert yinyang.footprint_floats > hamerly.footprint_floats
+
+    def test_pami20_smallest(self, task):
+        k = 20
+        pami = Pami20KMeans().fit(task, k, seed=0, max_iter=5)
+        hamerly = HamerlyKMeans().fit(task, k, seed=0, max_iter=5)
+        assert pami.footprint_floats < hamerly.footprint_floats
+        assert pami.footprint_floats == k
+
+    def test_elkan_footprint_scales_with_k(self, task):
+        small = ElkanKMeans().fit(task, 5, seed=0, max_iter=3).footprint_floats
+        large = ElkanKMeans().fit(task, 40, seed=0, max_iter=3).footprint_floats
+        assert large > small
+
+    def test_heap_smaller_than_elkan(self, task):
+        heap = HeapKMeans().fit(task, 20, seed=0, max_iter=5)
+        elkan = ElkanKMeans().fit(task, 20, seed=0, max_iter=5)
+        assert heap.footprint_floats < elkan.footprint_floats
+
+
+class TestCounterProfiles:
+    """Figure 11 / Table 3: who pays in bound accesses vs distances."""
+
+    def test_elkan_heavy_bound_updates(self, task):
+        k = 20
+        elkan = ElkanKMeans().fit(task, k, seed=0, max_iter=8)
+        yinyang = YinyangKMeans().fit(task, k, seed=0, max_iter=8)
+        # Elkan drift-corrects n*k bounds per iteration; Yinyang only n*t.
+        assert elkan.counters.bound_updates > 2 * yinyang.counters.bound_updates
+
+    def test_heap_fewest_bound_accesses(self, task):
+        k = 20
+        heap = HeapKMeans().fit(task, k, seed=0, max_iter=8)
+        hamerly = HamerlyKMeans().fit(task, k, seed=0, max_iter=8)
+        elkan = ElkanKMeans().fit(task, k, seed=0, max_iter=8)
+        assert heap.counters.bound_accesses < hamerly.counters.bound_accesses
+        assert heap.counters.bound_accesses < elkan.counters.bound_accesses
+
+    def test_all_prune_distances_vs_lloyd(self, task):
+        k = 20
+        lloyd = make_algorithm("lloyd").fit(task, k, seed=0, max_iter=8)
+        for name in ["elkan", "hamerly", "yinyang", "drake", "exponion"]:
+            accelerated = make_algorithm(name).fit(task, k, seed=0, max_iter=8)
+            assert (
+                accelerated.counters.distance_computations
+                < lloyd.counters.distance_computations
+            ), name
+
+    def test_index_fewer_point_accesses(self, task):
+        k = 10
+        lloyd = make_algorithm("lloyd").fit(task, k, seed=0, max_iter=8)
+        index = make_algorithm("index").fit(task, k, seed=0, max_iter=8)
+        assert index.counters.point_accesses < lloyd.counters.point_accesses
+        assert index.counters.node_accesses > 0
+
+
+class TestDrakeSpecifics:
+    def test_default_b_quarter_k(self, task):
+        algo = DrakeKMeans()
+        algo.fit(task, 20, seed=0, max_iter=3)
+        assert algo.b == 5
+
+    def test_explicit_b_clamped(self, task):
+        algo = DrakeKMeans(b=99)
+        algo.fit(task, 10, seed=0, max_iter=3)
+        assert algo.b <= 9
+
+
+class TestVectorSpecifics:
+    def test_block_norms_shape_and_values(self):
+        X = np.array([[3.0, 4.0, 0.0, 0.0], [0.0, 0.0, 5.0, 12.0]])
+        B = block_norms(X, 2)
+        np.testing.assert_allclose(B, [[5.0, 0.0], [0.0, 13.0]])
+
+    def test_block_bound_is_lower_bound(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 8))
+        C = rng.normal(size=(6, 8))
+        xb = block_norms(X, 2)
+        cb = block_norms(C, 2)
+        xn = np.einsum("ij,ij->i", X, X)
+        cn = np.einsum("ij,ij->i", C, C)
+        for i in range(len(X)):
+            for j in range(len(C)):
+                sq = xn[i] + cn[j] - 2.0 * float(xb[i] @ cb[j])
+                bound = np.sqrt(max(sq, 0.0))
+                true = np.linalg.norm(X[i] - C[j])
+                assert bound <= true + 1e-9
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValueError, match="blocks"):
+            VectorKMeans(blocks=0)
+
+    def test_blocks_clamped_to_dimension(self):
+        X = np.random.default_rng(0).normal(size=(60, 2))
+        algo = VectorKMeans(blocks=8)
+        algo.fit(X, 3, seed=0, max_iter=5)
+        assert algo.blocks == 2
+
+
+class TestYinyangSpecifics:
+    def test_group_count_default(self, task):
+        algo = YinyangKMeans()
+        algo.fit(task, 25, seed=0, max_iter=3)
+        assert algo.groups.t == 3  # ceil(25/10)
+
+    def test_explicit_group_count(self, task):
+        algo = YinyangKMeans(t=5)
+        algo.fit(task, 25, seed=0, max_iter=3)
+        assert algo.groups.t == 5
+
+    def test_single_group_degenerates_gracefully(self, task, centroids_factory):
+        from repro.core.lloyd import LloydKMeans
+
+        C0 = centroids_factory(task, 12)
+        base = LloydKMeans().fit(task, 12, initial_centroids=C0, max_iter=40)
+        result = YinyangKMeans(t=1).fit(task, 12, initial_centroids=C0, max_iter=40)
+        np.testing.assert_array_equal(result.labels, base.labels)
+
+
+class TestPami20Specifics:
+    def test_radii_cover_members(self, task):
+        algo = Pami20KMeans()
+        result = algo.fit(task, 10, seed=0, max_iter=6)
+        # After the final assignment the stored radii (inflated by drifts)
+        # must cover every member's distance to its centroid.
+        dists = np.linalg.norm(task - result.centroids[result.labels], axis=1)
+        for j in range(10):
+            members = dists[result.labels == j]
+            if len(members):
+                assert members.max() <= algo._radii[j] + 1e-6

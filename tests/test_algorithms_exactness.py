@@ -1,0 +1,127 @@
+"""Exactness: every accelerated method reproduces Lloyd's result.
+
+This is the framework's core guarantee (all methods are *exact* Lloyd
+accelerations, Section 2.2): from the same initial centroids, final labels,
+centroids, and SSE must match the Lloyd baseline on every dataset shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ALGORITHMS, make_algorithm
+from repro.core.lloyd import LloydKMeans
+
+SEQUENTIAL = [
+    "elkan", "hamerly", "drake", "yinyang", "regroup", "heap",
+    "annular", "exponion", "drift", "vector", "pami20", "search", "sphere",
+]
+INDEXED = ["index", "unik", "full"]
+MAX_ITER = 60
+
+
+def _baseline(X, k, centroids):
+    return LloydKMeans().fit(X, k, initial_centroids=centroids, max_iter=MAX_ITER)
+
+
+def _check_match(result, baseline):
+    __tracebackhide__ = True
+    assert np.array_equal(result.labels, baseline.labels), (
+        f"{result.algorithm}: labels diverge from Lloyd "
+        f"({np.count_nonzero(result.labels != baseline.labels)} mismatches)"
+    )
+    assert result.sse == pytest.approx(baseline.sse, rel=1e-9)
+    np.testing.assert_allclose(result.centroids, baseline.centroids, atol=1e-8)
+
+
+@pytest.mark.parametrize("name", SEQUENTIAL + INDEXED)
+class TestExactnessOnBlobs:
+    def test_small_k(self, name, blobs_small, centroids_factory):
+        k = 4
+        C0 = centroids_factory(blobs_small, k)
+        base = _baseline(blobs_small, k, C0)
+        result = make_algorithm(name).fit(
+            blobs_small, k, initial_centroids=C0, max_iter=MAX_ITER
+        )
+        _check_match(result, base)
+
+    def test_large_k(self, name, blobs_small, centroids_factory):
+        k = 25
+        C0 = centroids_factory(blobs_small, k, seed=3)
+        base = _baseline(blobs_small, k, C0)
+        result = make_algorithm(name).fit(
+            blobs_small, k, initial_centroids=C0, max_iter=MAX_ITER
+        )
+        _check_match(result, base)
+
+
+@pytest.mark.parametrize("name", SEQUENTIAL + INDEXED)
+class TestExactnessOnOtherShapes:
+    def test_spatial(self, name, spatial_small, centroids_factory):
+        k = 12
+        C0 = centroids_factory(spatial_small, k, seed=1)
+        base = _baseline(spatial_small, k, C0)
+        result = make_algorithm(name).fit(
+            spatial_small, k, initial_centroids=C0, max_iter=MAX_ITER
+        )
+        _check_match(result, base)
+
+    def test_uniform_worst_case(self, name, uniform_small, centroids_factory):
+        k = 6
+        C0 = centroids_factory(uniform_small, k, seed=2)
+        base = _baseline(uniform_small, k, C0)
+        result = make_algorithm(name).fit(
+            uniform_small, k, initial_centroids=C0, max_iter=MAX_ITER
+        )
+        _check_match(result, base)
+
+
+@pytest.mark.parametrize("name", SEQUENTIAL + INDEXED)
+def test_k_equals_one(name, blobs_small):
+    """k = 1 degenerates every bound; must still equal the global mean."""
+    C0 = blobs_small[:1].copy()
+    result = make_algorithm(name).fit(
+        blobs_small, 1, initial_centroids=C0, max_iter=10
+    )
+    np.testing.assert_allclose(
+        result.centroids[0], blobs_small.mean(axis=0), atol=1e-8
+    )
+    assert (result.labels == 0).all()
+
+
+@pytest.mark.parametrize("name", SEQUENTIAL)
+def test_k_equals_two(name, blobs_small, centroids_factory):
+    C0 = centroids_factory(blobs_small, 2, seed=5)
+    base = _baseline(blobs_small, 2, C0)
+    result = make_algorithm(name).fit(
+        blobs_small, 2, initial_centroids=C0, max_iter=MAX_ITER
+    )
+    _check_match(result, base)
+
+
+@pytest.mark.parametrize("name", ["elkan", "hamerly", "yinyang", "unik", "index"])
+def test_duplicate_points(name):
+    """Heavily duplicated data exercises zero distances and ties."""
+    rng = np.random.default_rng(7)
+    X = np.repeat(rng.normal(size=(20, 3)), 10, axis=0)
+    C0 = X[[0, 50, 100, 150]].copy() + rng.normal(0, 1e-3, size=(4, 3))
+    base = _baseline(X, 4, C0)
+    result = make_algorithm(name).fit(X, 4, initial_centroids=C0, max_iter=MAX_ITER)
+    assert result.sse == pytest.approx(base.sse, rel=1e-9)
+
+
+@pytest.mark.parametrize("name", SEQUENTIAL + INDEXED)
+def test_converged_flag_and_stability(name, blobs_small, centroids_factory):
+    """A converged run re-fed its own centroids must not move them."""
+    k = 5
+    C0 = centroids_factory(blobs_small, k)
+    result = make_algorithm(name).fit(
+        blobs_small, k, initial_centroids=C0, max_iter=MAX_ITER
+    )
+    assert result.converged
+    again = make_algorithm(name).fit(
+        blobs_small, k, initial_centroids=result.centroids, max_iter=5
+    )
+    np.testing.assert_allclose(again.centroids, result.centroids, atol=1e-8)
+    # Index-based methods aggregate sums in a different order than Lloyd,
+    # so re-convergence may cost one extra (no-op) iteration of float jitter.
+    assert again.n_iter <= 2

@@ -1,0 +1,163 @@
+"""White-box tests of algorithm internals: the specific mechanisms each
+method is named for (heap decay, annulus/ball candidate sets, suffix-min
+invariants, Eq. 12 inheritance, disjoint search balls)."""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.core.annular import AnnularKMeans
+from repro.core.drake import DrakeKMeans
+from repro.core.exponion import ExponionKMeans
+from repro.core.heap import HeapKMeans
+from repro.core.initialization import init_kmeans_plus_plus
+from repro.core.lloyd import LloydKMeans
+from repro.core.pruning import centroid_separations
+from repro.core.search import SearchKMeans
+from repro.core.unik import UniKKMeans
+from repro.datasets import make_blobs
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, _ = make_blobs(500, 5, 7, seed=91)
+    return X
+
+
+class TestHeapInternals:
+    def test_heap_entries_cover_all_points(self, data):
+        algo = HeapKMeans()
+        algo.fit(data, 6, seed=0, max_iter=8)
+        total = sum(len(heap) for heap in algo._heaps)
+        assert total == len(data)
+
+    def test_heap_membership_matches_labels(self, data):
+        algo = HeapKMeans()
+        result = algo.fit(data, 6, seed=0, max_iter=8)
+        for j, heap in enumerate(algo._heaps):
+            for _, i in heap:
+                assert result.labels[i] == j
+
+    def test_effective_gaps_nonnegative_at_convergence(self, data):
+        algo = HeapKMeans()
+        result = algo.fit(data, 6, seed=0, max_iter=60)
+        assert result.converged
+        for j, heap in enumerate(algo._heaps):
+            if heap:
+                key, _ = heap[0]
+                assert key - algo._decay[j] >= -1e-9
+
+    def test_decay_monotone(self, data):
+        algo = HeapKMeans()
+        algo.fit(data, 6, seed=0, max_iter=8)
+        assert (algo._decay >= 0.0).all()
+
+
+class TestDrakeInternals:
+    def test_suffix_min_invariant_after_fit(self, data):
+        algo = DrakeKMeans()
+        algo.fit(data, 12, seed=0, max_iter=8)
+        diffs = np.diff(algo._lbs, axis=1)
+        assert (diffs >= -1e-9).all(), "bounds must be non-decreasing in rank"
+
+    def test_order_entries_are_valid_centroids(self, data):
+        algo = DrakeKMeans()
+        algo.fit(data, 12, seed=0, max_iter=8)
+        assert algo._order.min() >= 0 and algo._order.max() < 12
+
+    def test_order_excludes_assigned_after_initial_scan(self, data):
+        algo = DrakeKMeans()
+        algo.fit(data, 12, seed=0, max_iter=1)
+        for i in range(len(data)):
+            assert algo._labels[i] not in algo._order[i]
+
+
+class TestAnnularInternals:
+    def test_annulus_contains_first_and_second(self, data):
+        """After convergence, the stored (a, second) pair must lie within
+        the annulus radius the algorithm would use."""
+        algo = AnnularKMeans()
+        result = algo.fit(data, 8, seed=0, max_iter=60)
+        assert result.converged
+        from repro.common.distance import norms
+
+        cnorms = norms(algo._centroids)
+        xnorms = algo._xnorms
+        for i in range(0, len(data), 37):
+            radius = max(float(algo._ub[i]), float(algo._ub2[i]))
+            a = result.labels[i]
+            s_idx = algo._second[i]
+            assert abs(cnorms[a] - xnorms[i]) <= radius + 1e-7
+            assert abs(cnorms[s_idx] - xnorms[i]) <= radius + 1e-7
+
+    def test_second_differs_from_assigned(self, data):
+        algo = AnnularKMeans()
+        result = algo.fit(data, 8, seed=0, max_iter=20)
+        assert (algo._second != result.labels).all()
+
+
+class TestExponionInternals:
+    def test_ball_radius_covers_second_nearest(self, data):
+        """Eq. 6 soundness check against brute force at a converged state."""
+        algo = ExponionKMeans()
+        result = algo.fit(data, 8, seed=0, max_iter=60)
+        centroids = algo._centroids
+        cc, s = centroid_separations(centroids)
+        dists = np.linalg.norm(data[:, None] - centroids[None, :], axis=2)
+        for i in range(0, len(data), 29):
+            a = result.labels[i]
+            da = dists[i, a]
+            radius = 2.0 * da + 2.0 * float(s[a])
+            order = np.argsort(dists[i])
+            second = order[1] if order[0] == a else order[0]
+            assert cc[a, second] <= radius + 1e-7
+
+
+class TestSearchInternals:
+    def test_search_balls_disjoint(self, data):
+        """Half-minimum-separation balls around centroids never overlap."""
+        C = init_kmeans_plus_plus(data, 10, seed=0)
+        _, s = centroid_separations(C)
+        for i in range(10):
+            for j in range(i + 1, 10):
+                gap = np.linalg.norm(C[i] - C[j])
+                assert s[i] + s[j] <= gap + 1e-9
+
+    def test_preassigned_points_truly_nearest(self, data):
+        algo = SearchKMeans()
+        C0 = init_kmeans_plus_plus(data, 6, seed=1)
+        result = algo.fit(data, 6, initial_centroids=C0, max_iter=3)
+        base = LloydKMeans().fit(data, 6, initial_centroids=C0, max_iter=3)
+        np.testing.assert_array_equal(result.labels, base.labels)
+
+
+class TestUniKInheritance:
+    def test_eq12_inherited_bounds_sound(self, data):
+        """Child bounds derived by Eq. 12 never overstate the truth.
+
+        For every parent/child pair: |d(child_pivot, c) - d(parent_pivot, c)|
+        <= psi, which is exactly what makes ub+psi / lb-psi sound.
+        """
+        algo = UniKKMeans()
+        algo.fit(data, 8, seed=0, max_iter=3)
+        centroids = algo._centroids
+        for node in algo.tree.root.iter_subtree():
+            for child in node.children:
+                d_parent = np.linalg.norm(centroids - node.pivot, axis=1)
+                d_child = np.linalg.norm(centroids - child.pivot, axis=1)
+                assert (np.abs(d_parent - d_child) <= child.psi + 1e-9).all()
+
+    def test_object_bounds_sound_after_fit(self, data):
+        """Every surviving object's ub/glb is audited against brute force."""
+        algo = UniKKMeans(traversal="single")
+        algo.fit(data, 8, seed=0, max_iter=10)
+        centroids = algo._centroids
+        for obj in algo._objects:
+            pivot = obj.node.pivot if obj.node is not None else algo.X[obj.point]
+            dists = np.linalg.norm(centroids - pivot, axis=1)
+            assert obj.ub >= dists[obj.a] - 1e-7
+            for g, members in enumerate(algo.groups.members):
+                others = members[members != obj.a]
+                if len(others):
+                    assert obj.glb[g] <= dists[others].min() + 1e-7

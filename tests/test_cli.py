@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.loaders import read_jsonl, save_points_csv
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.algorithm == "unik"
+        assert args.k == 10
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--algorithm", "nope"])
+
+
+class TestDatasetsCommand:
+    def test_lists_registry(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "BigCross" in out and "NYC-Taxi" in out
+
+
+class TestClusterCommand:
+    def test_table_output(self, capsys):
+        code = main(["cluster", "--dataset", "Skin", "--n", "300",
+                     "--k", "4", "--max-iter", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sse" in out and "pruning_ratio" in out
+
+    def test_json_output(self, capsys):
+        code = main(["cluster", "--dataset", "Skin", "--n", "200", "--k", "3",
+                     "--max-iter", "2", "--json"])
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["algorithm"] == "unik"
+        assert record["k"] == 3
+
+    def test_log_written(self, tmp_path, capsys):
+        log = tmp_path / "runs.jsonl"
+        main(["cluster", "--dataset", "Skin", "--n", "200", "--k", "3",
+              "--max-iter", "2", "--log", str(log)])
+        capsys.readouterr()
+        assert len(read_jsonl(log)) == 1
+
+    def test_csv_input(self, tmp_path, capsys):
+        X = np.random.default_rng(0).normal(size=(120, 3))
+        path = tmp_path / "points.csv"
+        save_points_csv(path, X)
+        code = main(["cluster", "--dataset", str(path), "--csv",
+                     "--k", "3", "--max-iter", "2"])
+        assert code == 0
+        assert "sse" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    def test_inserts_lloyd_baseline(self, capsys):
+        code = main(["compare", "--dataset", "Skin", "--n", "250", "--k", "4",
+                     "--algorithms", "hamerly", "--max-iter", "3",
+                     "--repeats", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lloyd" in out and "hamerly" in out
+
+    def test_unknown_algorithm_fails(self, capsys):
+        code = main(["compare", "--dataset", "Skin", "--n", "200", "--k", "3",
+                     "--algorithms", "quantum-means"])
+        assert code == 2
+        assert "unknown algorithms" in capsys.readouterr().err
+
+
+class TestTuneCommand:
+    def test_end_to_end(self, tmp_path, capsys):
+        log = tmp_path / "gt.jsonl"
+        code = main([
+            "tune", "--datasets", "Skin,Covtype", "--ks", "4", "--n", "250",
+            "--max-iter", "3", "--log", str(log),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Bound@MRR" in out and "BDT" in out
+        assert len(read_jsonl(log)) == 2
+
+    def test_ranker_backend_and_cost_metric(self, capsys):
+        code = main([
+            "tune", "--datasets", "Skin,NYC-Taxi", "--ks", "4,8",
+            "--n", "250", "--max-iter", "3",
+            "--model", "ranker", "--metric", "modeled_cost",
+        ])
+        assert code == 0
+        assert "ranker" in capsys.readouterr().out
+
+    def test_full_running_mode(self, capsys):
+        code = main([
+            "tune", "--datasets", "Skin", "--ks", "4", "--n", "200",
+            "--max-iter", "3", "--full",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "selective=False" in out

@@ -1,0 +1,113 @@
+"""Unit tests for the instrumented distance kernels."""
+
+import numpy as np
+import pytest
+
+from repro.common.distance import (
+    centroid_pairwise_distances,
+    chunked_sq_distances,
+    distances_to_centroids,
+    euclidean,
+    norms,
+    pairwise_distances,
+    pairwise_sq_distances,
+    sq_euclidean,
+)
+from repro.instrumentation.counters import OpCounters
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestScalarDistances:
+    def test_euclidean_matches_numpy(self, rng):
+        a, b = rng.normal(size=5), rng.normal(size=5)
+        assert euclidean(a, b) == pytest.approx(np.linalg.norm(a - b))
+
+    def test_sq_euclidean(self, rng):
+        a, b = rng.normal(size=5), rng.normal(size=5)
+        assert sq_euclidean(a, b) == pytest.approx(np.linalg.norm(a - b) ** 2)
+
+    def test_counts_one_distance(self, rng):
+        counters = OpCounters()
+        euclidean(rng.normal(size=3), rng.normal(size=3), counters)
+        assert counters.distance_computations == 1
+
+    def test_zero_distance(self):
+        a = np.array([1.0, 2.0])
+        assert euclidean(a, a) == 0.0
+
+
+class TestBatchDistances:
+    def test_pairwise_matches_bruteforce(self, rng):
+        A = rng.normal(size=(7, 4))
+        B = rng.normal(size=(5, 4))
+        got = pairwise_distances(A, B)
+        want = np.linalg.norm(A[:, None] - B[None, :], axis=2)
+        np.testing.assert_allclose(got, want, atol=1e-9)
+
+    def test_pairwise_counts(self, rng):
+        counters = OpCounters()
+        pairwise_sq_distances(rng.normal(size=(7, 4)), rng.normal(size=(5, 4)), counters)
+        assert counters.distance_computations == 35
+
+    def test_pairwise_clamps_negative(self):
+        # Identical rows can produce tiny negatives under expansion.
+        A = np.full((3, 8), 1e8)
+        sq = pairwise_sq_distances(A, A)
+        assert (sq >= 0.0).all()
+
+    def test_chunked_matches_pairwise(self, rng):
+        A = rng.normal(size=(600, 3))
+        B = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(
+            chunked_sq_distances(A, B, chunk=128),
+            pairwise_sq_distances(A, B),
+            atol=1e-9,
+        )
+
+    def test_chunked_counts(self, rng):
+        counters = OpCounters()
+        chunked_sq_distances(rng.normal(size=(10, 2)), rng.normal(size=(3, 2)), counters)
+        assert counters.distance_computations == 30
+
+    def test_distances_to_centroids(self, rng):
+        x = rng.normal(size=4)
+        C = rng.normal(size=(6, 4))
+        got = distances_to_centroids(x, C)
+        np.testing.assert_allclose(got, np.linalg.norm(C - x, axis=1), atol=1e-12)
+
+    def test_distances_to_centroids_counts_k(self, rng):
+        counters = OpCounters()
+        distances_to_centroids(rng.normal(size=4), rng.normal(size=(6, 4)), counters)
+        assert counters.distance_computations == 6
+
+
+class TestCentroidMatrix:
+    def test_symmetric_zero_diagonal(self, rng):
+        C = rng.normal(size=(5, 3))
+        cc = centroid_pairwise_distances(C)
+        np.testing.assert_allclose(cc, cc.T, atol=1e-12)
+        np.testing.assert_allclose(np.diag(cc), 0.0, atol=1e-12)
+
+    def test_counts_half_matrix(self, rng):
+        counters = OpCounters()
+        centroid_pairwise_distances(rng.normal(size=(5, 3)), counters)
+        assert counters.distance_computations == 10  # k(k-1)/2
+
+    def test_values_match_bruteforce(self, rng):
+        C = rng.normal(size=(4, 6))
+        cc = centroid_pairwise_distances(C)
+        want = np.linalg.norm(C[:, None] - C[None, :], axis=2)
+        np.testing.assert_allclose(cc, want, atol=1e-9)
+
+
+class TestNorms:
+    def test_matches_numpy(self, rng):
+        X = rng.normal(size=(8, 5))
+        np.testing.assert_allclose(norms(X), np.linalg.norm(X, axis=1), atol=1e-12)
+
+    def test_single_row(self):
+        assert norms(np.array([[3.0, 4.0]]))[0] == pytest.approx(5.0)

@@ -1,0 +1,45 @@
+"""Unit tests for RNG normalization."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=5)
+        b = ensure_rng(42).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10**9)
+        b = ensure_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(ensure_rng(np.int32(7)), np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError, match="seed must be"):
+            ensure_rng("42")
+
+
+class TestSpawnRng:
+    def test_child_independent_of_second_spawn(self):
+        parent = ensure_rng(0)
+        child1 = spawn_rng(parent)
+        child2 = spawn_rng(parent)
+        assert child1.integers(0, 10**9) != child2.integers(0, 10**9)
+
+    def test_deterministic_given_parent_state(self):
+        a = spawn_rng(ensure_rng(5)).integers(0, 10**9)
+        b = spawn_rng(ensure_rng(5)).integers(0, 10**9)
+        assert a == b

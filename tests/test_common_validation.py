@@ -1,0 +1,112 @@
+"""Unit tests for repro.common.validation."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ValidationError
+from repro.common.validation import (
+    check_data_matrix,
+    check_k,
+    check_labels,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckDataMatrix:
+    def test_accepts_plain_lists(self):
+        out = check_data_matrix([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+        assert out.dtype == np.float64
+
+    def test_promotes_1d_to_column(self):
+        out = check_data_matrix([1.0, 2.0, 3.0])
+        assert out.shape == (3, 1)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError, match="2-D"):
+            check_data_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_data_matrix([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError, match="NaN or infinite"):
+            check_data_matrix([[np.inf, 0.0]])
+
+    def test_min_rows_enforced(self):
+        with pytest.raises(ValidationError, match="at least 5 rows"):
+            check_data_matrix(np.ones((3, 2)), min_rows=5)
+
+    def test_copy_leaves_original_untouched(self):
+        original = np.ones((3, 2))
+        out = check_data_matrix(original, copy=True)
+        out[0, 0] = 99.0
+        assert original[0, 0] == 1.0
+
+    def test_output_is_contiguous(self):
+        fortran = np.asfortranarray(np.ones((4, 3)))
+        out = check_data_matrix(fortran)
+        assert out.flags["C_CONTIGUOUS"]
+
+
+class TestCheckK:
+    def test_valid(self):
+        assert check_k(3, 10) == 3
+
+    def test_k_equal_n_allowed(self):
+        assert check_k(10, 10) == 10
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_k(0, 5)
+
+    def test_rejects_k_above_n(self):
+        with pytest.raises(ValidationError, match="exceeds"):
+            check_k(6, 5)
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError, match="integer"):
+            check_k(2.5, 5)
+
+    def test_numpy_integer_accepted(self):
+        assert check_k(np.int64(4), 10) == 4
+
+
+class TestScalarChecks:
+    def test_positive_strict(self):
+        assert check_positive(0.5, "x") == 0.5
+        with pytest.raises(ValidationError):
+            check_positive(0.0, "x")
+
+    def test_positive_nonstrict(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+        with pytest.raises(ValidationError):
+            check_positive(-1.0, "x", strict=False)
+
+    def test_probability_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValidationError):
+            check_probability(1.5, "p")
+        with pytest.raises(ValidationError):
+            check_probability(-0.1, "p")
+
+
+class TestCheckLabels:
+    def test_valid(self):
+        labels = check_labels(np.array([0, 1, 2]), 3, 3)
+        assert labels.dtype == np.intp
+
+    def test_wrong_shape(self):
+        with pytest.raises(ValidationError, match="shape"):
+            check_labels(np.array([0, 1]), 3)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            check_labels(np.array([0, 3]), 2, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            check_labels(np.array([-1, 0]), 2, 3)

@@ -1,0 +1,140 @@
+"""Tests for the shared algorithm skeleton (fit contract, refinement modes,
+convergence, result bookkeeping)."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError, ValidationError
+from repro.core import compute_sse, make_algorithm
+from repro.core.lloyd import LloydKMeans
+
+
+class TestFitContract:
+    def test_rejects_bad_initial_shape(self, blobs_small):
+        with pytest.raises(ConfigurationError, match="initial_centroids"):
+            LloydKMeans().fit(blobs_small, 3, initial_centroids=np.ones((2, 6)))
+
+    def test_rejects_bad_max_iter(self, blobs_small):
+        with pytest.raises(ConfigurationError, match="max_iter"):
+            LloydKMeans().fit(blobs_small, 3, max_iter=0)
+
+    def test_rejects_k_above_n(self):
+        X = np.random.default_rng(0).normal(size=(5, 2))
+        with pytest.raises(ValidationError):
+            LloydKMeans().fit(X, 10)
+
+    def test_rejects_nan_data(self):
+        X = np.ones((10, 2))
+        X[3, 0] = np.nan
+        with pytest.raises(ValidationError):
+            LloydKMeans().fit(X, 2)
+
+    def test_max_iter_respected(self, blobs_small):
+        result = LloydKMeans().fit(blobs_small, 8, max_iter=3, seed=0)
+        assert result.n_iter <= 3
+        assert len(result.iteration_stats) == result.n_iter
+
+    def test_initial_centroids_not_mutated(self, blobs_small, centroids_factory):
+        C0 = centroids_factory(blobs_small, 4)
+        snapshot = C0.copy()
+        LloydKMeans().fit(blobs_small, 4, initial_centroids=C0, max_iter=10)
+        np.testing.assert_array_equal(C0, snapshot)
+
+    def test_seed_reproducibility(self, blobs_small):
+        a = LloydKMeans().fit(blobs_small, 5, seed=42, max_iter=20)
+        b = LloydKMeans().fit(blobs_small, 5, seed=42, max_iter=20)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        assert a.sse == b.sse
+
+    def test_random_init_supported(self, blobs_small):
+        result = LloydKMeans().fit(blobs_small, 5, init="random", seed=1, max_iter=20)
+        assert result.n_iter >= 1
+
+
+class TestResultContents:
+    def test_result_fields(self, blobs_small):
+        result = LloydKMeans().fit(blobs_small, 6, seed=0, max_iter=15)
+        assert result.algorithm == "lloyd"
+        assert result.n == len(blobs_small)
+        assert result.d == blobs_small.shape[1]
+        assert result.k == 6
+        assert result.labels.shape == (len(blobs_small),)
+        assert result.centroids.shape == (6, blobs_small.shape[1])
+        assert result.sse > 0.0
+
+    def test_sse_matches_direct_computation(self, blobs_small):
+        result = LloydKMeans().fit(blobs_small, 4, seed=0, max_iter=15)
+        assert result.sse == pytest.approx(
+            compute_sse(blobs_small, result.labels, result.centroids)
+        )
+
+    def test_sse_decreases_monotonically_over_restarts(self, blobs_small):
+        # Not a property of one run; here we check SSE of converged >= 0 and
+        # that more iterations never increase SSE.
+        short = LloydKMeans().fit(blobs_small, 6, seed=3, max_iter=1)
+        long = LloydKMeans().fit(blobs_small, 6, seed=3, max_iter=30)
+        assert long.sse <= short.sse + 1e-9
+
+    def test_iteration_stats_counters_sum(self, blobs_small):
+        result = LloydKMeans().fit(blobs_small, 5, seed=0, max_iter=10)
+        total = sum(s.distance_computations for s in result.iteration_stats)
+        assert total == result.counters.distance_computations
+
+    def test_lloyd_distance_count(self, blobs_small):
+        result = LloydKMeans().fit(blobs_small, 5, seed=0, max_iter=10)
+        assert result.counters.distance_computations == len(blobs_small) * 5 * result.n_iter
+
+    def test_summary_round_trips_to_json(self, blobs_small):
+        import json
+
+        result = LloydKMeans().fit(blobs_small, 3, seed=0, max_iter=5)
+        text = json.dumps(result.summary())
+        assert json.loads(text)["algorithm"] == "lloyd"
+
+    def test_modeled_cost_positive(self, blobs_small):
+        result = LloydKMeans().fit(blobs_small, 3, seed=0, max_iter=5)
+        assert result.modeled_cost > 0
+
+
+class TestRefinementModes:
+    def test_rescan_and_delta_agree(self, blobs_small, centroids_factory):
+        C0 = centroids_factory(blobs_small, 5)
+        rescan = LloydKMeans(refinement="rescan").fit(
+            blobs_small, 5, initial_centroids=C0, max_iter=30
+        )
+        delta = LloydKMeans(refinement="delta").fit(
+            blobs_small, 5, initial_centroids=C0, max_iter=30
+        )
+        np.testing.assert_array_equal(rescan.labels, delta.labels)
+        np.testing.assert_allclose(rescan.centroids, delta.centroids, atol=1e-8)
+
+    def test_delta_reads_fewer_points(self, blobs_small, centroids_factory):
+        C0 = centroids_factory(blobs_small, 5)
+        rescan = LloydKMeans(refinement="rescan").fit(
+            blobs_small, 5, initial_centroids=C0, max_iter=30
+        )
+        delta = LloydKMeans(refinement="delta").fit(
+            blobs_small, 5, initial_centroids=C0, max_iter=30
+        )
+        assert delta.counters.point_accesses < rescan.counters.point_accesses
+
+    def test_empty_cluster_keeps_centroid(self):
+        # Force an empty cluster: two distant blobs, three centroids with
+        # one placed far away from all data.
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 0.1, size=(50, 2)), rng.normal(10, 0.1, size=(50, 2))])
+        C0 = np.array([[0.0, 0.0], [10.0, 10.0], [500.0, 500.0]])
+        result = LloydKMeans().fit(X, 3, initial_centroids=C0, max_iter=20)
+        # The far-away centroid owns no points and must stay put.
+        np.testing.assert_allclose(result.centroids[2], [500.0, 500.0])
+        assert set(np.unique(result.labels)) <= {0, 1}
+
+
+class TestPruningRatio:
+    def test_lloyd_zero(self, blobs_small):
+        result = LloydKMeans().fit(blobs_small, 5, seed=0, max_iter=10)
+        assert result.pruning_ratio == 0.0
+
+    def test_accelerated_in_unit_interval(self, blobs_small):
+        result = make_algorithm("yinyang").fit(blobs_small, 10, seed=0, max_iter=30)
+        assert 0.0 <= result.pruning_ratio <= 1.0

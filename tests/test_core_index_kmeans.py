@@ -1,0 +1,119 @@
+"""White-box tests for the index filtering algorithm (Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.core.index_kmeans import IndexKMeans
+from repro.core.initialization import init_kmeans_plus_plus
+from repro.core.lloyd import LloydKMeans
+from repro.datasets import make_blobs, make_grid_clusters
+from repro.indexes import BallTree, KDTree
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, _ = make_blobs(500, 4, 7, seed=131)
+    return X
+
+
+class TestConstruction:
+    def test_rejects_unknown_index(self):
+        with pytest.raises(ConfigurationError, match="unknown index"):
+            IndexKMeans(index="vp-tree")
+
+    def test_accepts_prebuilt_tree(self, data):
+        tree = BallTree(data, capacity=20)
+        algo = IndexKMeans(tree=tree)
+        algo.fit(data, 5, seed=0, max_iter=3)
+        assert algo.tree is tree
+
+    def test_prebuilt_tree_for_other_data_rebuilt(self, data):
+        other, _ = make_blobs(200, 4, 3, seed=5)
+        tree = BallTree(other, capacity=20)
+        algo = IndexKMeans(tree=tree)
+        algo.fit(data, 5, seed=0, max_iter=3)
+        assert algo.tree.X is algo.X  # stale tree replaced
+
+    def test_name_reflects_index(self):
+        assert IndexKMeans(index="kd-tree").name == "index-kd-tree"
+
+
+class TestCandidateFiltering:
+    def test_filter_soundness_invariant(self, data):
+        """For every node and surviving candidate set: the true nearest of
+        every covered point is always among the candidates that reach it."""
+        algo = IndexKMeans(index="ball-tree")
+        C0 = init_kmeans_plus_plus(data, 8, seed=0)
+        algo.fit(data, 8, initial_centroids=C0, max_iter=1)
+        # One iteration assigns against C0 (labels), then refines the
+        # centroids; reconstruct that assignment by brute force.
+        dists = np.linalg.norm(data[:, None, :] - C0[None, :, :], axis=2)
+        np.testing.assert_array_equal(algo._labels, np.argmin(dists, axis=1))
+
+    def test_batch_assignment_fires_on_assembled_data(self):
+        X = make_grid_clusters(600, 2, side=3, jitter=0.01, seed=1)
+        algo = IndexKMeans(index="ball-tree")
+        result = algo.fit(X, 9, seed=0, max_iter=8)
+        # Batch pruning must save most per-point distance computations.
+        assert result.pruning_ratio > 0.5
+        assert result.counters.node_accesses > 0
+
+    def test_kd_hyperplane_variant_exact(self, data, centroids_factory):
+        C0 = centroids_factory(data, 6)
+        base = LloydKMeans().fit(data, 6, initial_centroids=C0, max_iter=40)
+        result = IndexKMeans(index="kd-tree").fit(
+            data, 6, initial_centroids=C0, max_iter=40
+        )
+        np.testing.assert_array_equal(result.labels, base.labels)
+
+    def test_kd_uses_hyperplane_flag(self, data):
+        algo = IndexKMeans(index="kd-tree")
+        algo.fit(data, 4, seed=0, max_iter=2)
+        assert algo._use_hyperplane
+        ball = IndexKMeans(index="ball-tree")
+        ball.fit(data, 4, seed=0, max_iter=2)
+        assert not ball._use_hyperplane
+
+
+class TestIncrementalSums:
+    def test_sums_rebuilt_each_iteration(self, data):
+        algo = IndexKMeans(index="ball-tree")
+        result = algo.fit(data, 6, seed=0, max_iter=5)
+        assert algo._counts.sum() == len(data)
+        for j in range(6):
+            members = data[result.labels == j]
+            if len(members):
+                np.testing.assert_allclose(
+                    algo._sums[j], members.sum(axis=0), atol=1e-6
+                )
+
+    def test_refinement_reads_nothing(self, data):
+        algo = IndexKMeans(index="ball-tree")
+        result = algo.fit(data, 6, seed=0, max_iter=5)
+        # All point accesses happen in assignment; refinement mode "none".
+        assignment_accesses = sum(
+            stats.point_accesses for stats in result.iteration_stats
+        )
+        assert assignment_accesses == result.counters.point_accesses
+
+    def test_extras_reports_index_info(self, data):
+        result = IndexKMeans(index="hkt").fit(data, 5, seed=0, max_iter=3)
+        assert result.extras["index"] == "hkt"
+        assert result.extras["index_nodes"] > 0
+
+
+class TestKnobIndexStructure:
+    def test_config_index_structure_flows_through(self, data):
+        from repro.core import KnobConfig, build_algorithm
+
+        algo = build_algorithm(KnobConfig(index="pure", index_structure="hkt"))
+        algo.fit(data, 4, seed=0, max_iter=2)
+        assert algo.tree.name == "hkt"
+
+    def test_unik_index_structure(self, data):
+        from repro.core import KnobConfig, build_algorithm
+
+        algo = build_algorithm(KnobConfig(index="single", index_structure="m-tree"))
+        algo.fit(data, 4, seed=0, max_iter=2)
+        assert algo.tree.name == "m-tree"

@@ -1,0 +1,105 @@
+"""Tests for knob configurations and the algorithm registry."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.core import ALGORITHMS, KMeans, KnobConfig, build_algorithm, make_algorithm
+from repro.core.knobs import SELECTION_POOL, configuration_pool
+from repro.core.index_kmeans import IndexKMeans
+from repro.core.unik import UniKKMeans
+from repro.core.yinyang import YinyangKMeans
+
+
+class TestKnobConfig:
+    def test_defaults(self):
+        config = KnobConfig()
+        assert config.bound == "yinyang"
+        assert config.index == "none"
+
+    def test_rejects_unknown_bound(self):
+        with pytest.raises(ConfigurationError, match="bound knob"):
+            KnobConfig(bound="magic")
+
+    def test_rejects_unknown_index(self):
+        with pytest.raises(ConfigurationError, match="index knob"):
+            KnobConfig(index="r-tree")
+
+    def test_labels(self):
+        assert KnobConfig(bound="hamerly").label == "hamerly"
+        assert KnobConfig(index="pure").label == "index-ball-tree"
+        assert KnobConfig(index="single").label == "unik-single"
+
+    def test_frozen(self):
+        config = KnobConfig()
+        with pytest.raises(AttributeError):
+            config.bound = "elkan"
+
+    def test_hashable_for_dedup(self):
+        assert len({KnobConfig(), KnobConfig(), KnobConfig(bound="heap")}) == 2
+
+
+class TestBuildAlgorithm:
+    def test_sequential(self):
+        assert isinstance(build_algorithm(KnobConfig(bound="yinyang")), YinyangKMeans)
+
+    def test_pure_index(self):
+        assert isinstance(build_algorithm(KnobConfig(index="pure")), IndexKMeans)
+
+    def test_unik_traversals(self):
+        for traversal in ["single", "multiple", "adaptive"]:
+            algo = build_algorithm(KnobConfig(index=traversal))
+            assert isinstance(algo, UniKKMeans)
+            assert algo.traversal == traversal
+
+
+class TestConfigurationPool:
+    def test_selective_pool_contents(self):
+        labels = {config.label for config in configuration_pool(selective=True)}
+        assert set(SELECTION_POOL) <= labels
+        assert "index-ball-tree" in labels
+        assert "elkan" not in labels
+
+    def test_full_pool_superset(self):
+        full = {config.label for config in configuration_pool(selective=False)}
+        selective = {config.label for config in configuration_pool(selective=True)}
+        assert selective <= full
+        assert "elkan" in full
+
+
+class TestRegistry:
+    def test_algorithm_roster(self):
+        # 17 exact methods (incl. the discovered Sphere hybrid) + 2
+        # approximate extensions.
+        assert len(ALGORITHMS) == 19
+        from repro.core import EXACT_ALGORITHMS
+
+        assert len(EXACT_ALGORITHMS) == 17
+        assert "sphere" in EXACT_ALGORITHMS
+        assert "minibatch" not in EXACT_ALGORITHMS
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            make_algorithm("super-kmeans")
+
+    def test_kwargs_forwarded(self):
+        algo = make_algorithm("unik", traversal="multiple")
+        assert algo.traversal == "multiple"
+
+
+class TestKMeansFacade:
+    def test_fit_predict_cycle(self, blobs_small):
+        model = KMeans(k=4, algorithm="hamerly", seed=0, max_iter=20)
+        result = model.fit(blobs_small)
+        assert model.result_ is result
+        predictions = model.predict(blobs_small[:10])
+        np.testing.assert_array_equal(predictions, result.labels[:10])
+
+    def test_predict_before_fit(self, blobs_small):
+        with pytest.raises(ConfigurationError, match="before fit"):
+            KMeans(k=3).predict(blobs_small)
+
+    def test_explicit_initial_centroids(self, blobs_small, centroids_factory):
+        C0 = centroids_factory(blobs_small, 3)
+        result = KMeans(k=3, algorithm="lloyd").fit(blobs_small, initial_centroids=C0)
+        assert result.n_iter >= 1

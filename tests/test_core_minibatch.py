@@ -1,0 +1,78 @@
+"""Tests for the approximate accelerations (mini-batch and sampled)."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.core import make_algorithm
+from repro.core.lloyd import LloydKMeans
+from repro.core.minibatch import MiniBatchKMeans, SampledKMeans
+from repro.datasets import make_blobs
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, _ = make_blobs(1000, 6, 6, cluster_std=0.5, seed=61)
+    return X
+
+
+class TestMiniBatch:
+    def test_runs_and_labels_valid(self, data):
+        result = MiniBatchKMeans(batch_size=128).fit(data, 6, seed=0, max_iter=15)
+        assert result.labels.shape == (len(data),)
+        assert 0 <= result.labels.min() and result.labels.max() < 6
+
+    def test_sse_close_to_lloyd(self, data):
+        lloyd = LloydKMeans().fit(data, 6, seed=0, max_iter=30)
+        mb = MiniBatchKMeans(batch_size=256).fit(data, 6, seed=0, max_iter=30)
+        # Approximate: bounded inflation, not equality.
+        assert mb.sse <= lloyd.sse * 1.5
+
+    def test_deterministic(self, data):
+        a = MiniBatchKMeans(batch_size=64, batch_seed=3).fit(data, 4, seed=1, max_iter=10)
+        b = MiniBatchKMeans(batch_size=64, batch_seed=3).fit(data, 4, seed=1, max_iter=10)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(Exception):
+            MiniBatchKMeans(batch_size=0)
+
+    def test_registered(self, data):
+        result = make_algorithm("minibatch").fit(data, 3, seed=0, max_iter=5)
+        assert result.algorithm == "minibatch"
+
+
+class TestSampled:
+    def test_runs_with_inner_unik(self, data):
+        result = SampledKMeans(sample_fraction=0.2, inner="unik").fit(
+            data, 6, seed=0, max_iter=3
+        )
+        assert result.labels.shape == (len(data),)
+
+    def test_sse_close_to_lloyd(self, data):
+        lloyd = LloydKMeans().fit(data, 6, seed=0, max_iter=30)
+        sampled = SampledKMeans(sample_fraction=0.3).fit(data, 6, seed=0, max_iter=3)
+        assert sampled.sse <= lloyd.sse * 1.5
+
+    def test_inner_counters_merged(self, data):
+        algo = SampledKMeans(sample_fraction=0.2, inner="yinyang")
+        result = algo.fit(data, 5, seed=0, max_iter=2)
+        # The inner run's distances are charged to the outer counters,
+        # on top of the full-assignment passes.
+        full_passes = result.n_iter * len(data) * 5
+        assert result.counters.distance_computations > full_passes
+
+    def test_rejects_zero_fraction(self):
+        with pytest.raises(ConfigurationError):
+            SampledKMeans(sample_fraction=0.0)
+
+    def test_rejects_fraction_above_one(self):
+        with pytest.raises(Exception):
+            SampledKMeans(sample_fraction=1.5)
+
+    def test_small_k_on_tiny_sample(self, data):
+        # Sample smaller than k must still produce k centroids overall.
+        result = SampledKMeans(sample_fraction=0.01, min_sample=10).fit(
+            data, 8, seed=0, max_iter=2
+        )
+        assert result.centroids.shape == (8, data.shape[1])

@@ -1,0 +1,116 @@
+"""Unit tests for the shared pruning primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.pruning import (
+    GroupView,
+    centroid_separations,
+    default_group_count,
+    group_centroids_by_drift,
+    group_centroids_kmeans,
+    half_min_separation,
+    second_max,
+    two_smallest,
+)
+
+
+class TestHalfMinSeparation:
+    def test_basic(self):
+        cc = np.array([[0.0, 2.0, 6.0], [2.0, 0.0, 4.0], [6.0, 4.0, 0.0]])
+        np.testing.assert_allclose(half_min_separation(cc), [1.0, 1.0, 2.0])
+
+    def test_single_centroid_infinite(self):
+        assert half_min_separation(np.zeros((1, 1)))[0] == np.inf
+
+    def test_does_not_mutate_input(self):
+        cc = np.array([[0.0, 1.0], [1.0, 0.0]])
+        half_min_separation(cc)
+        assert cc[0, 0] == 0.0
+
+
+class TestTwoSmallest:
+    def test_basic(self):
+        idx, lo, hi = two_smallest(np.array([5.0, 1.0, 3.0]))
+        assert (idx, lo, hi) == (1, 1.0, 3.0)
+
+    def test_tie_breaks_low_index(self):
+        idx, lo, hi = two_smallest(np.array([2.0, 2.0, 9.0]))
+        assert idx == 0 and lo == 2.0 and hi == 2.0
+
+    def test_single_value(self):
+        idx, lo, hi = two_smallest(np.array([4.0]))
+        assert (idx, lo) == (0, 4.0)
+        assert hi == np.inf
+
+
+class TestSecondMax:
+    def test_basic(self):
+        idx, top, second = second_max(np.array([1.0, 7.0, 3.0]))
+        assert (idx, top, second) == (1, 7.0, 3.0)
+
+    def test_single_value(self):
+        idx, top, second = second_max(np.array([2.0]))
+        assert (idx, top, second) == (0, 2.0, 0.0)
+
+
+class TestDefaultGroupCount:
+    @pytest.mark.parametrize("k,expected", [(1, 1), (9, 1), (10, 1), (11, 2), (100, 10), (101, 11)])
+    def test_ceil_k_over_10(self, k, expected):
+        assert default_group_count(k) == expected
+
+
+class TestGroupings:
+    def test_kmeans_grouping_covers_all(self):
+        C = np.random.default_rng(0).normal(size=(20, 3))
+        labels = group_centroids_kmeans(C, 4, seed=0)
+        assert labels.shape == (20,)
+        assert labels.min() == 0
+        assert set(labels) == set(range(labels.max() + 1))
+
+    def test_kmeans_grouping_single_group(self):
+        C = np.random.default_rng(0).normal(size=(5, 2))
+        labels = group_centroids_kmeans(C, 1)
+        assert (labels == 0).all()
+
+    def test_kmeans_grouping_puts_near_centroids_together(self):
+        # Two far-apart tight packs must not be mixed.
+        C = np.vstack([np.zeros((5, 2)), np.full((5, 2), 100.0)])
+        labels = group_centroids_kmeans(C, 2, seed=1)
+        assert len(set(labels[:5])) == 1
+        assert len(set(labels[5:])) == 1
+        assert labels[0] != labels[5]
+
+    def test_drift_grouping_chunks_sorted(self):
+        drifts = np.array([0.0, 10.0, 0.1, 9.0, 0.2, 8.0])
+        labels = group_centroids_by_drift(drifts, 2)
+        # The three smallest drifts share a group, the three largest another.
+        small = {labels[0], labels[2], labels[4]}
+        large = {labels[1], labels[3], labels[5]}
+        assert len(small) == 1 and len(large) == 1 and small != large
+
+    def test_drift_grouping_more_groups_than_centroids(self):
+        labels = group_centroids_by_drift(np.array([1.0, 2.0]), 10)
+        assert labels.max() < 2
+
+
+class TestGroupView:
+    def test_members_partition(self):
+        view = GroupView(np.array([0, 1, 0, 2, 1]))
+        assert view.t == 3
+        collected = sorted(int(i) for members in view.members for i in members)
+        assert collected == [0, 1, 2, 3, 4]
+
+    def test_max_drift_per_group(self):
+        view = GroupView(np.array([0, 0, 1]))
+        drifts = np.array([1.0, 5.0, 2.0])
+        np.testing.assert_allclose(view.max_drift_per_group(drifts), [5.0, 2.0])
+
+
+class TestCentroidSeparations:
+    def test_consistency(self):
+        C = np.random.default_rng(1).normal(size=(6, 4))
+        cc, s = centroid_separations(C)
+        masked = cc.copy()
+        np.fill_diagonal(masked, np.inf)
+        np.testing.assert_allclose(s, 0.5 * masked.min(axis=1))

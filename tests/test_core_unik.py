@@ -1,0 +1,127 @@
+"""UniK-specific behavior: traversal modes, object bookkeeping, incremental
+refinement, and the adaptive switch."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.core.lloyd import LloydKMeans
+from repro.core.unik import UniKKMeans
+from repro.datasets import make_blobs, make_grid_clusters
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, _ = make_blobs(700, 6, 8, seed=41)
+    return X
+
+
+class TestConstruction:
+    def test_rejects_unknown_traversal(self):
+        with pytest.raises(ConfigurationError, match="traversal"):
+            UniKKMeans(traversal="sideways")
+
+    def test_rejects_unknown_index(self):
+        with pytest.raises(ConfigurationError, match="unknown index"):
+            UniKKMeans(index="quad-tree")
+
+    @pytest.mark.parametrize("index", ["ball-tree", "m-tree", "hkt", "cover-tree"])
+    def test_all_ball_shaped_indexes_supported(self, index, data, centroids_factory):
+        C0 = centroids_factory(data, 6)
+        base = LloydKMeans().fit(data, 6, initial_centroids=C0, max_iter=40)
+        result = UniKKMeans(index=index).fit(data, 6, initial_centroids=C0, max_iter=40)
+        np.testing.assert_array_equal(result.labels, base.labels)
+
+
+class TestObjectBookkeeping:
+    def test_counts_always_total_n(self, data):
+        algo = UniKKMeans(traversal="single")
+        result = algo.fit(data, 8, seed=0, max_iter=10)
+        assert algo._counts.sum() == len(data)
+        covered = sum(
+            obj.node.num if obj.node is not None else 1 for obj in algo._objects
+        )
+        assert covered == len(data)
+
+    def test_sums_match_labels(self, data):
+        algo = UniKKMeans(traversal="single")
+        result = algo.fit(data, 8, seed=0, max_iter=10)
+        for j in range(8):
+            members = data[result.labels == j]
+            if len(members):
+                np.testing.assert_allclose(algo._sums[j], members.sum(axis=0), atol=1e-6)
+            assert algo._counts[j] == len(members)
+
+    def test_assembled_data_keeps_node_objects(self):
+        # On tightly assembled data, most of the tree should survive as
+        # whole-node objects — the batch pruning the paper credits UniK with.
+        X = make_grid_clusters(800, 2, side=4, jitter=0.01, seed=3)
+        algo = UniKKMeans(traversal="single")
+        result = algo.fit(X, 16, seed=0, max_iter=10)
+        assert result.extras["node_objects"] > 0
+        assert result.extras["objects"] < len(X) / 2
+
+    def test_refinement_reads_no_points(self, data):
+        result = UniKKMeans(traversal="single").fit(data, 8, seed=0, max_iter=10)
+        # Incremental sum-vector refinement: every point access happens in
+        # assignment, none in refinement.  Check per-iteration: refinement
+        # adds no point accesses beyond the assignment's.
+        lloyd = LloydKMeans(refinement="rescan").fit(data, 8, seed=0, max_iter=10)
+        per_iter_lloyd = lloyd.counters.point_accesses / lloyd.n_iter
+        # Lloyd rescan pays n per iteration on top of n*k; UniK pays none.
+        assert result.refinement_time < lloyd.refinement_time * 5  # sanity
+
+
+class TestTraversalModes:
+    def test_single_keeps_objects_across_iterations(self, data):
+        algo = UniKKMeans(traversal="single")
+        algo.fit(data, 8, seed=0, max_iter=10)
+        assert algo._mode == "single"
+
+    def test_multiple_rebuilds_each_iteration(self, data):
+        algo = UniKKMeans(traversal="multiple")
+        result = algo.fit(data, 8, seed=0, max_iter=10)
+        assert result.extras["resolved_mode"] == "multiple"
+
+    def test_adaptive_resolves_to_some_mode(self, data):
+        algo = UniKKMeans(traversal="adaptive")
+        result = algo.fit(data, 8, seed=0, max_iter=10)
+        assert result.extras["resolved_mode"] in ("single", "multiple", "adaptive")
+
+    def test_modes_agree_on_result(self, data, centroids_factory):
+        C0 = centroids_factory(data, 10)
+        results = [
+            UniKKMeans(traversal=mode).fit(data, 10, initial_centroids=C0, max_iter=40)
+            for mode in ("single", "multiple", "adaptive")
+        ]
+        for result in results[1:]:
+            np.testing.assert_array_equal(result.labels, results[0].labels)
+
+
+class TestGroupConfiguration:
+    def test_t_defaults_to_ceil_k_over_10(self, data):
+        algo = UniKKMeans()
+        algo.fit(data, 25, seed=0, max_iter=3)
+        assert algo.groups.t == 3
+
+    def test_t_equals_k_supported(self, data, centroids_factory):
+        C0 = centroids_factory(data, 15)
+        base = LloydKMeans().fit(data, 15, initial_centroids=C0, max_iter=40)
+        result = UniKKMeans(t=15).fit(data, 15, initial_centroids=C0, max_iter=40)
+        np.testing.assert_array_equal(result.labels, base.labels)
+
+    def test_extras_report_groups(self, data):
+        result = UniKKMeans(t=4).fit(data, 12, seed=0, max_iter=3)
+        assert result.extras["groups"] == 4
+
+
+class TestNodeBoundInheritance:
+    def test_leaf_psi_cached_for_all_leaves(self, data):
+        algo = UniKKMeans()
+        algo.fit(data, 5, seed=0, max_iter=2)
+        for leaf in algo.tree.leaves():
+            psis = algo._leaf_psi[id(leaf)]
+            assert len(psis) == leaf.num
+            # psi is the exact point-to-pivot distance
+            dists = np.linalg.norm(data[leaf.point_indices] - leaf.pivot, axis=1)
+            np.testing.assert_allclose(psis, dists, atol=1e-9)

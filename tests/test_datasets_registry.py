@@ -1,0 +1,75 @@
+"""Unit tests for the paper-dataset surrogate registry."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import DatasetError
+from repro.datasets import dataset_names, get_dataset_spec, load_dataset
+
+
+class TestRegistryContents:
+    def test_all_table2_datasets_present(self):
+        names = {name.lower() for name in dataset_names()}
+        for expected in [
+            "bigcross", "conflong", "covtype", "europe", "keggdirect",
+            "keggundirect", "nyc-taxi", "skin", "power", "roadnetwork",
+            "us-census", "mnist",
+        ]:
+            assert expected in names
+
+    def test_generalization_datasets_present(self):
+        # Spam, Shuttle, MSD: the unseen-dataset check of Section 7.3.2.
+        names = {name.lower() for name in dataset_names()}
+        assert {"spam", "shuttle", "msd"} <= names
+
+    def test_spec_dimensions_match_paper(self):
+        assert get_dataset_spec("Mnist").d == 784
+        assert get_dataset_spec("NYC-Taxi").d == 2
+        assert get_dataset_spec("BigCross").d == 57
+        assert get_dataset_spec("US-Census").d == 68
+
+    def test_spec_scales_match_paper(self):
+        assert get_dataset_spec("NYC-Taxi").n_paper == 3_500_000
+        assert get_dataset_spec("BigCross").n_paper == 1_160_000
+
+    def test_lookup_case_insensitive(self):
+        assert get_dataset_spec("nyc-taxi").name == "NYC-Taxi"
+
+    def test_unknown_raises(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            get_dataset_spec("nope")
+
+    def test_default_n_clamped(self):
+        spec = get_dataset_spec("Spam")  # tiny paper dataset
+        assert 1000 <= spec.default_n() <= 8000
+        spec = get_dataset_spec("NYC-Taxi")  # huge paper dataset
+        assert spec.default_n() <= 8000
+
+
+class TestLoadDataset:
+    def test_shapes_and_determinism(self):
+        X1 = load_dataset("Covtype", n=500, seed=3)
+        X2 = load_dataset("Covtype", n=500, seed=3)
+        assert X1.shape == (500, 55)
+        np.testing.assert_array_equal(X1, X2)
+
+    def test_different_seeds_differ(self):
+        X1 = load_dataset("Skin", n=200, seed=1)
+        X2 = load_dataset("Skin", n=200, seed=2)
+        assert not np.array_equal(X1, X2)
+
+    def test_dimension_override(self):
+        X = load_dataset("Mnist", n=50, d=64, seed=0)
+        assert X.shape == (50, 64)
+
+    def test_spatial_dimension_padding(self):
+        X = load_dataset("Europe", n=100, d=4, seed=0)
+        assert X.shape == (100, 4)
+        # The padded dimensions are near-zero noise.
+        assert np.abs(X[:, 2:]).max() < 0.2
+
+    def test_every_dataset_loads(self):
+        for name in dataset_names():
+            X = load_dataset(name, n=60, seed=0)
+            assert X.shape[0] == 60
+            assert np.isfinite(X).all()

@@ -1,0 +1,120 @@
+"""Unit tests for the synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ValidationError
+from repro.datasets import (
+    make_annular,
+    make_blobs,
+    make_gaussian_quantiles,
+    make_grid_clusters,
+    make_mnist_like,
+    make_spatial,
+    make_uniform,
+)
+
+
+class TestMakeBlobs:
+    def test_shape(self):
+        X, y = make_blobs(100, 5, 3, seed=0)
+        assert X.shape == (100, 5)
+        assert y.shape == (100,)
+
+    def test_deterministic(self):
+        X1, _ = make_blobs(50, 3, 2, seed=7)
+        X2, _ = make_blobs(50, 3, 2, seed=7)
+        np.testing.assert_array_equal(X1, X2)
+
+    def test_labels_in_range(self):
+        _, y = make_blobs(80, 2, 4, seed=1)
+        assert y.min() >= 0 and y.max() < 4
+
+    def test_cluster_std_controls_spread(self):
+        tight, y = make_blobs(500, 2, 1, cluster_std=0.1, seed=3)
+        loose, _ = make_blobs(500, 2, 1, cluster_std=5.0, seed=3)
+        assert tight.std() < loose.std()
+
+    def test_rejects_too_many_centers(self):
+        with pytest.raises(ValidationError):
+            make_blobs(5, 2, 10, seed=0)
+
+
+class TestMakeSpatial:
+    def test_two_dimensional(self):
+        X = make_spatial(200, seed=0)
+        assert X.shape == (200, 2)
+
+    def test_within_extent(self):
+        X = make_spatial(300, extent=(0.0, 1.0), hotspot_std=0.001, seed=2)
+        # Hot-spot noise can leak slightly past the box; background cannot.
+        assert X.min() > -0.2 and X.max() < 1.2
+
+    def test_clustered_structure(self):
+        # Hot-spot data must be far more concentrated than uniform noise:
+        # compare median nearest-neighbor distances.
+        X = make_spatial(400, hotspots=5, hotspot_std=0.002,
+                         background_fraction=0.0, seed=3)
+        U = make_uniform(400, 2, seed=3)
+
+        def median_nn(A):
+            d = np.linalg.norm(A[:, None] - A[None, :], axis=2)
+            np.fill_diagonal(d, np.inf)
+            return np.median(d.min(axis=1))
+
+        assert median_nn(X) < median_nn(U) / 3
+
+
+class TestMakeMnistLike:
+    def test_shape_and_range(self):
+        X = make_mnist_like(50, 100, seed=0)
+        assert X.shape == (50, 100)
+        assert X.min() >= 0.0 and X.max() <= 255.0
+
+    def test_default_dimension_is_784(self):
+        X = make_mnist_like(10, seed=1)
+        assert X.shape[1] == 784
+
+
+class TestMakeAnnular:
+    def test_radii_concentrate_on_rings(self):
+        X = make_annular(500, 3, rings=2, ring_gap=4.0, ring_std=0.01, seed=0)
+        radii = np.linalg.norm(X, axis=1)
+        near_ring = (np.abs(radii - 4.0) < 0.1) | (np.abs(radii - 8.0) < 0.1)
+        assert near_ring.mean() > 0.95
+
+
+class TestMakeGaussianQuantiles:
+    def test_equal_mass_shells(self):
+        X, y = make_gaussian_quantiles(1000, 4, 5, seed=0)
+        counts = np.bincount(y)
+        assert len(counts) == 5
+        assert counts.max() - counts.min() <= 1
+
+    def test_shells_ordered_by_radius(self):
+        X, y = make_gaussian_quantiles(600, 3, 3, seed=1)
+        radii = np.linalg.norm(X, axis=1)
+        assert radii[y == 0].max() <= radii[y == 2].min() + 1e-9
+
+    def test_variance_scales_spread(self):
+        X1, _ = make_gaussian_quantiles(500, 2, 2, variance=0.01, seed=2)
+        X2, _ = make_gaussian_quantiles(500, 2, 2, variance=4.0, seed=2)
+        assert X1.std() < X2.std()
+
+
+class TestMakeGridClusters:
+    def test_values_near_lattice(self):
+        X = make_grid_clusters(300, 2, side=3, jitter=0.01, seed=0)
+        rounded = np.round(X)
+        assert np.abs(X - rounded).max() < 0.1
+        assert rounded.min() >= 0 and rounded.max() <= 2
+
+    def test_shape(self):
+        X = make_grid_clusters(100, 3, side=2, seed=1)
+        assert X.shape == (100, 3)
+
+
+class TestMakeUniform:
+    def test_bounds(self):
+        X = make_uniform(100, 3, low=-2.0, high=2.0, seed=0)
+        assert X.min() >= -2.0 and X.max() <= 2.0

@@ -1,0 +1,148 @@
+"""Tests for preprocessing transforms."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import NotFittedError, ValidationError
+from repro.datasets.transforms import MinMaxScaler, PCAProjector, StandardScaler
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(0)
+    return rng.normal([5.0, -3.0, 0.0], [2.0, 0.5, 1.0], size=(300, 3))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, data):
+        Z = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_no_nan(self):
+        X = np.column_stack([np.ones(50), np.arange(50, dtype=float)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+
+    def test_inverse_round_trip(self, data):
+        scaler = StandardScaler().fit(data)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(data)), data, atol=1e-9
+        )
+
+    def test_unfitted(self, data):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(data)
+
+    def test_feature_mismatch(self, data):
+        scaler = StandardScaler().fit(data)
+        with pytest.raises(ValidationError):
+            scaler.transform(data[:, :2])
+
+
+class TestMinMaxScaler:
+    def test_unit_interval(self, data):
+        Z = MinMaxScaler().fit_transform(data)
+        assert Z.min() >= 0.0 and Z.max() <= 1.0
+        np.testing.assert_allclose(Z.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_applies_train_statistics(self, data):
+        scaler = MinMaxScaler().fit(data[:100])
+        Z = scaler.transform(data[100:])
+        # Held-out data can exceed [0, 1]; the transform must not clip.
+        assert np.isfinite(Z).all()
+
+    def test_unfitted(self, data):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(data)
+
+
+class TestPCAProjector:
+    def test_recovers_dominant_direction(self):
+        rng = np.random.default_rng(1)
+        direction = np.array([3.0, 4.0]) / 5.0
+        X = rng.normal(size=(500, 1)) * 10.0 @ direction[None, :]
+        X += rng.normal(scale=0.1, size=X.shape)
+        pca = PCAProjector(1, seed=0).fit(X)
+        leading = pca.components_[0]
+        assert abs(abs(leading @ direction) - 1.0) < 1e-3
+
+    def test_components_orthonormal(self, data):
+        pca = PCAProjector(2, seed=0).fit(data)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(2), atol=1e-8)
+
+    def test_variance_sorted_descending(self, data):
+        pca = PCAProjector(3, seed=0).fit(data)
+        variances = pca.explained_variance_
+        assert all(variances[i] >= variances[i + 1] - 1e-12 for i in range(2))
+
+    def test_transform_shape(self, data):
+        Z = PCAProjector(2, seed=0).fit_transform(data)
+        assert Z.shape == (len(data), 2)
+
+    def test_rejects_too_many_components(self, data):
+        with pytest.raises(ValidationError):
+            PCAProjector(10).fit(data)
+
+    def test_rejects_zero_components(self):
+        with pytest.raises(ValidationError):
+            PCAProjector(0)
+
+    def test_matches_numpy_eigendecomposition(self, data):
+        pca = PCAProjector(3, seed=0, iterations=200).fit(data)
+        cov = np.cov(data.T)
+        eigvals = np.sort(np.linalg.eigvalsh(cov))[::-1]
+        np.testing.assert_allclose(
+            pca.explained_variance_, eigvals[:3], rtol=1e-4
+        )
+
+
+class TestRestarts:
+    def test_best_is_minimum_of_history(self):
+        from repro.core.restarts import fit_with_restarts
+        from repro.datasets import make_blobs
+
+        X, _ = make_blobs(300, 4, 5, seed=3)
+        report = fit_with_restarts(X, 5, algorithm="lloyd", n_init=4, seed=0,
+                                   max_iter=20)
+        assert report.n_restarts == 4
+        assert report.best.sse == pytest.approx(min(report.sse_history))
+
+    def test_more_restarts_never_worse(self):
+        from repro.core.restarts import fit_with_restarts
+        from repro.datasets import make_blobs
+
+        X, _ = make_blobs(300, 4, 6, seed=4)
+        one = fit_with_restarts(X, 6, algorithm="lloyd", n_init=1, seed=7,
+                                max_iter=20)
+        many = fit_with_restarts(X, 6, algorithm="lloyd", n_init=6, seed=7,
+                                 max_iter=20)
+        assert many.best.sse <= one.best.sse + 1e-9
+
+    def test_counters_aggregated(self):
+        from repro.core.restarts import fit_with_restarts
+        from repro.datasets import make_blobs
+
+        X, _ = make_blobs(200, 3, 4, seed=5)
+        report = fit_with_restarts(X, 4, algorithm="lloyd", n_init=3, seed=0,
+                                   max_iter=10)
+        single = report.best.counters.distance_computations
+        assert report.total_counters.distance_computations > single
+
+    def test_rejects_zero_restarts(self):
+        from repro.common.exceptions import ConfigurationError
+        from repro.core.restarts import fit_with_restarts
+
+        with pytest.raises(ConfigurationError):
+            fit_with_restarts(np.ones((10, 2)), 2, n_init=0)
+
+    def test_works_with_accelerated_algorithms(self):
+        from repro.core.restarts import fit_with_restarts
+        from repro.datasets import make_blobs
+
+        X, _ = make_blobs(250, 3, 4, seed=6)
+        report = fit_with_restarts(X, 4, algorithm="yinyang", n_init=2, seed=0,
+                                   max_iter=15)
+        assert report.best.algorithm == "yinyang"

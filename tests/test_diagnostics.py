@@ -1,0 +1,114 @@
+"""Tests for the diagnostics package — and, through it, the strongest
+soundness checks in the suite: every stored bound of every bound-based
+method is audited against brute force on every iteration."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_algorithm
+from repro.core.initialization import init_kmeans_plus_plus
+from repro.datasets import make_blobs
+from repro.diagnostics import (
+    audit_algorithm,
+    compare_trajectories,
+    record_trajectory,
+)
+from repro.diagnostics.bound_audit import BoundAudit
+
+BOUNDED_METHODS = [
+    "elkan", "hamerly", "drake", "yinyang", "regroup",
+    "annular", "exponion", "drift", "vector", "sphere",
+]
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, _ = make_blobs(350, 5, 6, seed=81)
+    return X
+
+
+class TestBoundAudit:
+    @pytest.mark.parametrize("name", BOUNDED_METHODS)
+    @pytest.mark.parametrize("k", [4, 17])
+    def test_no_violations(self, name, k, data):
+        audit = audit_algorithm(make_algorithm(name), data, k, max_iter=20)
+        assert audit.iterations_audited > 0
+        assert audit.ok, audit.violations[:5]
+
+    def test_detects_planted_violation(self, data):
+        # Corrupt Hamerly's lower bound mid-run and confirm the audit sees it.
+        algorithm = make_algorithm("hamerly")
+        original = algorithm._update_bounds
+
+        def corrupt(drifts):
+            original(drifts)
+            algorithm._lb += 1e6  # blatantly unsound
+
+        algorithm._update_bounds = corrupt
+        audit = BoundAudit()
+        hooked = algorithm._update_bounds
+
+        def hooked_with_audit(drifts):
+            hooked(drifts)
+            audit.check(algorithm, 1)
+
+        algorithm._update_bounds = hooked_with_audit
+        algorithm.fit(data, 5, seed=0, max_iter=3)
+        assert not audit.ok
+        assert any(v.kind == "global-lb" for v in audit.violations)
+
+    def test_detects_bad_upper_bound(self, data):
+        algorithm = make_algorithm("hamerly")
+        algorithm.fit(data, 5, seed=0, max_iter=5)
+        algorithm._ub[:] = 0.0  # claim every point sits on its centroid
+        audit = BoundAudit()
+        audit.check(algorithm, 99)
+        assert any(v.kind == "ub" for v in audit.violations)
+
+
+class TestTrajectory:
+    def test_recording_shape(self, data):
+        trajectory = record_trajectory(
+            make_algorithm("lloyd"), data, 5, seed=0, max_iter=10
+        )
+        assert trajectory.n_iter >= 1
+        assert trajectory.labels[0].shape == (len(data),)
+        assert trajectory.centroids[0].shape == (5, data.shape[1])
+
+    @pytest.mark.parametrize("name", ["elkan", "yinyang", "unik", "index", "heap"])
+    def test_trajectories_match_lloyd_exactly(self, name, data, centroids_factory):
+        C0 = centroids_factory(data, 8)
+        base = record_trajectory(
+            make_algorithm("lloyd"), data, 8, initial_centroids=C0, max_iter=40
+        )
+        other = record_trajectory(
+            make_algorithm(name), data, 8, initial_centroids=C0, max_iter=40
+        )
+        divergence = compare_trajectories(base, other)
+        assert divergence is None, divergence
+
+    def test_divergence_located(self, data):
+        C0 = init_kmeans_plus_plus(data, 6, seed=0)
+        C1 = init_kmeans_plus_plus(data, 6, seed=1)
+        a = record_trajectory(
+            make_algorithm("lloyd"), data, 6, initial_centroids=C0, max_iter=15
+        )
+        b = record_trajectory(
+            make_algorithm("lloyd"), data, 6, initial_centroids=C1, max_iter=15
+        )
+        divergence = compare_trajectories(a, b)
+        assert divergence is not None
+        assert divergence.iteration == 0
+
+    def test_length_divergence(self, data):
+        C0 = init_kmeans_plus_plus(data, 6, seed=0)
+        long = record_trajectory(
+            make_algorithm("lloyd"), data, 6, initial_centroids=C0, max_iter=40
+        )
+        short = record_trajectory(
+            make_algorithm("lloyd"), data, 6, initial_centroids=C0, max_iter=2
+        )
+        divergence = compare_trajectories(long, short)
+        if long.n_iter > 2:
+            assert divergence is not None
+            assert divergence.kind == "length"

@@ -1,0 +1,126 @@
+"""Edge-case and regression tests across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_algorithm
+from repro.core.heap import HeapKMeans
+from repro.core.minibatch import MiniBatchKMeans
+from repro.datasets import make_anisotropic, make_blobs
+from repro.eval.logdb import EvaluationLog
+
+
+class TestDegenerateK:
+    def test_heap_k_one(self):
+        X, _ = make_blobs(100, 3, 2, seed=0)
+        result = HeapKMeans().fit(X, 1, max_iter=5, seed=0)
+        assert (result.labels == 0).all()
+        np.testing.assert_allclose(result.centroids[0], X.mean(axis=0), atol=1e-8)
+
+    @pytest.mark.parametrize("name", ["exponion", "annular", "vector", "pami20"])
+    def test_norm_based_methods_k_one(self, name):
+        X, _ = make_blobs(80, 3, 2, seed=1)
+        result = make_algorithm(name).fit(X, 1, max_iter=5, seed=0)
+        np.testing.assert_allclose(result.centroids[0], X.mean(axis=0), atol=1e-8)
+
+    def test_k_equals_n(self):
+        X = np.random.default_rng(0).normal(size=(12, 2))
+        result = make_algorithm("lloyd").fit(X, 12, max_iter=10, seed=0)
+        # Every point its own cluster: SSE must be (near) zero.
+        assert result.sse < 1e-12
+
+
+class TestSinglePointAndFeature:
+    @pytest.mark.parametrize("name", ["lloyd", "hamerly", "yinyang", "unik", "index"])
+    def test_one_dimensional_data(self, name):
+        X = np.sort(np.random.default_rng(0).normal(size=(150, 1)), axis=0)
+        result = make_algorithm(name).fit(X, 4, max_iter=40, seed=0)
+        # 1-d clusters are intervals: labels sorted by position must be
+        # piecewise constant.
+        changes = np.count_nonzero(np.diff(result.labels[np.argsort(X[:, 0])]))
+        assert changes == 3
+
+    def test_two_points(self):
+        X = np.array([[0.0, 0.0], [10.0, 10.0]])
+        result = make_algorithm("unik").fit(X, 2, max_iter=5, seed=0)
+        assert result.sse < 1e-12
+
+
+class TestMiniBatchEdges:
+    def test_batch_larger_than_n(self):
+        X, _ = make_blobs(50, 3, 3, seed=0)
+        result = MiniBatchKMeans(batch_size=10_000).fit(X, 3, max_iter=5, seed=0)
+        assert result.labels.shape == (50,)
+
+    def test_max_iter_one(self):
+        X, _ = make_blobs(80, 3, 3, seed=0)
+        result = MiniBatchKMeans().fit(X, 3, max_iter=1, seed=0)
+        assert result.n_iter == 1
+
+
+class TestAnisotropicGenerator:
+    def test_shape_and_determinism(self):
+        X1, y1 = make_anisotropic(300, 5, 4, seed=3)
+        X2, y2 = make_anisotropic(300, 5, 4, seed=3)
+        assert X1.shape == (300, 5)
+        np.testing.assert_array_equal(X1, X2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_elongation_increases_spread_anisotropy(self):
+        # Within one component, variance along the stretched direction must
+        # dominate variance across it.
+        X, y = make_anisotropic(2000, 4, 1, anisotropy=8.0, seed=1)
+        centered = X - X.mean(axis=0)
+        cov = centered.T @ centered / len(X)
+        eigvals = np.sort(np.linalg.eigvalsh(cov))
+        assert eigvals[-1] > 10 * eigvals[0]
+
+    def test_isotropic_when_anisotropy_one(self):
+        X, _ = make_anisotropic(2000, 3, 1, anisotropy=1.0, seed=2)
+        centered = X - X.mean(axis=0)
+        cov = centered.T @ centered / len(X)
+        eigvals = np.sort(np.linalg.eigvalsh(cov))
+        assert eigvals[-1] < 1.5 * eigvals[0]
+
+    def test_algorithms_exact_on_anisotropic_data(self, centroids_factory):
+        from repro.core.lloyd import LloydKMeans
+
+        X, _ = make_anisotropic(400, 4, 5, seed=4)
+        C0 = centroids_factory(X, 6)
+        base = LloydKMeans().fit(X, 6, initial_centroids=C0, max_iter=40)
+        for name in ["elkan", "yinyang", "unik", "index"]:
+            result = make_algorithm(name).fit(
+                X, 6, initial_centroids=C0, max_iter=40
+            )
+            np.testing.assert_array_equal(result.labels, base.labels)
+
+
+class TestHarnessLogIntegration:
+    def test_records_flow_into_log(self, tmp_path):
+        from repro.eval import compare_algorithms
+
+        X, _ = make_blobs(200, 3, 4, seed=0)
+        records = compare_algorithms(["lloyd", "hamerly"], X, 4,
+                                     repeats=1, max_iter=4)
+        log = EvaluationLog(tmp_path / "log.jsonl")
+        log.add_many(records, dataset="blobs", seed=0)
+        assert log.best("total_time")["algorithm"] in ("lloyd", "hamerly")
+        # Reload and aggregate.
+        again = EvaluationLog(tmp_path / "log.jsonl")
+        assert again.mean("n", dataset="blobs") == 200
+
+
+class TestRecordSse:
+    def test_sse_recorded_and_monotone(self):
+        X, _ = make_blobs(300, 4, 5, seed=0)
+        result = make_algorithm("lloyd").fit(
+            X, 5, max_iter=20, seed=0, record_sse=True
+        )
+        sses = [stats.sse for stats in result.iteration_stats]
+        assert all(s is not None for s in sses)
+        assert all(b <= a + 1e-9 for a, b in zip(sses, sses[1:]))
+
+    def test_sse_none_by_default(self):
+        X, _ = make_blobs(100, 3, 3, seed=0)
+        result = make_algorithm("lloyd").fit(X, 3, max_iter=3, seed=0)
+        assert result.iteration_stats[0].sse is None

@@ -1,0 +1,152 @@
+"""Tests for the evaluation harness, leaderboard, tables and sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.core import KnobConfig
+from repro.eval import (
+    Leaderboard,
+    compare_algorithms,
+    format_table,
+    run_algorithm,
+    speedup_table,
+    sweep_parameter,
+)
+from repro.eval.harness import RunRecord
+from repro.eval.sweeps import series
+from repro.eval.tables import format_speedup_rows
+
+
+@pytest.fixture(scope="module")
+def data():
+    from repro.datasets import make_blobs
+
+    X, _ = make_blobs(300, 4, 5, seed=51)
+    return X
+
+
+class TestRunAlgorithm:
+    def test_basic_record(self, data):
+        record = run_algorithm("lloyd", data, 5, repeats=2, max_iter=5)
+        assert record.algorithm == "lloyd"
+        assert record.repeats == 2
+        assert record.n == 300 and record.d == 4 and record.k == 5
+        assert record.total_time > 0
+        assert record.distance_computations > 0
+
+    def test_accepts_knob_config(self, data):
+        record = run_algorithm(KnobConfig(bound="hamerly"), data, 5, repeats=1, max_iter=5)
+        assert record.algorithm == "hamerly"
+
+    def test_accepts_factory(self, data):
+        from repro.core.yinyang import YinyangKMeans
+
+        record = run_algorithm(lambda: YinyangKMeans(t=2), data, 5, repeats=1, max_iter=5)
+        assert record.algorithm == "yinyang"
+
+    def test_as_dict_json_safe(self, data):
+        import json
+
+        record = run_algorithm("lloyd", data, 3, repeats=1, max_iter=3)
+        json.dumps(record.as_dict())
+
+
+class TestCompareAlgorithms:
+    def test_shared_initialization_gives_equal_sse(self, data):
+        records = compare_algorithms(
+            ["lloyd", "elkan", "yinyang"], data, 6, repeats=2, max_iter=30
+        )
+        sses = [record.sse for record in records]
+        assert max(sses) - min(sses) < 1e-6 * (1 + sses[0])
+
+    def test_record_per_spec(self, data):
+        records = compare_algorithms(["lloyd", "hamerly"], data, 4, repeats=1, max_iter=3)
+        assert [r.algorithm for r in records] == ["lloyd", "hamerly"]
+
+
+class TestSpeedupTable:
+    def test_baseline_is_one(self, data):
+        records = compare_algorithms(["lloyd", "elkan"], data, 5, repeats=1, max_iter=5)
+        table = speedup_table(records)
+        assert table["lloyd"]["time"] == pytest.approx(1.0)
+        assert table["lloyd"]["work"] == pytest.approx(1.0)
+
+    def test_elkan_does_less_work(self, data):
+        records = compare_algorithms(["lloyd", "elkan"], data, 8, repeats=1, max_iter=10)
+        table = speedup_table(records)
+        assert table["elkan"]["work"] > 1.0
+
+    def test_missing_baseline_raises(self, data):
+        records = compare_algorithms(["elkan"], data, 5, repeats=1, max_iter=3)
+        with pytest.raises(KeyError, match="baseline"):
+            speedup_table(records)
+
+    def test_rows_formatting(self, data):
+        records = compare_algorithms(["lloyd", "elkan"], data, 5, repeats=1, max_iter=3)
+        rows = format_speedup_rows(speedup_table(records), order=["lloyd", "elkan"])
+        assert rows[0][0] == "lloyd"
+        assert len(rows) == 2
+
+
+def _record(name, time, pruning=0.5):
+    return RunRecord(
+        algorithm=name, n=10, d=2, k=2, repeats=1,
+        total_time=time, assignment_time=time, refinement_time=0.0,
+        setup_time=0.0, sse=1.0, n_iter=1.0, pruning_ratio=pruning,
+        distance_computations=10, point_accesses=1, node_accesses=0,
+        bound_accesses=0, bound_updates=0, footprint_floats=1,
+    )
+
+
+class TestLeaderboard:
+    def test_top1_counting(self):
+        board = Leaderboard()
+        board.add_task([_record("a", 1.0), _record("b", 2.0)])
+        board.add_task([_record("a", 3.0), _record("b", 2.0)])
+        board.add_task([_record("a", 1.0), _record("b", 2.0)])
+        assert board.top1["a"] == 2
+        assert board.top1["b"] == 1
+        assert board.top1_share()["a"] == pytest.approx(2 / 3)
+
+    def test_top3_includes_top1(self):
+        board = Leaderboard()
+        board.add_task([_record(n, t) for n, t in [("a", 1), ("b", 2), ("c", 3), ("d", 4)]])
+        assert board.top3 == {"a": 1, "b": 1, "c": 1}
+
+    def test_descending_metric(self):
+        board = Leaderboard(metric="pruning_ratio", ascending=False)
+        board.add_task([_record("a", 1.0, pruning=0.9), _record("b", 1.0, pruning=0.1)])
+        assert board.top1 == {"a": 1}
+
+    def test_empty_task_rejected(self):
+        with pytest.raises(ValueError):
+            Leaderboard().add_task([])
+
+    def test_ranking_retrieval(self):
+        board = Leaderboard()
+        board.add_task([_record("b", 2.0), _record("a", 1.0)])
+        assert board.ranking_of(0) == ["a", "b"]
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["name", "value"], [["x", 1.5], ["longer", 22.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len(lines) == 5
+
+    def test_handles_nan(self):
+        text = format_table(["v"], [[float("nan")]])
+        assert "-" in text.splitlines()[-1]
+
+
+class TestSweeps:
+    def test_sweep_and_series(self, data):
+        def make_task(n):
+            return data[:n], 4
+
+        sweep = sweep_parameter([100, 200], make_task, ["lloyd"], repeats=1, max_iter=3)
+        assert set(sweep) == {100, 200}
+        points = series(sweep, "lloyd", "distance_computations")
+        assert points[0][1] < points[1][1]  # more data, more distances

@@ -1,0 +1,113 @@
+"""Tests for the evaluation-log store and the computed Table 4 ratings."""
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import RunRecord
+from repro.eval.logdb import EvaluationLog
+from repro.eval.summary import (
+    CRITERIA,
+    PARAMETER_FREE,
+    rate_algorithms,
+    render_circles,
+)
+
+
+def _record(name, *, time=1.0, footprint=10, point=100, bound=50, dist=1000,
+            cost=5000.0):
+    return RunRecord(
+        algorithm=name, n=100, d=4, k=5, repeats=1,
+        total_time=time, assignment_time=time, refinement_time=0.0,
+        setup_time=0.0, sse=1.0, n_iter=5.0, pruning_ratio=0.5,
+        distance_computations=dist, point_accesses=point, node_accesses=0,
+        bound_accesses=bound, bound_updates=0, footprint_floats=footprint,
+        modeled_cost=cost,
+    )
+
+
+class TestEvaluationLog:
+    def test_in_memory_add_query(self):
+        log = EvaluationLog()
+        log.add(_record("lloyd"), dataset="toy")
+        log.add(_record("elkan", time=0.5), dataset="toy")
+        assert len(log) == 2
+        assert log.algorithms() == ["elkan", "lloyd"]
+        assert len(log.query(algorithm="lloyd")) == 1
+
+    def test_persistence_round_trip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = EvaluationLog(path)
+        log.add(_record("lloyd"), dataset="toy", seed=3)
+        reloaded = EvaluationLog(path)
+        assert len(reloaded) == 1
+        assert reloaded.query(seed=3)[0]["dataset"] == "toy"
+
+    def test_predicate_filters(self):
+        log = EvaluationLog()
+        log.add(_record("a", time=1.0))
+        log.add(_record("b", time=3.0))
+        fast = log.query(total_time=lambda t: t < 2.0)
+        assert [r["algorithm"] for r in fast] == ["a"]
+
+    def test_mean_and_best(self):
+        log = EvaluationLog()
+        log.add(_record("a", time=1.0))
+        log.add(_record("a", time=3.0))
+        log.add(_record("b", time=0.5))
+        assert log.mean("total_time", algorithm="a") == pytest.approx(2.0)
+        assert log.best("total_time")["algorithm"] == "b"
+        assert log.best("total_time", minimize=False)["algorithm"] == "a"
+
+    def test_missing_field_raises(self):
+        log = EvaluationLog()
+        log.add(_record("a"))
+        with pytest.raises(KeyError):
+            log.mean("nonexistent")
+
+    def test_add_many_with_context(self):
+        log = EvaluationLog()
+        count = log.add_many([_record("a"), _record("b")], dataset="x")
+        assert count == 2
+        assert all(r["dataset"] == "x" for r in log.query())
+
+
+class TestSummaryRatings:
+    def test_requires_tasks(self):
+        with pytest.raises(ValueError):
+            rate_algorithms([])
+
+    def test_all_criteria_scored(self):
+        tasks = [[_record("a"), _record("b", cost=1000.0)]]
+        ratings = rate_algorithms(tasks)
+        for name in ("a", "b"):
+            assert set(ratings[name]) == set(CRITERIA)
+            assert all(1 <= v <= 5 for v in ratings[name].values())
+
+    def test_space_ordering(self):
+        tasks = [[
+            _record("small", footprint=1),
+            _record("big", footprint=10_000),
+        ]]
+        ratings = rate_algorithms(tasks)
+        assert ratings["small"]["space_saving"] > ratings["big"]["space_saving"]
+
+    def test_leaderboard_reflects_cost_wins(self):
+        tasks = [
+            [_record("fast", cost=100.0), _record("slow", cost=10_000.0)]
+            for _ in range(3)
+        ]
+        ratings = rate_algorithms(tasks)
+        assert ratings["fast"]["leaderboard"] > ratings["slow"]["leaderboard"]
+
+    def test_parameter_free_structural(self):
+        tasks = [[_record("hamerly"), _record("yinyang")]]
+        ratings = rate_algorithms(tasks)
+        assert ratings["hamerly"]["parameter_free"] == 5
+        assert ratings["yinyang"]["parameter_free"] == 2
+        assert "hamerly" in PARAMETER_FREE
+
+    def test_render_circles(self):
+        assert render_circles(5) == "●●●●●"
+        assert render_circles(0) == "○○○○○"
+        assert render_circles(3) == "●●●○○"
+        assert len(render_circles(99)) == 5

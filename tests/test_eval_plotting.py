@@ -1,0 +1,78 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.eval.plotting import bar_chart, line_series, sparkline
+
+
+class TestBarChart:
+    def test_longest_bar_is_max(self):
+        chart = bar_chart({"a": 1.0, "b": 4.0}, width=8)
+        lines = chart.splitlines()
+        assert lines[1].count("█") == 8
+        assert lines[0].count("█") == 2
+
+    def test_title_included(self):
+        chart = bar_chart({"x": 1.0}, title="Speedups")
+        assert chart.splitlines()[0] == "Speedups"
+
+    def test_values_printed(self):
+        chart = bar_chart({"x": 3.14159}, fmt="{:.2f}")
+        assert "3.14" in chart
+
+    def test_zero_values(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in chart and "b" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+
+class TestLineSeries:
+    def test_markers_present(self):
+        plot = line_series(
+            {"one": [(0, 0), (1, 1)], "two": [(0, 1), (1, 0)]},
+            width=20, height=6,
+        )
+        assert "*" in plot and "+" in plot
+        assert "legend" in plot
+
+    def test_axis_annotations(self):
+        plot = line_series({"s": [(2, 10), (8, 50)]}, width=20, height=5)
+        assert "y_max=50" in plot
+        assert "2 .. 8" in plot
+
+    def test_single_point(self):
+        plot = line_series({"s": [(1, 1)]})
+        assert "*" in plot
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_series({})
+        with pytest.raises(ValueError):
+            line_series({"s": []})
+
+    def test_monotone_series_shape(self):
+        # A rising series must place its marker higher (earlier row) for
+        # larger x.
+        plot = line_series({"s": [(0, 0), (10, 10)]}, width=11, height=5)
+        rows = [line[1:] for line in plot.splitlines() if line.startswith("|")]
+        first_col = next(i for i, row in enumerate(rows) if row[0] == "*")
+        last_col = next(i for i, row in enumerate(rows) if row[10] == "*")
+        assert last_col < first_col  # larger y renders nearer the top
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_extremes(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁" and line[1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,137 @@
+"""Tests for the clustering quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ValidationError
+from repro.datasets import make_blobs
+from repro.eval.quality import (
+    adjusted_rand_index,
+    calinski_harabasz,
+    davies_bouldin,
+    normalized_mutual_info,
+    silhouette_score,
+    sse,
+)
+
+
+@pytest.fixture(scope="module")
+def separated():
+    """Two well-separated clusters with known labels."""
+    rng = np.random.default_rng(0)
+    X = np.vstack([
+        rng.normal(0.0, 0.2, size=(60, 2)),
+        rng.normal(8.0, 0.2, size=(60, 2)),
+    ])
+    labels = np.repeat([0, 1], 60)
+    return X, labels
+
+
+class TestSse:
+    def test_zero_for_points_on_centroids(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        centroids = X.copy()
+        assert sse(X, np.array([0, 1]), centroids) == 0.0
+
+    def test_matches_manual(self, separated):
+        X, labels = separated
+        centroids = np.vstack([X[labels == 0].mean(0), X[labels == 1].mean(0)])
+        manual = sum(
+            np.linalg.norm(X[i] - centroids[labels[i]]) ** 2 for i in range(len(X))
+        )
+        assert sse(X, labels, centroids) == pytest.approx(manual)
+
+
+class TestSilhouette:
+    def test_high_for_separated(self, separated):
+        X, labels = separated
+        assert silhouette_score(X, labels, sample_size=None) > 0.9
+
+    def test_low_for_random_labels(self, separated):
+        X, _ = separated
+        random_labels = np.random.default_rng(1).integers(0, 2, size=len(X))
+        good, _ = separated[1], None
+        assert silhouette_score(X, random_labels, sample_size=None) < 0.3
+
+    def test_subsampling_close_to_full(self, separated):
+        X, labels = separated
+        full = silhouette_score(X, labels, sample_size=None)
+        sampled = silhouette_score(X, labels, sample_size=40, seed=0)
+        assert abs(full - sampled) < 0.1
+
+    def test_single_cluster_rejected(self, separated):
+        X, _ = separated
+        with pytest.raises(ValidationError):
+            silhouette_score(X, np.zeros(len(X), dtype=int))
+
+
+class TestDaviesBouldin:
+    def test_lower_for_separated(self, separated):
+        X, labels = separated
+        good = davies_bouldin(X, labels)
+        bad = davies_bouldin(X, np.random.default_rng(2).integers(0, 2, len(X)))
+        assert good < bad
+
+    def test_requires_two_clusters(self, separated):
+        X, _ = separated
+        with pytest.raises(ValidationError):
+            davies_bouldin(X, np.zeros(len(X), dtype=int))
+
+
+class TestCalinskiHarabasz:
+    def test_higher_for_separated(self, separated):
+        X, labels = separated
+        good = calinski_harabasz(X, labels)
+        bad = calinski_harabasz(X, np.random.default_rng(3).integers(0, 2, len(X)))
+        assert good > bad
+
+    def test_bounds_on_k(self, separated):
+        X, _ = separated
+        with pytest.raises(ValidationError):
+            calinski_harabasz(X, np.zeros(len(X), dtype=int))
+
+
+class TestLabelAgreement:
+    def test_ari_identical(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_ari_permutation_invariant(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([2, 2, 0, 0, 1, 1])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_ari_near_zero_for_random(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 4, size=2000)
+        b = rng.integers(0, 4, size=2000)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_ari_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            adjusted_rand_index(np.array([0, 1]), np.array([0]))
+
+    def test_nmi_identical(self):
+        labels = np.array([0, 1, 1, 2, 2, 2])
+        assert normalized_mutual_info(labels, labels) == pytest.approx(1.0)
+
+    def test_nmi_independent_low(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 3, size=3000)
+        b = rng.integers(0, 3, size=3000)
+        assert normalized_mutual_info(a, b) < 0.05
+
+    def test_nmi_permutation_invariant(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([1, 1, 0, 0])
+        assert normalized_mutual_info(a, b) == pytest.approx(1.0)
+
+
+class TestApproximateMethodsQuality:
+    def test_minibatch_high_ari_vs_lloyd(self):
+        from repro.core import make_algorithm
+
+        X, _ = make_blobs(800, 4, 5, cluster_std=0.3, seed=9)
+        lloyd = make_algorithm("lloyd").fit(X, 5, seed=0, max_iter=30)
+        mb = make_algorithm("minibatch").fit(X, 5, seed=0, max_iter=30)
+        assert adjusted_rand_index(lloyd.labels, mb.labels) > 0.7

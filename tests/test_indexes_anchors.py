@@ -1,0 +1,79 @@
+"""Anchors-hierarchy-specific tests (Moore 2000, paper reference [51])."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.index_kmeans import IndexKMeans
+from repro.core.lloyd import LloydKMeans
+from repro.core.initialization import init_kmeans_plus_plus
+from repro.datasets import make_blobs, make_spatial
+from repro.indexes import AnchorsHierarchy, BallTree
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, _ = make_blobs(500, 4, 8, seed=101)
+    return X
+
+
+class TestConstruction:
+    def test_invariants(self, data):
+        AnchorsHierarchy(data).check_invariants()
+
+    def test_capacity_respected(self, data):
+        tree = AnchorsHierarchy(data, capacity=25)
+        assert all(leaf.num <= 25 for leaf in tree.leaves())
+
+    def test_binary_internal_structure(self, data):
+        tree = AnchorsHierarchy(data)
+        for node in tree.root.iter_subtree():
+            if not node.is_leaf:
+                assert len(node.children) == 2  # agglomerative merging
+
+    def test_anchor_count_near_sqrt_n(self, data):
+        # The top level grows about sqrt(n) anchors before agglomeration;
+        # the root's subtree should therefore be deeper than a flat split
+        # but bounded.  We check the leaf count is plausible.
+        tree = AnchorsHierarchy(data, capacity=30)
+        n_leaves = len(tree.leaves())
+        assert n_leaves >= math.sqrt(len(data)) / 2
+
+    def test_middle_out_leaf_quality(self):
+        """On hot-spot data, anchor leaves should be tight like Ball-tree's."""
+        X = make_spatial(800, hotspots=20, hotspot_std=0.004, seed=5)
+        anchors_stats = AnchorsHierarchy(X, capacity=30).stats()
+        ball_stats = BallTree(X, capacity=30).stats()
+        assert anchors_stats.leaf_radius_mean < 3 * ball_stats.leaf_radius_mean
+
+
+class TestStealing:
+    def test_each_point_owned_once(self, data):
+        tree = AnchorsHierarchy(data)
+        covered = tree.root.subtree_point_indices()
+        assert len(covered) == len(data)
+        assert len(np.unique(covered)) == len(data)
+
+    def test_duplicate_points_degenerate(self):
+        tree = AnchorsHierarchy(np.ones((80, 3)), capacity=16)
+        tree.check_invariants()
+        assert tree.root.num == 80
+
+
+class TestClustering:
+    @pytest.mark.parametrize("k", [3, 12])
+    def test_exact_with_filtering(self, k, data, centroids_factory):
+        C0 = centroids_factory(data, k)
+        base = LloydKMeans().fit(data, k, initial_centroids=C0, max_iter=50)
+        result = IndexKMeans(index="anchors").fit(
+            data, k, initial_centroids=C0, max_iter=50
+        )
+        np.testing.assert_array_equal(result.labels, base.labels)
+
+    def test_range_search_correct(self, data):
+        tree = AnchorsHierarchy(data)
+        center = data.mean(axis=0)
+        hits = set(tree.range_search(center, 2.0))
+        brute = set(np.flatnonzero(np.linalg.norm(data - center, axis=1) <= 2.0))
+        assert hits == brute

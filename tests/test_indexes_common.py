@@ -1,0 +1,122 @@
+"""Tests shared by all five index structures: Definition 1 invariants,
+range search correctness, stats and space accounting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_blobs, make_spatial, make_uniform
+from repro.indexes import INDEX_CLASSES, build_index
+from repro.instrumentation.counters import OpCounters
+
+ALL_INDEXES = sorted(INDEX_CLASSES)
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, _ = make_blobs(400, 5, 6, seed=23)
+    return X
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+class TestDefinitionOneInvariants:
+    def test_invariants_hold(self, name, data):
+        tree = build_index(name, data)
+        tree.check_invariants()
+
+    def test_root_covers_everything(self, name, data):
+        tree = build_index(name, data)
+        assert tree.root.num == len(data)
+        np.testing.assert_allclose(tree.root.sv, data.sum(axis=0), atol=1e-6)
+
+    def test_root_pivot_is_global_mean(self, name, data):
+        tree = build_index(name, data)
+        np.testing.assert_allclose(tree.root.pivot, data.mean(axis=0), atol=1e-8)
+
+    def test_leaves_partition_points(self, name, data):
+        tree = build_index(name, data)
+        collected = np.sort(tree.root.subtree_point_indices())
+        np.testing.assert_array_equal(collected, np.arange(len(data)))
+
+    def test_heights_consistent(self, name, data):
+        tree = build_index(name, data)
+        for node in tree.root.iter_subtree():
+            if not node.is_leaf:
+                assert node.height == 1 + max(c.height for c in node.children)
+
+    def test_stats_counts_match(self, name, data):
+        tree = build_index(name, data)
+        stats = tree.stats()
+        assert stats.n_nodes == tree.node_count()
+        assert stats.n_leaves == len(tree.leaves())
+
+    def test_space_cost_positive_and_scales(self, name, data):
+        tree = build_index(name, data)
+        small = build_index(name, data[:100])
+        assert tree.space_cost_floats() > small.space_cost_floats() > 0
+
+    def test_construction_counts_distances(self, name, data):
+        tree = build_index(name, data)
+        # kd-tree splits on coordinates, so zero is legitimate there.
+        if name != "kd-tree":
+            assert tree.counters.distance_computations > 0
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+class TestRangeSearch:
+    def test_matches_bruteforce(self, name, data):
+        tree = build_index(name, data)
+        center = data.mean(axis=0)
+        for radius in [0.5, 2.0, 10.0]:
+            hits = set(tree.range_search(center, radius))
+            brute = set(
+                np.flatnonzero(np.linalg.norm(data - center, axis=1) <= radius)
+            )
+            assert hits == brute
+
+    def test_empty_result(self, name, data):
+        tree = build_index(name, data)
+        far = data.max(axis=0) + 1000.0
+        assert len(tree.range_search(far, 0.5)) == 0
+
+    def test_full_coverage(self, name, data):
+        tree = build_index(name, data)
+        hits = tree.range_search(data.mean(axis=0), 1e9)
+        assert len(hits) == len(data)
+
+    def test_counts_node_accesses(self, name, data):
+        tree = build_index(name, data)
+        counters = OpCounters()
+        tree.range_search(data[0], 1.0, counters)
+        assert counters.node_accesses >= 1
+
+
+class TestSingularData:
+    @pytest.mark.parametrize("name", ALL_INDEXES)
+    def test_duplicate_points(self, name):
+        X = np.ones((64, 3))
+        tree = build_index(name, X)
+        tree.check_invariants()
+        assert tree.root.num == 64
+        assert tree.root.radius <= 1e-9
+
+    @pytest.mark.parametrize("name", ALL_INDEXES)
+    def test_tiny_dataset(self, name):
+        X = np.random.default_rng(0).normal(size=(3, 2))
+        tree = build_index(name, X)
+        tree.check_invariants()
+
+    @pytest.mark.parametrize("name", ALL_INDEXES)
+    def test_single_point(self, name):
+        tree = build_index(name, np.array([[1.0, 2.0]]))
+        assert tree.root.is_leaf
+        assert tree.root.num == 1
+
+
+class TestBuildIndexDispatch:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown index"):
+            build_index("r-tree", np.ones((5, 2)))
+
+    def test_case_insensitive(self):
+        tree = build_index("BALL-TREE", np.random.default_rng(0).normal(size=(50, 2)))
+        assert tree.name == "ball-tree"

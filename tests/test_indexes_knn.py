@@ -1,0 +1,70 @@
+"""Tests for the branch-and-bound k-NN search over all six indexes."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_blobs
+from repro.indexes import INDEX_CLASSES, build_index
+from repro.instrumentation.counters import OpCounters
+
+ALL_INDEXES = sorted(INDEX_CLASSES)
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, _ = make_blobs(400, 4, 6, seed=121)
+    return X
+
+
+def brute_knn(X, query, k):
+    dists = np.linalg.norm(X - query, axis=1)
+    order = np.argsort(dists, kind="stable")
+    return order[:k]
+
+
+@pytest.mark.parametrize("name", ALL_INDEXES)
+class TestKnnSearch:
+    def test_matches_bruteforce(self, name, data):
+        tree = build_index(name, data)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            query = data[int(rng.integers(0, len(data)))] + rng.normal(0, 0.3, 4)
+            got = tree.knn_search(query, 7)
+            want = brute_knn(data, query, 7)
+            # Distances must agree exactly; index ties may reorder equals.
+            np.testing.assert_allclose(
+                np.linalg.norm(data[got] - query, axis=1),
+                np.linalg.norm(data[want] - query, axis=1),
+                atol=1e-12,
+            )
+
+    def test_k_one_is_nearest(self, name, data):
+        tree = build_index(name, data)
+        query = data.mean(axis=0)
+        got = tree.knn_search(query, 1)
+        assert got[0] == brute_knn(data, query, 1)[0]
+
+    def test_k_clamped_to_n(self, name, data):
+        tree = build_index(name, data[:10])
+        got = tree.knn_search(data[0], 50)
+        assert len(got) == 10
+
+    def test_results_sorted_by_distance(self, name, data):
+        tree = build_index(name, data)
+        got = tree.knn_search(data[3], 9)
+        dists = np.linalg.norm(data[got] - data[3], axis=1)
+        assert (np.diff(dists) >= -1e-12).all()
+
+
+class TestKnnPruning:
+    def test_prunes_compared_to_bruteforce(self, data):
+        tree = build_index("ball-tree", data)
+        counters = OpCounters()
+        tree.knn_search(data[0], 5, counters)
+        # Branch-and-bound must not touch every point.
+        assert counters.point_accesses < len(data)
+
+    def test_rejects_zero_k(self, data):
+        tree = build_index("ball-tree", data)
+        with pytest.raises(ValueError):
+            tree.knn_search(data[0], 0)

@@ -1,0 +1,123 @@
+"""Index-specific behavior: capacities, box metadata, cover scales, etc."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_blobs, make_grid_clusters
+from repro.indexes import BallTree, CoverTree, HierarchicalKMeansTree, KDTree, MTree
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, _ = make_blobs(500, 4, 8, seed=31)
+    return X
+
+
+class TestBallTree:
+    def test_leaf_capacity_respected(self, data):
+        tree = BallTree(data, capacity=20)
+        assert all(leaf.num <= 20 for leaf in tree.leaves())
+
+    def test_bigger_capacity_fewer_nodes(self, data):
+        small = BallTree(data, capacity=10).node_count()
+        large = BallTree(data, capacity=60).node_count()
+        assert large < small
+
+    def test_binary_fanout(self, data):
+        tree = BallTree(data, capacity=10)
+        for node in tree.root.iter_subtree():
+            if not node.is_leaf:
+                assert len(node.children) == 2
+
+    def test_assembled_data_gives_small_leaf_radii(self):
+        # Grid clusters "assemble well": leaf radius << root radius.
+        X = make_grid_clusters(600, 2, side=4, jitter=0.01, seed=1)
+        tree = BallTree(X, capacity=30)
+        stats = tree.stats()
+        assert stats.leaf_radius_mean < 0.15 * stats.root_radius
+
+
+class TestKDTree:
+    def test_default_capacity_one(self, data):
+        tree = KDTree(data[:100])
+        assert all(leaf.num == 1 for leaf in tree.leaves())
+
+    def test_many_more_nodes_than_ball_tree(self, data):
+        # The paper: kd-tree has ~f times more nodes than Ball-tree(f).
+        kd = KDTree(data).node_count()
+        ball = BallTree(data, capacity=30).node_count()
+        assert kd > 5 * ball
+
+    def test_boxes_cover_points(self, data):
+        tree = KDTree(data[:200], capacity=8)
+        for node in tree.root.iter_subtree():
+            lo, hi = tree.box(node)
+            pts = data[:200][node.subtree_point_indices()]
+            assert (pts >= lo - 1e-12).all() and (pts <= hi + 1e-12).all()
+
+    def test_farthest_corner(self, data):
+        tree = KDTree(data[:100], capacity=10)
+        node = tree.root
+        lo, hi = tree.box(node)
+        direction = np.ones(data.shape[1])
+        np.testing.assert_array_equal(tree.farthest_corner(node, direction), hi)
+        np.testing.assert_array_equal(tree.farthest_corner(node, -direction), lo)
+
+    def test_duplicated_coordinate_split(self):
+        # Median == max on a heavily duplicated column must still split.
+        X = np.zeros((100, 2))
+        X[:, 0] = np.repeat([0.0, 1.0], 50)
+        tree = KDTree(X, capacity=10)
+        tree.check_invariants()
+
+
+class TestMTree:
+    def test_capacity_respected(self, data):
+        tree = MTree(data, capacity=25)
+        assert all(leaf.num <= 25 for leaf in tree.leaves())
+
+    def test_construction_slowest_in_distances(self, data):
+        # Insertion-based M-tree pays far more construction distances than
+        # the bulk-built Ball-tree (Figure 7's construction-cost ordering).
+        m = MTree(data, capacity=30).counters.distance_computations
+        b = BallTree(data, capacity=30).counters.distance_computations
+        assert m > b
+
+
+class TestCoverTree:
+    def test_radii_shrink_with_depth(self, data):
+        tree = CoverTree(data)
+        for node in tree.root.iter_subtree():
+            for child in node.children:
+                if not node.is_leaf:
+                    assert child.radius <= node.radius + 1e-9
+
+    def test_multiway_fanout_possible(self, data):
+        tree = CoverTree(data)
+        fanouts = [
+            len(node.children)
+            for node in tree.root.iter_subtree()
+            if not node.is_leaf
+        ]
+        assert max(fanouts) > 2
+
+
+class TestHKT:
+    def test_branching_bound(self, data):
+        tree = HierarchicalKMeansTree(data, branching=4, capacity=20, seed=0)
+        for node in tree.root.iter_subtree():
+            if not node.is_leaf:
+                assert len(node.children) <= 4
+
+    def test_capacity_respected(self, data):
+        tree = HierarchicalKMeansTree(data, capacity=15, seed=0)
+        assert all(leaf.num <= 15 for leaf in tree.leaves())
+
+    def test_rejects_branching_below_two(self, data):
+        with pytest.raises(ValueError, match="branching"):
+            HierarchicalKMeansTree(data, branching=1)
+
+    def test_deterministic_given_seed(self, data):
+        t1 = HierarchicalKMeansTree(data, seed=5)
+        t2 = HierarchicalKMeansTree(data, seed=5)
+        assert t1.node_count() == t2.node_count()

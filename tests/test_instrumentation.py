@@ -1,0 +1,116 @@
+"""Unit tests for counters and phase timers."""
+
+import time
+
+import pytest
+
+from repro.instrumentation.counters import CounterSnapshot, OpCounters
+from repro.instrumentation.timers import PhaseTimer
+
+
+class TestOpCounters:
+    def test_initial_state_zero(self):
+        counters = OpCounters()
+        assert all(v == 0 for v in counters.as_dict().values())
+
+    def test_add_helpers(self):
+        counters = OpCounters()
+        counters.add_distances(3)
+        counters.add_point_accesses(2)
+        counters.add_node_accesses()
+        counters.add_bound_accesses(5)
+        counters.add_bound_updates(4)
+        assert counters.distance_computations == 3
+        assert counters.point_accesses == 2
+        assert counters.node_accesses == 1
+        assert counters.bound_accesses == 5
+        assert counters.bound_updates == 4
+
+    def test_footprint_keeps_maximum(self):
+        counters = OpCounters()
+        counters.record_footprint(100)
+        counters.record_footprint(50)
+        assert counters.footprint_floats == 100
+        counters.record_footprint(200)
+        assert counters.footprint_floats == 200
+
+    def test_reset(self):
+        counters = OpCounters()
+        counters.add_distances(7)
+        counters.record_footprint(10)
+        counters.reset()
+        assert counters.distance_computations == 0
+        assert counters.footprint_floats == 0
+
+    def test_snapshot_is_decoupled(self):
+        counters = OpCounters()
+        counters.add_distances(1)
+        snap = counters.snapshot()
+        counters.add_distances(1)
+        assert snap.distance_computations == 1
+        assert counters.distance_computations == 2
+
+    def test_snapshot_subtraction(self):
+        before = CounterSnapshot(distance_computations=2, bound_accesses=1)
+        after = CounterSnapshot(distance_computations=5, bound_accesses=4)
+        delta = after - before
+        assert delta.distance_computations == 3
+        assert delta.bound_accesses == 3
+
+    def test_merge_accumulates_and_maxes_footprint(self):
+        a = OpCounters(distance_computations=2, footprint_floats=10)
+        b = OpCounters(distance_computations=3, footprint_floats=5)
+        a.merge(b)
+        assert a.distance_computations == 5
+        assert a.footprint_floats == 10
+
+
+class TestPhaseTimer:
+    def test_totals_accumulate(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            time.sleep(0.002)
+        with timer.phase("a"):
+            time.sleep(0.002)
+        assert timer.total("a") >= 0.004
+
+    def test_unknown_phase_is_zero(self):
+        assert PhaseTimer().total("missing") == 0.0
+
+    def test_per_iteration_tracking(self):
+        timer = PhaseTimer()
+        timer.start_iteration()
+        with timer.phase("assignment"):
+            time.sleep(0.001)
+        timer.start_iteration()
+        with timer.phase("assignment"):
+            time.sleep(0.001)
+        with timer.phase("refinement"):
+            pass
+        assert len(timer.iterations) == 2
+        assert "refinement" in timer.iterations[1]
+        assert "refinement" not in timer.iterations[0]
+
+    def test_iteration_total(self):
+        timer = PhaseTimer()
+        timer.start_iteration()
+        with timer.phase("x"):
+            time.sleep(0.001)
+        assert timer.iteration_total(0) == pytest.approx(
+            sum(timer.iterations[0].values())
+        )
+
+    def test_grand_total_covers_all_phases(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        assert timer.grand_total() == pytest.approx(timer.total("a") + timer.total("b"))
+
+    def test_exception_still_records(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with timer.phase("broken"):
+                raise RuntimeError("boom")
+        assert timer.total("broken") >= 0.0

@@ -1,0 +1,97 @@
+"""Integration tests: full workflows across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import KMeans
+from repro.core import KnobConfig, build_algorithm
+from repro.datasets import load_dataset
+from repro.datasets.loaders import append_jsonl, read_jsonl
+from repro.eval import Leaderboard, compare_algorithms, speedup_table
+from repro.tuning import UTune, GroundTruthRecord, generate_ground_truth
+
+
+class TestClusteringWorkflow:
+    """Dataset registry -> facade -> result, across algorithm families."""
+
+    def test_registry_to_result(self):
+        X = load_dataset("RoadNetwork", n=500, seed=0)
+        result = KMeans(k=8, algorithm="unik", seed=0, max_iter=10).fit(X)
+        assert result.converged or result.n_iter == 10
+        assert len(np.unique(result.labels)) <= 8
+
+    def test_all_families_agree_on_quality(self):
+        X = load_dataset("Skin", n=400, seed=1)
+        from repro.core.initialization import init_kmeans_plus_plus
+
+        C0 = init_kmeans_plus_plus(X, 6, seed=5)
+        sses = []
+        for algorithm in ["lloyd", "yinyang", "index", "unik"]:
+            result = KMeans(k=6, algorithm=algorithm).fit(X, initial_centroids=C0)
+            sses.append(result.sse)
+        assert max(sses) - min(sses) < 1e-6 * (1 + min(sses))
+
+
+class TestEvaluationWorkflow:
+    """Harness -> leaderboard -> speedups, the Figure 8/12 pipeline."""
+
+    def test_leaderboard_over_tasks(self):
+        board = Leaderboard()
+        for name in ["NYC-Taxi", "Covtype"]:
+            X = load_dataset(name, n=400, seed=0)
+            records = compare_algorithms(
+                ["hamerly", "yinyang", "index"], X, 6, repeats=1, max_iter=5
+            )
+            board.add_task(records)
+        assert board.tasks == 2
+        assert sum(board.top1.values()) == 2
+
+    def test_speedup_pipeline(self):
+        X = load_dataset("KeggUndirect", n=500, seed=0)
+        records = compare_algorithms(
+            ["lloyd", "elkan", "yinyang", "unik"], X, 10, repeats=1, max_iter=8
+        )
+        table = speedup_table(records)
+        # All accelerated methods do less distance work than Lloyd.
+        for name in ["elkan", "yinyang", "unik"]:
+            assert table[name]["work"] > 1.0
+
+
+class TestSelectionWorkflow:
+    """Ground truth -> log file -> UTune -> config -> algorithm run."""
+
+    def test_full_utune_cycle(self, tmp_path):
+        tasks = []
+        for name in ["NYC-Taxi", "Covtype", "Mnist"]:
+            X = load_dataset(name, n=300 if name != "Mnist" else 120, seed=0)
+            tasks.append((name, X, 5))
+        records = generate_ground_truth(tasks, selective=True, max_iter=4)
+
+        # Persist and reload the evaluation log (the offline-logs workflow).
+        log = tmp_path / "groundtruth.jsonl"
+        append_jsonl(log, [record.as_dict() for record in records])
+        reloaded = [GroundTruthRecord.from_dict(r) for r in read_jsonl(log)]
+        assert len(reloaded) == len(records)
+
+        tuner = UTune(model="dt").fit(reloaded)
+        X_new = load_dataset("Europe", n=300, seed=3)
+        config = tuner.predict_config(X_new, 5)
+        algorithm = build_algorithm(config)
+        result = algorithm.fit(X_new, 5, seed=0, max_iter=5)
+        assert result.n_iter >= 1
+
+    def test_predicted_config_is_competitive(self):
+        # The predicted configuration should not be drastically slower than
+        # the best configuration on a task drawn from the training family.
+        tasks = []
+        for seed in range(3):
+            X = load_dataset("NYC-Taxi", n=400, seed=seed)
+            tasks.append((f"nyc{seed}", X, 8))
+        records = generate_ground_truth(tasks, selective=True, max_iter=4)
+        tuner = UTune(model="dt").fit(records)
+
+        X_test = load_dataset("NYC-Taxi", n=400, seed=99)
+        config = tuner.predict_config(X_test, 8)
+        predicted = build_algorithm(config).fit(X_test, 8, seed=0, max_iter=4)
+        lloyd = KMeans(k=8, algorithm="lloyd", max_iter=4, seed=0).fit(X_test)
+        assert predicted.modeled_cost < lloyd.modeled_cost * 1.5

@@ -1,0 +1,124 @@
+"""Property-based tests for quality metrics and transforms (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.transforms import MinMaxScaler, PCAProjector, StandardScaler
+from repro.eval.quality import (
+    adjusted_rand_index,
+    normalized_mutual_info,
+    silhouette_score,
+)
+from repro.tuning.mrr import mean_reciprocal_rank, reciprocal_rank
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def datasets(min_n=20, max_n=150, min_d=1, max_d=6):
+    return st.builds(
+        lambda n, d, seed: np.random.default_rng(seed).normal(size=(n, d)) * 2.0,
+        st.integers(min_n, max_n),
+        st.integers(min_d, max_d),
+        st.integers(0, 10_000),
+    )
+
+
+def labelings(max_n=150, max_classes=5):
+    return st.builds(
+        lambda n, c, seed: np.random.default_rng(seed).integers(0, c, size=n),
+        st.integers(4, max_n),
+        st.integers(2, max_classes),
+        st.integers(0, 10_000),
+    )
+
+
+@settings(**SETTINGS)
+@given(labels=labelings())
+def test_ari_and_nmi_bounded(labels):
+    other = np.roll(labels, 1)
+    ari = adjusted_rand_index(labels, other)
+    nmi = normalized_mutual_info(labels, other)
+    assert -1.0 - 1e-9 <= ari <= 1.0 + 1e-9
+    assert -1e-9 <= nmi <= 1.0 + 1e-9
+
+
+@settings(**SETTINGS)
+@given(labels=labelings())
+def test_ari_nmi_self_agreement(labels):
+    if len(set(labels.tolist())) < 2:
+        return
+    assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+    assert normalized_mutual_info(labels, labels) == pytest.approx(1.0)
+
+
+@settings(**SETTINGS)
+@given(X=datasets(min_n=10), seed=st.integers(0, 100))
+def test_silhouette_bounded(X, seed):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=len(X))
+    if len(set(labels.tolist())) < 2:
+        labels[0] = 0
+        labels[1] = 1
+    score = silhouette_score(X, labels, sample_size=None)
+    assert -1.0 - 1e-9 <= score <= 1.0 + 1e-9
+
+
+@settings(**SETTINGS)
+@given(X=datasets())
+def test_standard_scaler_round_trip(X):
+    scaler = StandardScaler().fit(X)
+    np.testing.assert_allclose(
+        scaler.inverse_transform(scaler.transform(X)), X, atol=1e-8
+    )
+
+
+@settings(**SETTINGS)
+@given(X=datasets())
+def test_minmax_in_unit_box_on_train(X):
+    Z = MinMaxScaler().fit_transform(X)
+    assert Z.min() >= -1e-12 and Z.max() <= 1.0 + 1e-12
+
+
+@settings(**SETTINGS)
+@given(X=datasets(min_n=30, min_d=2))
+def test_pca_preserves_pairwise_distances_upper_bound(X):
+    """Projections never increase distances (orthonormal components)."""
+    q = min(2, X.shape[1])
+    Z = PCAProjector(q, seed=0).fit_transform(X)
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        i, j = rng.integers(0, len(X), size=2)
+        original = np.linalg.norm(X[i] - X[j])
+        projected = np.linalg.norm(Z[i] - Z[j])
+        assert projected <= original + 1e-7
+
+
+@settings(**SETTINGS)
+@given(
+    ranking=st.lists(st.sampled_from("abcdef"), min_size=1, max_size=6, unique=True),
+    prediction=st.sampled_from("abcdef"),
+)
+def test_reciprocal_rank_bounds(ranking, prediction):
+    value = reciprocal_rank(ranking, prediction)
+    assert 0.0 <= value <= 1.0
+    if prediction == ranking[0]:
+        assert value == 1.0
+    if prediction not in ranking:
+        assert value == 0.0
+
+
+@settings(**SETTINGS)
+@given(
+    rankings=st.lists(
+        st.permutations(["a", "b", "c"]), min_size=1, max_size=10
+    )
+)
+def test_mrr_perfect_predictor(rankings):
+    predictions = [ranking[0] for ranking in rankings]
+    assert mean_reciprocal_rank(rankings, predictions) == pytest.approx(1.0)

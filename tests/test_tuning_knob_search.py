@@ -1,0 +1,88 @@
+"""Tests for configuration-knob discovery (Section A.5 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.knobs import KnobConfig
+from repro.datasets import make_blobs
+from repro.tuning import enumerate_configurations, exhaustive_search, random_search
+
+
+@pytest.fixture(scope="module")
+def task():
+    X, _ = make_blobs(400, 4, 5, seed=71)
+    return X, 6
+
+
+class TestEnumeration:
+    def test_no_duplicates(self):
+        configs = enumerate_configurations()
+        assert len(configs) == len(set(configs))
+
+    def test_pure_index_deduped_across_bounds(self):
+        configs = enumerate_configurations(capacities=(30,))
+        pure = [config for config in configs if config.index == "pure"]
+        assert len(pure) == 1
+
+    def test_block_filter_only_in_unik_traversals(self):
+        for config in enumerate_configurations():
+            if config.block_filter:
+                assert config.index in ("single", "multiple", "adaptive")
+
+    def test_capacity_expansion(self):
+        base = len(enumerate_configurations(capacities=(30,)))
+        wide = len(enumerate_configurations(capacities=(10, 30)))
+        assert wide > base
+
+
+class TestExhaustiveSearch:
+    def test_sorted_by_metric(self, task):
+        X, k = task
+        configs = [
+            KnobConfig(bound="hamerly"),
+            KnobConfig(bound="yinyang"),
+            KnobConfig(index="pure"),
+        ]
+        results = exhaustive_search(X, k, configs, max_iter=4)
+        values = [result.metric_value for result in results]
+        assert values == sorted(values)
+        assert len(results) == 3
+
+    def test_result_serializable(self, task):
+        import json
+
+        X, k = task
+        results = exhaustive_search(
+            X, k, [KnobConfig(bound="hamerly")], max_iter=3
+        )
+        json.dumps(results[0].as_dict())
+
+
+class TestRandomSearch:
+    def test_budget_respected(self, task):
+        X, k = task
+        results = random_search(X, k, budget=4, max_iter=3, seed=0)
+        assert len(results) == 4
+
+    def test_deterministic_sampling(self, task):
+        X, k = task
+        a = random_search(X, k, budget=3, max_iter=3, seed=5)
+        b = random_search(X, k, budget=3, max_iter=3, seed=5)
+        assert [r.config for r in a] == [r.config for r in b]
+
+    def test_budget_capped_at_space(self, task):
+        X, k = task
+        results = random_search(
+            X, k, budget=10_000, max_iter=2, seed=0, capacities=(30,)
+        )
+        assert len(results) == len(enumerate_configurations(capacities=(30,)))
+
+    def test_discovers_competitive_config(self, task):
+        # The best discovered configuration should at least match the
+        # default Yinyang on modeled cost (the space contains it and more).
+        X, k = task
+        results = random_search(X, k, budget=8, max_iter=4, seed=1)
+        baseline = exhaustive_search(
+            X, k, [KnobConfig(bound="yinyang")], max_iter=4
+        )[0]
+        assert results[0].metric_value <= baseline.metric_value * 1.3

@@ -1,0 +1,175 @@
+"""Tests for the from-scratch classifier substrate."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import NotFittedError, ValidationError
+from repro.tuning.models import (
+    MODEL_CLASSES,
+    DecisionTreeClassifier,
+    KNeighborsClassifier,
+    LabelEncoder,
+    LinearSVMClassifier,
+    RandomForestClassifier,
+    RidgeClassifier,
+    accuracy_score,
+    confusion_matrix,
+    make_model,
+)
+from repro.tuning.models.metrics import train_test_split
+
+ALL_MODELS = sorted(MODEL_CLASSES)
+
+
+@pytest.fixture(scope="module")
+def easy_task():
+    """Linearly separable 3-class task every model must ace."""
+    rng = np.random.default_rng(7)
+    n = 240
+    centers = np.array([[0.0, 0.0], [6.0, 0.0], [0.0, 6.0]])
+    y = rng.integers(0, 3, size=n)
+    X = centers[y] + rng.normal(0, 0.5, size=(n, 2))
+    labels = [f"c{v}" for v in y]
+    return X, labels
+
+
+class TestLabelEncoder:
+    def test_round_trip(self):
+        enc = LabelEncoder()
+        codes = enc.fit_transform(["b", "a", "b", "c"])
+        assert enc.classes_ == ["a", "b", "c"]
+        assert enc.inverse_transform(codes) == ["b", "a", "b", "c"]
+
+    def test_unseen_label(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValidationError, match="unseen"):
+            enc.transform(["z"])
+
+    def test_used_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LabelEncoder().transform(["a"])
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+class TestAllModels:
+    def test_high_accuracy_on_separable_task(self, name, easy_task):
+        X, labels = easy_task
+        Xtr, ytr, Xte, yte = train_test_split(X, labels, seed=0)
+        model = make_model(name).fit(Xtr, ytr)
+        assert accuracy_score(yte, model.predict(Xte)) > 0.9
+
+    def test_predict_before_fit_raises(self, name, easy_task):
+        X, _ = easy_task
+        with pytest.raises(NotFittedError):
+            make_model(name).predict(X)
+
+    def test_rank_contains_all_classes(self, name, easy_task):
+        X, labels = easy_task
+        model = make_model(name).fit(X, labels)
+        ranking = model.rank(X[:1])[0]
+        assert sorted(ranking) == sorted(set(labels))
+
+    def test_scores_shape(self, name, easy_task):
+        X, labels = easy_task
+        model = make_model(name).fit(X, labels)
+        scores = model.decision_scores(X[:5])
+        assert scores.shape == (5, 3)
+
+    def test_single_row_predict(self, name, easy_task):
+        X, labels = easy_task
+        model = make_model(name).fit(X, labels)
+        assert model.predict(X[0]) [0] in set(labels)
+
+    def test_mismatched_lengths(self, name, easy_task):
+        X, labels = easy_task
+        with pytest.raises(ValidationError):
+            make_model(name).fit(X, labels[:-1])
+
+    def test_single_class_degenerate(self, name):
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        model = make_model(name).fit(X, ["only"] * 20)
+        assert model.predict(X[:3]) == ["only"] * 3
+
+
+class TestDecisionTreeSpecifics:
+    def test_depth_limit(self, easy_task):
+        X, labels = easy_task
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, labels)
+        assert tree.depth() <= 2
+
+    def test_deeper_fits_better_on_train(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(150, 4))
+        labels = [str(v) for v in (X[:, 0] * X[:, 1] > 0).astype(int)]
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, labels)
+        deep = DecisionTreeClassifier(max_depth=8).fit(X, labels)
+        assert accuracy_score(labels, deep.predict(X)) >= accuracy_score(
+            labels, shallow.predict(X)
+        )
+
+    def test_min_samples_leaf(self, easy_task):
+        X, labels = easy_task
+        tree = DecisionTreeClassifier(min_samples_leaf=50).fit(X, labels)
+        # Large leaf minimum forces a shallow tree.
+        assert tree.depth() <= 3
+
+    def test_constant_features_yield_leaf(self):
+        X = np.ones((30, 2))
+        labels = ["a"] * 15 + ["b"] * 15
+        tree = DecisionTreeClassifier().fit(X, labels)
+        assert tree.depth() == 0
+
+
+class TestRandomForestSpecifics:
+    def test_deterministic_with_seed(self, easy_task):
+        X, labels = easy_task
+        a = RandomForestClassifier(n_estimators=5, seed=1).fit(X, labels)
+        b = RandomForestClassifier(n_estimators=5, seed=1).fit(X, labels)
+        assert a.predict(X) == b.predict(X)
+
+    def test_max_features_resolution(self, easy_task):
+        X, labels = easy_task
+        forest = RandomForestClassifier(n_estimators=2, max_features="sqrt")
+        forest.fit(X, labels)
+        assert forest._resolve_max_features(X.shape[1]) == 1
+
+
+class TestKNNSpecifics:
+    def test_k_one_memorizes_training_set(self, easy_task):
+        X, labels = easy_task
+        model = KNeighborsClassifier(n_neighbors=1).fit(X, labels)
+        assert accuracy_score(labels, model.predict(X)) == 1.0
+
+    def test_standardization_matters(self):
+        # A huge-scale nuisance feature must not dominate the vote.
+        rng = np.random.default_rng(1)
+        n = 120
+        signal = rng.normal(size=n)
+        labels = [str(int(v > 0)) for v in signal]
+        X = np.column_stack([signal, rng.normal(scale=1e6, size=n)])
+        model = KNeighborsClassifier(n_neighbors=5).fit(X, labels)
+        assert accuracy_score(labels, model.predict(X)) > 0.8
+
+
+class TestMetrics:
+    def test_accuracy_edge_cases(self):
+        assert accuracy_score([], []) == 0.0
+        assert accuracy_score(["a"], ["a"]) == 1.0
+        with pytest.raises(ValueError):
+            accuracy_score(["a"], [])
+
+    def test_confusion_matrix(self):
+        matrix, labels = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+        assert labels == ["a", "b"]
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 1]])
+
+    def test_split_fractions(self):
+        X = np.arange(40).reshape(20, 2).astype(float)
+        y = ["x"] * 20
+        Xtr, ytr, Xte, yte = train_test_split(X, y, test_fraction=0.25, seed=0)
+        assert len(Xtr) == 15 and len(Xte) == 5
+        assert len(ytr) == 15 and len(yte) == 5
+
+    def test_split_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.ones((4, 1)), ["a"] * 4, test_fraction=1.5)

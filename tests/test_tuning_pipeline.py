@@ -1,0 +1,194 @@
+"""Tests for features, MRR, BDT, ground-truth generation and UTune."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError, NotFittedError
+from repro.core.knobs import SELECTION_POOL
+from repro.datasets import load_dataset, make_blobs, make_grid_clusters, make_uniform
+from repro.tuning import (
+    GroundTruthRecord,
+    UTune,
+    bdt_predict,
+    evaluate_bdt,
+    extract_features,
+    feature_names,
+    generate_ground_truth,
+    label_task,
+    mean_reciprocal_rank,
+    reciprocal_rank,
+)
+from repro.tuning.training import records_to_training_arrays
+
+
+class TestFeatureExtraction:
+    def test_basic_features_exact(self):
+        X, _ = make_blobs(200, 7, 4, seed=0)
+        features = extract_features(X, 9)
+        assert features.values["n"] == 200
+        assert features.values["d"] == 7
+        assert features.values["k"] == 9
+
+    def test_cumulative_feature_sets(self):
+        assert len(feature_names("basic")) == 3
+        assert len(feature_names("tree")) == 8
+        assert len(feature_names("leaf")) == 14
+
+    def test_unknown_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            feature_names("everything")
+
+    def test_vector_order_matches_names(self):
+        X, _ = make_blobs(150, 3, 3, seed=1)
+        features = extract_features(X, 5)
+        vec = features.vector("leaf")
+        assert vec[0] == 150 and vec[1] == 5 and vec[2] == 3
+
+    def test_assembled_data_has_smaller_leaf_radii_feature(self):
+        tight = make_grid_clusters(500, 2, side=4, jitter=0.005, seed=2)
+        loose = make_uniform(500, 2, seed=2)
+        f_tight = extract_features(tight, 5).values["leaf_radius_mean"]
+        f_loose = extract_features(loose, 5).values["leaf_radius_mean"]
+        assert f_tight < f_loose
+
+    def test_imbalance_features_informative(self):
+        # Leaf-depth statistics must reflect the tree, not a constant
+        # (regression guard: these once used bottom-up heights, all zero).
+        X, _ = make_blobs(400, 3, 5, seed=7)
+        features = extract_features(X, 5)
+        assert features.values["height_mean"] > 0.0
+
+    def test_prebuilt_tree_reused(self):
+        from repro.indexes.ball_tree import BallTree
+
+        X, _ = make_blobs(100, 2, 2, seed=3)
+        tree = BallTree(X, capacity=10)
+        features = extract_features(X, 3, tree=tree)
+        assert features.values["n"] == 100
+
+
+class TestMRR:
+    def test_reciprocal_rank_positions(self):
+        ranking = ["a", "b", "c"]
+        assert reciprocal_rank(ranking, "a") == 1.0
+        assert reciprocal_rank(ranking, "b") == 0.5
+        assert reciprocal_rank(ranking, "c") == pytest.approx(1 / 3)
+
+    def test_absent_prediction_scores_zero(self):
+        assert reciprocal_rank(["a", "b"], "z") == 0.0
+
+    def test_mean(self):
+        score = mean_reciprocal_rank([["a", "b"], ["a", "b"]], ["a", "b"])
+        assert score == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert mean_reciprocal_rank([], []) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_reciprocal_rank([["a"]], [])
+
+
+class TestBDT:
+    def test_low_dimensional_uses_index(self):
+        assert bdt_predict(1000, 10, 2).index == "pure"
+
+    def test_high_dimensional_big_k_uses_yinyang(self):
+        config = bdt_predict(1000, 100, 50)
+        assert config.bound == "yinyang" and config.index == "none"
+
+    def test_high_dimensional_small_k_uses_hamerly(self):
+        assert bdt_predict(1000, 10, 50).bound == "hamerly"
+
+
+@pytest.fixture(scope="module")
+def tiny_records():
+    tasks = []
+    for name, n in [("NYC-Taxi", 500), ("Covtype", 400), ("Mnist", 150)]:
+        X = load_dataset(name, n=n, seed=0)
+        for k in [4, 10]:
+            tasks.append((name, X, k))
+    return generate_ground_truth(tasks, selective=True, max_iter=4, seed=0)
+
+
+class TestGroundTruthGeneration:
+    def test_record_structure(self, tiny_records):
+        record = tiny_records[0]
+        assert set(record.bound_ranking) == set(SELECTION_POOL)
+        assert record.best_index in ("none", "pure", "single", "multiple")
+        assert record.generation_time > 0
+        assert "n" in record.features
+
+    def test_rankings_sorted_by_timing(self, tiny_records):
+        for record in tiny_records:
+            times = [record.timings[b] for b in record.bound_ranking]
+            assert times == sorted(times)
+
+    def test_selective_runs_fewer_configurations(self):
+        X = load_dataset("KeggDirect", n=400, seed=1)
+        selective = label_task("kegg", X, 8, selective=True, max_iter=4)
+        full = label_task("kegg", X, 8, selective=False, max_iter=4)
+        # Full running ranks strictly more bound configurations; selective
+        # may additionally skip the UniK traversals.  (Wall-clock dominance
+        # is the Figure 15 bench's job — too noisy for a unit assertion.)
+        assert len(full.bound_ranking) > len(selective.bound_ranking)
+        assert len(full.timings) >= len(selective.timings)
+
+    def test_round_trip_via_dict(self, tiny_records):
+        import json
+
+        record = tiny_records[0]
+        clone = GroundTruthRecord.from_dict(json.loads(json.dumps(record.as_dict())))
+        assert clone.bound_ranking == record.bound_ranking
+        assert clone.features == record.features
+
+    def test_training_arrays(self, tiny_records):
+        X, bounds, indexes = records_to_training_arrays(tiny_records)
+        assert X.shape == (len(tiny_records), 14)
+        assert len(bounds) == len(indexes) == len(tiny_records)
+
+    def test_modeled_cost_metric_supported(self):
+        X = load_dataset("Skin", n=300, seed=2)
+        record = label_task("skin", X, 5, metric="modeled_cost", max_iter=4)
+        assert record.best_bound in SELECTION_POOL
+
+
+class TestUTune:
+    def test_fit_predict_cycle(self, tiny_records):
+        tuner = UTune(model="dt").fit(tiny_records)
+        config = tuner.predict_config(load_dataset("NYC-Taxi", n=400, seed=9), 8)
+        assert config.label  # materializable
+
+    def test_unfitted_raises(self, tiny_records):
+        with pytest.raises(NotFittedError):
+            UTune().evaluate(tiny_records)
+
+    def test_training_on_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            UTune().fit([])
+
+    def test_evaluate_reports_mrr(self, tiny_records):
+        tuner = UTune(model="dt").fit(tiny_records)
+        report = tuner.evaluate(tiny_records)
+        assert 0.0 <= report["bound_mrr"] <= 1.0
+        assert 0.0 <= report["index_mrr"] <= 1.0
+        assert report["train_time"] > 0
+
+    def test_self_evaluation_beats_bdt(self, tiny_records):
+        # Training accuracy on its own records should beat the fuzzy rules
+        # (Table 5's qualitative relationship).
+        tuner = UTune(model="dt").fit(tiny_records)
+        learned = tuner.evaluate(tiny_records)
+        rules = evaluate_bdt(tiny_records)
+        assert learned["bound_mrr"] >= rules["bound_mrr"]
+
+    @pytest.mark.parametrize("model", ["dt", "rf", "knn", "svm", "rc"])
+    def test_all_model_backends(self, model, tiny_records):
+        tuner = UTune(model=model).fit(tiny_records)
+        report = tuner.evaluate(tiny_records)
+        assert report["bound_mrr"] > 0.0
+
+    @pytest.mark.parametrize("feature_set", ["basic", "tree", "leaf"])
+    def test_all_feature_sets(self, feature_set, tiny_records):
+        tuner = UTune(model="dt", feature_set=feature_set).fit(tiny_records)
+        assert tuner.evaluate(tiny_records)["bound_mrr"] > 0.0

@@ -1,0 +1,109 @@
+"""Tests for the data-profiling meta-features (Section A.5 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.datasets import make_blobs, make_grid_clusters, make_uniform
+from repro.tuning import UTune, extract_features, generate_ground_truth
+from repro.tuning.features import PROFILE_FEATURES, feature_names
+from repro.tuning.profiling import (
+    extract_profile_features,
+    hopkins_statistic,
+    nn_distance_profile,
+    variance_ratio,
+)
+
+
+class TestHopkins:
+    def test_uniform_near_half(self):
+        X = make_uniform(500, 2, seed=0)
+        h = hopkins_statistic(X, sample_size=60, seed=1)
+        assert 0.35 < h < 0.65
+
+    def test_clustered_near_one(self):
+        X = make_grid_clusters(500, 2, side=3, jitter=0.01, seed=0)
+        h = hopkins_statistic(X, sample_size=60, seed=1)
+        assert h > 0.8
+
+    def test_degenerate_data(self):
+        h = hopkins_statistic(np.ones((50, 2)), sample_size=10, seed=0)
+        assert h == 0.5
+
+    def test_deterministic(self):
+        X = make_uniform(200, 3, seed=2)
+        assert hopkins_statistic(X, seed=5) == hopkins_statistic(X, seed=5)
+
+
+class TestNNProfile:
+    def test_keys_and_ranges(self):
+        X, _ = make_blobs(300, 4, 5, seed=0)
+        profile = nn_distance_profile(X, seed=0)
+        assert set(profile) == {"nn_dist_mean", "nn_dist_cv"}
+        assert 0.0 <= profile["nn_dist_mean"] <= 1.0
+        assert profile["nn_dist_cv"] >= 0.0
+
+    def test_tighter_data_smaller_mean(self):
+        tight = make_grid_clusters(400, 2, side=3, jitter=0.005, seed=1)
+        loose = make_uniform(400, 2, seed=1)
+        assert (
+            nn_distance_profile(tight, seed=0)["nn_dist_mean"]
+            < nn_distance_profile(loose, seed=0)["nn_dist_mean"]
+        )
+
+
+class TestVarianceRatio:
+    def test_isotropic_near_one(self):
+        X = np.random.default_rng(0).normal(size=(2000, 4))
+        assert variance_ratio(X) < 1.3
+
+    def test_dominating_axis_detected(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(500, 3))
+        X[:, 0] *= 20.0
+        # max/mean tops out at d; a dominating axis pushes it toward that.
+        assert variance_ratio(X) > 2.5
+
+    def test_constant_data(self):
+        assert variance_ratio(np.ones((30, 2))) == 1.0
+
+
+class TestFeatureIntegration:
+    def test_profile_set_names(self):
+        names = feature_names("profile")
+        assert set(PROFILE_FEATURES) <= set(names)
+        assert len(names) == 18
+
+    def test_extract_with_profile(self):
+        X, _ = make_blobs(250, 3, 4, seed=0)
+        features = extract_features(X, 5, profile=True)
+        vec = features.vector("profile")
+        assert len(vec) == 18
+
+    def test_vector_without_profile_extraction_errors(self):
+        X, _ = make_blobs(200, 3, 4, seed=0)
+        features = extract_features(X, 5)  # no profile
+        with pytest.raises(ConfigurationError, match="profile"):
+            features.vector("profile")
+
+    def test_all_profile_features_extracted(self):
+        X, _ = make_blobs(200, 3, 4, seed=0)
+        profile = extract_profile_features(X, seed=0)
+        assert set(profile) == set(PROFILE_FEATURES)
+
+    def test_utune_with_profile_features(self):
+        from repro.datasets import load_dataset
+
+        tasks = []
+        for name in ["NYC-Taxi", "Covtype"]:
+            X = load_dataset(name, n=250, seed=0)
+            for k in [4, 10]:
+                tasks.append((name, X, k))
+        records = generate_ground_truth(
+            tasks, selective=True, max_iter=3, profile=True
+        )
+        tuner = UTune(model="dt", feature_set="profile").fit(records)
+        report = tuner.evaluate(records)
+        assert report["bound_mrr"] > 0.0
+        config = tuner.predict_config(load_dataset("NYC-Taxi", n=250, seed=3), 4)
+        assert config.label
