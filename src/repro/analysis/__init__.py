@@ -1,0 +1,44 @@
+"""Repo-specific static analysis: the instrumentation/determinism linter.
+
+The paper's evaluation is only as trustworthy as its counters (Section 7.1 /
+Table 3), and the counters are only as trustworthy as the discipline that
+every hot path computes distances through the instrumented kernels in
+:mod:`repro.common.distance` and draws randomness through
+:mod:`repro.common.rng`.  This package enforces those contracts with a small
+AST-visitor framework plus a rule set encoding the repo's conventions:
+
+========  =========================  ==================================
+rule id   name                       contract enforced
+========  =========================  ==================================
+R001      uninstrumented-distance    distances go through counted kernels
+R002      global-rng                 randomness is explicitly seeded
+R003      counter-discipline         counter-taking code charges accesses
+R004      float-equality             pruning never compares floats with ==
+R005      mutable-default-arg        no shared mutable default arguments
+========  =========================  ==================================
+
+Findings can be silenced inline with ``# repro: ignore[R001]`` (with an
+explanatory comment) or grandfathered in ``analysis_baseline.json``.  See
+``docs/static_analysis.md`` for the full workflow.
+"""
+
+from repro.analysis.baseline import Baseline, load_baseline, write_baseline
+from repro.analysis.findings import Finding
+from repro.analysis.reporters import format_findings_json, format_findings_text
+from repro.analysis.rules import ALL_RULE_IDS, Rule, get_rules
+from repro.analysis.runner import AnalysisReport, analyze_paths, analyze_source
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "AnalysisReport",
+    "Baseline",
+    "Finding",
+    "Rule",
+    "analyze_paths",
+    "analyze_source",
+    "format_findings_json",
+    "format_findings_text",
+    "get_rules",
+    "load_baseline",
+    "write_baseline",
+]

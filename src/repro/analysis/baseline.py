@@ -1,0 +1,78 @@
+"""Baseline file support: grandfathered findings.
+
+The baseline is a committed JSON file (``analysis_baseline.json`` at the
+repo root) listing findings that predate a rule and are tolerated until
+someone cleans them up.  Matching is by ``(path, rule, snippet)`` — not line
+number — so unrelated edits above an offender do not resurrect it; each
+entry carries a ``count`` so a file with three identical offending lines
+cannot silently grow a fourth.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "analysis_baseline.json"
+
+_Key = Tuple[str, str, str]
+
+
+@dataclass
+class Baseline:
+    """Multiset of grandfathered finding identities."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    def filter(self, findings: Iterable[Finding]) -> Tuple[List[Finding], int]:
+        """Split ``findings`` into (fresh, number_baselined).
+
+        Consumes baseline budget in file order, so at most ``count``
+        occurrences of an identical offender are absorbed.
+        """
+        budget = Counter(self.entries)
+        fresh: List[Finding] = []
+        absorbed = 0
+        for finding in findings:
+            key = finding.baseline_key()
+            if budget[key] > 0:
+                budget[key] -= 1
+                absorbed += 1
+            else:
+                fresh.append(finding)
+        return fresh, absorbed
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return Baseline()
+    payload = json.loads(path.read_text())
+    entries: Counter = Counter()
+    for item in payload.get("findings", []):
+        key: _Key = (item["path"], item["rule"], item.get("snippet", ""))
+        entries[key] += int(item.get("count", 1))
+    return Baseline(entries)
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, deduplicated)."""
+    entries: Counter = Counter(f.baseline_key() for f in findings)
+    items: List[Dict[str, object]] = []
+    for (file_path, rule_id, snippet), count in sorted(entries.items()):
+        item: Dict[str, object] = {"path": file_path, "rule": rule_id, "snippet": snippet}
+        if count > 1:
+            item["count"] = count
+        items.append(item)
+    payload = {"version": BASELINE_VERSION, "findings": items}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,42 @@
+"""The :class:`Finding` record emitted by every analysis rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is stored repo-relative (posix separators) so findings are
+    stable across machines; ``snippet`` is the stripped source line, which
+    doubles as the location-insensitive identity used by the baseline (line
+    numbers drift under unrelated edits, the offending code itself rarely
+    does).
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    snippet: str = ""
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Identity used to match this finding against baseline entries."""
+        return (self.path, self.rule_id, self.snippet)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"

@@ -1,0 +1,45 @@
+"""Text and JSON rendering of analysis reports."""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.analysis.rules import RULES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.runner import AnalysisReport
+
+
+def format_findings_text(report: "AnalysisReport") -> str:
+    """Human-oriented report: one line per finding plus a summary."""
+    lines = []
+    for finding in report.findings:
+        lines.append(finding.format())
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    for error in report.parse_errors:
+        lines.append(f"{error} [parse-error]")
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.files_scanned} file(s)"
+        f" ({report.suppressed} suppressed, {report.baselined} baselined)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_findings_json(report: "AnalysisReport") -> str:
+    """Machine-oriented report mirroring the text output."""
+    payload = {
+        "findings": [finding.as_dict() for finding in report.findings],
+        "parse_errors": list(report.parse_errors),
+        "files_scanned": report.files_scanned,
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+        "rules": {
+            rule_id: {"name": cls.name, "description": cls.description}
+            for rule_id, cls in sorted(RULES.items())
+        },
+        "ok": report.ok,
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,447 @@
+"""AST rule framework and the repo-contract rule set (R001–R005).
+
+Each rule is a small class with an id, a path scope, and a ``check`` method
+that walks a parsed module and yields :class:`Finding`\\ s.  Rules are
+registered in :data:`RULES` at import time; the runner applies inline
+suppressions and the baseline afterwards, so rules themselves stay pure.
+
+Scope conventions
+-----------------
+The *instrumented core* is ``repro/core/`` and ``repro/indexes/`` — the code
+whose operation counts the paper reports (Table 3).  R001/R003/R004 apply
+there; R002 applies everywhere except :mod:`repro.common.rng` (the one
+blessed RNG chokepoint); R005 applies to the whole tree.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Type
+
+from repro.analysis.findings import Finding
+
+#: path fragments delimiting the instrumented core (posix separators)
+INSTRUMENTED_SCOPE = ("repro/core/", "repro/indexes/")
+
+#: attribute names treated as stored bound arrays by R003
+BOUND_ARRAY_ATTRS = frozenset(
+    {"_ub", "_ub2", "_lb", "_lbs", "_glb", "_bounds", "_lb_shifted"}
+)
+
+#: einsum subscript signatures that compute a same-operand inner product,
+#: i.e. a squared-distance evaluation
+_DISTANCE_EINSUM_SIGS = frozenset({"i,i->", "ij,ij->", "ij,ij->i", "ijk,ijk->ij"})
+
+
+# ----------------------------------------------------------------------
+# Parsed-module container and name resolution.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ParsedModule:
+    """One source file parsed for analysis."""
+
+    path: str  # repo-relative, posix separators
+    source: str
+    tree: ast.AST
+    lines: List[str] = field(default_factory=list)
+    aliases: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ParsedModule":
+        tree = ast.parse(source)
+        module = cls(path=path, source=source, tree=tree, lines=source.splitlines())
+        module.aliases = _collect_aliases(tree)
+        return module
+
+    def snippet(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=self.path,
+            line=lineno,
+            col=col + 1,
+            rule_id=rule.rule_id,
+            message=message,
+            snippet=self.snippet(lineno),
+        )
+
+
+def _collect_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to the dotted module path they were imported as."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                aliases[item.asname or item.name.split(".")[0]] = (
+                    item.name if item.asname else item.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                if item.name != "*":
+                    aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def resolve_name(aliases: Dict[str, str], node: ast.AST) -> Optional[str]:
+    """Resolve an attribute chain / name to a dotted import path, or None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id)
+    if root is None:
+        return None
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+# ----------------------------------------------------------------------
+# Rule base class and registry.
+# ----------------------------------------------------------------------
+
+
+class Rule(abc.ABC):
+    """One analysis rule: id, human name, path scope, and a checker."""
+
+    rule_id: str = "R000"
+    name: str = "abstract-rule"
+    description: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    @abc.abstractmethod
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        """Yield findings for ``module`` (already known to be in scope)."""
+
+
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    if cls.rule_id in RULES:  # pragma: no cover - programming error guard
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    RULES[cls.rule_id] = cls
+    return cls
+
+
+def get_rules(rule_ids: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Instantiate the requested rules (default: all, in id order)."""
+    if rule_ids is None:
+        selected: Iterable[str] = sorted(RULES)
+    else:
+        unknown = [rid for rid in rule_ids if rid.upper() not in RULES]
+        if unknown:
+            raise KeyError(f"unknown rule ids {unknown}; known: {sorted(RULES)}")
+        selected = [rid.upper() for rid in rule_ids]
+    return [RULES[rid]() for rid in selected]
+
+
+def _in_instrumented_scope(path: str) -> bool:
+    return any(fragment in path for fragment in INSTRUMENTED_SCOPE)
+
+
+# ----------------------------------------------------------------------
+# R001 — uninstrumented-distance.
+# ----------------------------------------------------------------------
+
+
+@register
+class UninstrumentedDistanceRule(Rule):
+    """Distance arithmetic in the instrumented core must go through the
+    counted kernels of :mod:`repro.common.distance` (or carry a justified
+    suppression), otherwise ``distance_computations`` silently undercounts
+    and every Table 3-style measurement downstream is wrong."""
+
+    rule_id = "R001"
+    name = "uninstrumented-distance"
+    description = (
+        "distance computed outside the instrumented kernels in "
+        "repro.common.distance"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return _in_instrumented_scope(path)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                resolved = resolve_name(module.aliases, node.func)
+                if resolved == "numpy.linalg.norm":
+                    yield module.finding(
+                        self,
+                        node,
+                        "np.linalg.norm computes an uncounted distance; use "
+                        "repro.common.distance (euclidean / one_to_many_distances)",
+                    )
+                elif resolved is not None and resolved.startswith("scipy.spatial"):
+                    yield module.finding(
+                        self,
+                        node,
+                        f"{resolved} bypasses the instrumented kernels; use "
+                        "repro.common.distance",
+                    )
+                elif resolved in ("numpy.einsum",) and self._is_distance_einsum(node):
+                    yield module.finding(
+                        self,
+                        node,
+                        "same-operand einsum is a squared-distance evaluation; "
+                        "use repro.common.distance so it is counted",
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+                if ast.dump(node.left) == ast.dump(node.right):
+                    yield module.finding(
+                        self,
+                        node,
+                        "diff @ diff inner product is a squared-distance "
+                        "evaluation; use repro.common.distance so it is counted",
+                    )
+
+    @staticmethod
+    def _is_distance_einsum(node: ast.Call) -> bool:
+        if len(node.args) != 3:
+            return False
+        sig = node.args[0]
+        if not (isinstance(sig, ast.Constant) and isinstance(sig.value, str)):
+            return False
+        signature = sig.value.replace(" ", "")
+        if signature not in _DISTANCE_EINSUM_SIGS:
+            return False
+        return ast.dump(node.args[1]) == ast.dump(node.args[2])
+
+
+# ----------------------------------------------------------------------
+# R002 — global-rng.
+# ----------------------------------------------------------------------
+
+
+@register
+class GlobalRngRule(Rule):
+    """All randomness flows through explicitly seeded generators.  The
+    determinism contract (fixed seed => identical labels/centroids) breaks
+    the moment any code touches the process-global numpy or stdlib RNG
+    state, because test ordering then changes results."""
+
+    rule_id = "R002"
+    name = "global-rng"
+    description = (
+        "global / unseeded RNG use outside repro.common.rng; pass a seeded "
+        "Generator (repro.common.rng.ensure_rng)"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return not path.endswith("repro/common/rng.py")
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = resolve_name(module.aliases, node.func)
+            if resolved is None:
+                continue
+            if resolved == "numpy.random.default_rng":
+                if not node.args or (
+                    isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value is None
+                ):
+                    yield module.finding(
+                        self,
+                        node,
+                        "unseeded default_rng() is nondeterministic; pass an "
+                        "explicit seed or thread a Generator through",
+                    )
+            elif resolved.startswith("numpy.random."):
+                yield module.finding(
+                    self,
+                    node,
+                    f"{resolved} uses numpy's global RNG state; construct a "
+                    "seeded Generator via repro.common.rng.ensure_rng",
+                )
+            elif resolved == "random" or resolved.startswith("random."):
+                yield module.finding(
+                    self,
+                    node,
+                    "stdlib random uses process-global state; use a seeded "
+                    "numpy Generator via repro.common.rng.ensure_rng",
+                )
+
+
+# ----------------------------------------------------------------------
+# R003 — counter-discipline.
+# ----------------------------------------------------------------------
+
+
+@register
+class CounterDisciplineRule(Rule):
+    """A function that accepts an :class:`OpCounters` parameter advertises
+    that its work is measured; reading data-point rows or stored bound
+    arrays inside it without charging ``point_accesses`` /
+    ``bound_accesses`` breaks the Table 3 access accounting."""
+
+    rule_id = "R003"
+    name = "counter-discipline"
+    description = (
+        "counter-accepting function reads points/bounds without charging "
+        "point_accesses/bound_accesses"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return _in_instrumented_scope(path)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if self._accepts_counters(node):
+                    yield from self._check_function(module, node)
+
+    @staticmethod
+    def _accepts_counters(node: ast.AST) -> bool:
+        args = node.args
+        every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        for arg in every:
+            if arg.arg == "counters":
+                return True
+            if arg.annotation is not None and "OpCounters" in ast.dump(arg.annotation):
+                return True
+        return False
+
+    def _check_function(
+        self, module: ParsedModule, func: ast.AST
+    ) -> Iterator[Finding]:
+        point_reads: List[ast.AST] = []
+        bound_reads: List[ast.AST] = []
+        charges_points = False
+        charges_bounds = False
+        for node in ast.walk(func):
+            if isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Load):
+                target = node.value
+                if isinstance(target, ast.Attribute):
+                    if target.attr == "X":
+                        point_reads.append(node)
+                    elif target.attr in BOUND_ARRAY_ATTRS:
+                        bound_reads.append(node)
+            elif isinstance(node, ast.Attribute):
+                if node.attr in ("add_point_accesses", "point_accesses"):
+                    charges_points = True
+                elif node.attr in ("add_bound_accesses", "bound_accesses"):
+                    charges_bounds = True
+        if point_reads and not charges_points:
+            yield module.finding(
+                self,
+                point_reads[0],
+                f"function {func.name!r} accepts counters but reads data "
+                "points without charging point_accesses",
+            )
+        if bound_reads and not charges_bounds:
+            yield module.finding(
+                self,
+                bound_reads[0],
+                f"function {func.name!r} accepts counters but reads bound "
+                "arrays without charging bound_accesses",
+            )
+
+
+# ----------------------------------------------------------------------
+# R004 — float-equality.
+# ----------------------------------------------------------------------
+
+
+@register
+class FloatEqualityRule(Rule):
+    """Pruning code lives and dies by threshold tests; ``==``/``!=``
+    against float expressions is almost always a latent tie-breaking or
+    convergence bug (use <=/>= margins or math.isclose)."""
+
+    rule_id = "R004"
+    name = "float-equality"
+    description = "== / != comparison against a float expression in pruning code"
+
+    def applies_to(self, path: str) -> bool:
+        return _in_instrumented_scope(path)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left] + list(node.comparators)
+            if any(self._is_floatish(operand) for operand in operands):
+                yield module.finding(
+                    self,
+                    node,
+                    "float equality comparison; use an explicit tolerance or "
+                    "an ordered comparison",
+                )
+
+    @classmethod
+    def _is_floatish(cls, node: ast.AST, depth: int = 0) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.UnaryOp):
+            return cls._is_floatish(node.operand, depth)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id == "float"
+        if isinstance(node, ast.BinOp) and depth < 2:
+            return cls._is_floatish(node.left, depth + 1) or cls._is_floatish(
+                node.right, depth + 1
+            )
+        return False
+
+
+# ----------------------------------------------------------------------
+# R005 — mutable-default-arg.
+# ----------------------------------------------------------------------
+
+
+@register
+class MutableDefaultArgRule(Rule):
+    """Mutable default arguments are evaluated once and shared across
+    calls — in a framework whose algorithms are re-run in loops by the
+    harness, state leaking between runs corrupts measurements silently."""
+
+    rule_id = "R005"
+    name = "mutable-default-arg"
+    description = "mutable default argument (list/dict/set) shared across calls"
+
+    _MUTABLE_FACTORIES: FrozenSet[str] = frozenset({"list", "dict", "set", "bytearray"})
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield module.finding(
+                        self,
+                        default,
+                        f"default argument of {name!r} is mutable and shared "
+                        "across calls; default to None and construct inside",
+                    )
+
+    @classmethod
+    def _is_mutable(cls, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                             ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in cls._MUTABLE_FACTORIES
+        return False
+
+
+ALL_RULE_IDS = tuple(sorted(RULES))

@@ -1,0 +1,118 @@
+"""Walk files, run rules, apply suppressions and the baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ParsedModule, Rule, get_rules
+from repro.analysis.suppressions import is_suppressed, parse_suppressions
+
+#: directory names never descended into
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "build", "dist", ".eggs"}
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files pass through)."""
+    for path in paths:
+        path = Path(path)
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    yield candidate
+
+
+def _relative_posix(path: Path, root: Optional[Path]) -> str:
+    path = Path(path)
+    if root is not None:
+        try:
+            path = path.resolve().relative_to(Path(root).resolve())
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Analyze one in-memory module; ``path`` drives rule scoping.
+
+    Inline suppressions are honored; baseline filtering is the caller's
+    concern.  Raises ``SyntaxError`` on unparsable source.
+    """
+    module = ParsedModule.parse(path, source)
+    suppressions = parse_suppressions(source)
+    active = list(rules) if rules is not None else get_rules()
+    findings: List[Finding] = []
+    for rule in active:
+        if not rule.applies_to(path):
+            continue
+        for finding in rule.check(module):
+            if not is_suppressed(suppressions, finding.line, finding.rule_id):
+                findings.append(finding)
+    findings.sort()
+    return findings
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    *,
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+) -> AnalysisReport:
+    """Analyze every python file under ``paths`` and aggregate a report."""
+    active = list(rules) if rules is not None else get_rules()
+    report = AnalysisReport()
+    collected: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        relpath = _relative_posix(file_path, root)
+        try:
+            source = file_path.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            report.parse_errors.append(f"{relpath}: unreadable ({exc})")
+            continue
+        report.files_scanned += 1
+        try:
+            module = ParsedModule.parse(relpath, source)
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{relpath}:{exc.lineno}: {exc.msg}")
+            continue
+        suppressions = parse_suppressions(source)
+        for rule in active:
+            if not rule.applies_to(relpath):
+                continue
+            for finding in rule.check(module):
+                if is_suppressed(suppressions, finding.line, finding.rule_id):
+                    report.suppressed += 1
+                else:
+                    collected.append(finding)
+    collected.sort()
+    if baseline is not None:
+        collected, absorbed = baseline.filter(collected)
+        report.baselined = absorbed
+    report.findings = collected
+    return report

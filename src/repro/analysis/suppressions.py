@@ -1,0 +1,67 @@
+"""Inline suppression comments: ``# repro: ignore[R001]``.
+
+A suppression applies to findings reported on
+
+* the physical line carrying the comment (trailing comment style), or
+* the first following non-blank, non-comment line, when the comment stands
+  alone (banner style for statements that do not fit on one line).
+
+``# repro: ignore`` without a bracket list silences every rule on that line;
+``# repro: ignore[R001, R004]`` silences only the listed rules.  The linter
+deliberately has no file-level escape hatch — blanket exemptions belong in
+the rule's scope definition, not scattered through the tree.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, List
+
+#: sentinel meaning "all rules suppressed on this line"
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+)
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on them."""
+    suppressed: Dict[int, FrozenSet[str]] = {}
+    lines: List[str] = source.splitlines()
+    pending: List[FrozenSet[str]] = []
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        rules: FrozenSet[str] = frozenset()
+        if match:
+            listed = match.group("rules")
+            if listed is None or not listed.strip():
+                rules = ALL_RULES
+            else:
+                rules = frozenset(
+                    item.strip().upper() for item in listed.split(",") if item.strip()
+                )
+        if match and _COMMENT_ONLY_RE.match(text):
+            # Standalone comment: applies to the next code line.
+            pending.append(rules)
+            continue
+        if match:
+            suppressed[lineno] = suppressed.get(lineno, frozenset()) | rules
+        if pending and text.strip() and not _COMMENT_ONLY_RE.match(text):
+            for rules_from_banner in pending:
+                suppressed[lineno] = (
+                    suppressed.get(lineno, frozenset()) | rules_from_banner
+                )
+            pending = []
+    return suppressed
+
+
+def is_suppressed(
+    suppressions: Dict[int, FrozenSet[str]], line: int, rule_id: str
+) -> bool:
+    """True when ``rule_id`` is silenced on ``line``."""
+    rules = suppressions.get(line)
+    if not rules:
+        return False
+    return rules == ALL_RULES or "*" in rules or rule_id.upper() in rules

@@ -16,6 +16,9 @@ Commands
 ``tune``
     Generate ground truth over the registry, train UTune, report MRR
     against the BDT baseline, and print per-task predictions.
+``lint``
+    Run the repo-contract static analyzer (R001–R005) over source trees
+    and fail on any non-baselined finding (see docs/static_analysis.md).
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core import ALGORITHMS, make_algorithm
 from repro.datasets import dataset_names, get_dataset_spec, load_dataset
@@ -144,6 +147,42 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        analyze_paths,
+        format_findings_json,
+        format_findings_text,
+        get_rules,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.analysis.baseline import DEFAULT_BASELINE_NAME
+
+    paths = [Path(p) for p in (args.paths or ["src"])]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path(s): {missing}", file=sys.stderr)
+        return 2
+    rules = None
+    if args.rules:
+        try:
+            rules = get_rules([r.strip() for r in args.rules.split(",") if r.strip()])
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+    baseline = None if args.no_baseline else load_baseline(baseline_path)
+    report = analyze_paths(paths, root=Path.cwd(), rules=rules, baseline=baseline)
+    if args.write_baseline:
+        write_baseline(baseline_path, report.findings)
+        print(f"wrote {len(report.findings)} finding(s) to {baseline_path}")
+        return 0
+    print(format_findings_json(report) if args.json else format_findings_text(report))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -182,6 +221,21 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--full", action="store_true",
                       help="full running instead of selective (Algorithm 2)")
     tune.add_argument("--log", default=None)
+
+    lint = sub.add_parser(
+        "lint", help="run the repo-contract static analyzer (R001–R005)"
+    )
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files or directories to analyze (default: src)")
+    lint.add_argument("--json", action="store_true", help="JSON output")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--baseline", default=None,
+                      help="baseline file (default: analysis_baseline.json)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore the baseline and report every finding")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="write current findings as the new baseline and exit")
     return parser
 
 
@@ -192,6 +246,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "cluster": _cmd_cluster,
         "compare": _cmd_compare,
         "tune": _cmd_tune,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

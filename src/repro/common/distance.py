@@ -62,14 +62,26 @@ def pairwise_distances(
     return np.sqrt(pairwise_sq_distances(A, B, counters))
 
 
+def one_to_many_distances(
+    x: np.ndarray, Y: np.ndarray, counters: Optional[OpCounters] = None
+) -> np.ndarray:
+    """Distances from one vector to every row of ``Y`` (counts ``len(Y)``).
+
+    Direct differencing — bit-identical to the scalar helpers — so candidate
+    loops, leaf scans and pivot-gap computations that switch to this kernel
+    keep the exact tie-breaking of the code they replace.
+    """
+    if counters is not None:
+        counters.distance_computations += Y.shape[0]
+    diff = Y - x
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
 def distances_to_centroids(
     x: np.ndarray, centroids: np.ndarray, counters: Optional[OpCounters] = None
 ) -> np.ndarray:
     """Distances from one point to every centroid (counts ``k`` distances)."""
-    if counters is not None:
-        counters.distance_computations += centroids.shape[0]
-    diff = centroids - x
-    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    return one_to_many_distances(x, centroids, counters)
 
 
 def centroid_pairwise_distances(

@@ -8,7 +8,7 @@ a ``Generator`` so downstream code never branches on the input type.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -10,6 +10,7 @@ from typing import Dict, Optional, Type
 
 import numpy as np
 
+from repro.common.distance import chunked_sq_distances
 from repro.common.exceptions import ConfigurationError
 from repro.core.annular import AnnularKMeans
 from repro.core.base import DEFAULT_MAX_ITER, KMeansAlgorithm, compute_sse
@@ -142,8 +143,9 @@ class KMeans:
         if self.result_ is None:
             raise ConfigurationError("predict called before fit")
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
-        diff = X[:, None, :] - self.result_.centroids[None, :, :]
-        return np.argmin(np.einsum("ijk,ijk->ij", diff, diff), axis=1)
+        # Serving-path convenience; uncounted by design (kernel without counters).
+        sq = chunked_sq_distances(X, self.result_.centroids)
+        return np.argmin(sq, axis=1)
 
 
 __all__ = [

@@ -28,7 +28,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.common.distance import chunked_sq_distances
+from repro.common.distance import chunked_sq_distances, euclidean, one_to_many_distances
 from repro.common.exceptions import ConfigurationError
 from repro.common.rng import SeedLike, ensure_rng
 from repro.common.validation import check_data_matrix, check_k
@@ -45,6 +45,7 @@ DEFAULT_MAX_ITER = 50
 def compute_sse(X: np.ndarray, labels: np.ndarray, centroids: np.ndarray) -> float:
     """Sum of squared errors (Equation 1).  Not charged to any counter."""
     diff = X - centroids[labels]
+    # repro: ignore[R001] — SSE is a quality metric, deliberately uncounted
     return float(np.einsum("ij,ij->", diff, diff))
 
 
@@ -154,6 +155,13 @@ class KMeansAlgorithm(abc.ABC):
                 self._assign(t)
             with timer.phase("refinement"):
                 new_centroids = self._refine(t, previous_labels)
+            # Centroid drift is NOT charged to distance_computations: it is
+            # convergence/bound-maintenance bookkeeping computed once per
+            # iteration for every algorithm by this shared skeleton, so the
+            # Table 3 counters isolate assignment-phase pruning work (Lloyd's
+            # baseline stays exactly n*k per iteration).  See
+            # docs/static_analysis.md ("the drift convention").
+            # repro: ignore[R001]
             drifts = np.linalg.norm(new_centroids - self._centroids, axis=1)
             self._centroids = new_centroids
             n_iter = t + 1
@@ -271,15 +279,12 @@ class KMeansAlgorithm(abc.ABC):
 
     def _point_centroid_distance(self, i: int, j: int) -> float:
         """Counted distance from point ``i`` to centroid ``j``."""
-        self.counters.distance_computations += 1
         self.counters.point_accesses += 1
-        diff = self.X[i] - self._centroids[j]
-        return float(np.sqrt(diff @ diff))
+        return euclidean(self.X[i], self._centroids[j], self.counters)
 
     def _point_distances(self, i: int, centroid_idx: np.ndarray) -> np.ndarray:
         """Counted distances from point ``i`` to a set of centroids."""
-        count = len(centroid_idx)
-        self.counters.distance_computations += count
-        self.counters.point_accesses += count
-        diff = self._centroids[centroid_idx] - self.X[i]
-        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        self.counters.point_accesses += len(centroid_idx)
+        return one_to_many_distances(
+            self.X[i], self._centroids[centroid_idx], self.counters
+        )

@@ -24,10 +24,11 @@ node sum vectors during the descent, so no point is ever re-read.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
+from repro.common.distance import chunked_sq_distances, one_to_many_distances
 from repro.common.exceptions import ConfigurationError
 from repro.core.base import KMeansAlgorithm
 from repro.indexes import INDEX_CLASSES, MetricTree, TreeNode
@@ -101,9 +102,9 @@ class IndexKMeans(KMeansAlgorithm):
     def _node_centroid_distances(
         self, node: TreeNode, candidates: np.ndarray
     ) -> np.ndarray:
-        self.counters.add_distances(len(candidates))
-        diff = self._centroids[candidates] - node.pivot
-        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        return one_to_many_distances(
+            node.pivot, self._centroids[candidates], self.counters
+        )
 
     def _hyperplane_keep(
         self, node: TreeNode, candidates: np.ndarray, best: int
@@ -133,10 +134,8 @@ class IndexKMeans(KMeansAlgorithm):
     def _assign_leaf_points(self, node: TreeNode, candidates: np.ndarray) -> None:
         idx = node.point_indices
         points = self.X[idx]
-        self.counters.add_distances(len(idx) * len(candidates))
         self.counters.add_point_accesses(len(idx) * len(candidates))
-        diff = points[:, None, :] - self._centroids[candidates][None, :, :]
-        sq = np.einsum("ijk,ijk->ij", diff, diff)
+        sq = chunked_sq_distances(points, self._centroids[candidates], self.counters)
         winners = candidates[np.argmin(sq, axis=1)]
         self._labels[idx] = winners
         for j in np.unique(winners):

@@ -18,7 +18,7 @@ algorithm instance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.common.exceptions import ConfigurationError
 from repro.core.annular import AnnularKMeans
@@ -26,7 +26,6 @@ from repro.core.drake import DrakeKMeans
 from repro.core.drift import DriftKMeans
 from repro.core.elkan import ElkanKMeans
 from repro.core.exponion import ExponionKMeans
-from repro.core.full import FullKMeans
 from repro.core.hamerly import HamerlyKMeans
 from repro.core.heap import HeapKMeans
 from repro.core.index_kmeans import IndexKMeans

@@ -17,7 +17,6 @@ bounded SSE inflation relative to Lloyd, which the tests check statistically.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -25,7 +24,6 @@ from repro.common.distance import chunked_sq_distances
 from repro.common.exceptions import ConfigurationError
 from repro.common.validation import check_positive, check_probability
 from repro.core.base import KMeansAlgorithm
-from repro.core.initialization import initialize_centroids
 
 
 class MiniBatchKMeans(KMeansAlgorithm):
@@ -101,7 +99,7 @@ class SampledKMeans(KMeansAlgorithm):
     ) -> None:
         super().__init__()
         check_probability(sample_fraction, "sample_fraction")
-        if sample_fraction == 0.0:
+        if sample_fraction <= 0.0:
             raise ConfigurationError("sample_fraction must be > 0")
         self.sample_fraction = sample_fraction
         self.inner = inner

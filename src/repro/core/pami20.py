@@ -22,6 +22,7 @@ from typing import List
 
 import numpy as np
 
+from repro.common.distance import chunked_sq_distances
 from repro.core.base import KMeansAlgorithm
 from repro.core.pruning import centroid_separations
 
@@ -66,10 +67,10 @@ class Pami20KMeans(KMeansAlgorithm):
             if len(members) == 0:
                 continue
             cand = candidates[a]
-            counters.add_distances(len(members) * len(cand))
             counters.add_point_accesses(len(members) * len(cand))
-            diff = self.X[members][:, None, :] - self._centroids[cand][None, :, :]
-            dists = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+            dists = np.sqrt(
+                chunked_sq_distances(self.X[members], self._centroids[cand], counters)
+            )
             positions = np.argmin(dists, axis=1)
             winners = cand[positions]
             labels[members] = winners

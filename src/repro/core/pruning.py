@@ -13,7 +13,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.common.distance import centroid_pairwise_distances
+from repro.common.distance import centroid_pairwise_distances, chunked_sq_distances
 from repro.common.rng import SeedLike, ensure_rng
 from repro.instrumentation.counters import OpCounters
 
@@ -76,8 +76,8 @@ def group_centroids_kmeans(
     means = centroids[seeds].copy()
     labels = np.zeros(k, dtype=np.intp)
     for _ in range(iterations):
-        diff = centroids[:, None, :] - means[None, :, :]
-        sq = np.einsum("ijk,ijk->ij", diff, diff)
+        # Uncounted by design (see docstring): kernel invoked without counters.
+        sq = chunked_sq_distances(centroids, means)
         labels = np.argmin(sq, axis=1).astype(np.intp)
         for g in range(t):
             members = centroids[labels == g]

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.common.distance import euclidean, one_to_many_distances
 from repro.common.exceptions import ConfigurationError
 from repro.core.base import KMeansAlgorithm
 from repro.core.pruning import GroupView, default_group_count, group_centroids_kmeans
@@ -124,10 +125,14 @@ class UniKKMeans(KMeansAlgorithm):
         self._t = max(1, min(int(self._t), self.k))
         self._leaf_psi: Dict[int, np.ndarray] = {}
         for leaf in self.tree.leaves():
-            diff = self.X[leaf.point_indices] - leaf.pivot
-            self._leaf_psi[id(leaf)] = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            # Per-leaf point-to-pivot gaps feed the group filter bounds;
+            # they are real d-dimensional evaluations, charged as setup cost.
+            self._leaf_psi[id(leaf)] = one_to_many_distances(
+                leaf.pivot, self.X[leaf.point_indices], self.counters
+            )
         if self.block_filter:
             self._xblocks = block_norms(self.X, 2)
+            # repro: ignore[R001] — norm table (Section 4.3), charged as bound updates
             self._xnorm_sq = np.einsum("ij,ij->i", self.X, self.X)
         self._objects: List[_Obj] = []
         self._mode = self.traversal
@@ -144,6 +149,7 @@ class UniKKMeans(KMeansAlgorithm):
         begin = time.perf_counter()
         if self.block_filter:
             self._cblocks = block_norms(self._centroids, 2)
+            # repro: ignore[R001] — norm table (Section 4.3), charged as bound updates
             self._cnorm_sq = np.einsum("ij,ij->i", self._centroids, self._centroids)
             self.counters.add_bound_updates(3 * self.k)
         if iteration == 0:
@@ -384,21 +390,18 @@ class UniKKMeans(KMeansAlgorithm):
         return best, d1, second, new_glb
 
     def _object_distance(self, vec: np.ndarray, j: int, is_point: bool) -> float:
-        self.counters.distance_computations += 1
         if is_point:
             self.counters.point_accesses += 1
-        diff = vec - self._centroids[j]
-        return float(np.sqrt(diff @ diff))
+        return euclidean(vec, self._centroids[j], self.counters)
 
     def _object_distances(
         self, vec: np.ndarray, centroid_idx: np.ndarray, is_point: bool
     ) -> np.ndarray:
-        count = len(centroid_idx)
-        self.counters.distance_computations += count
         if is_point:
-            self.counters.point_accesses += count
-        diff = self._centroids[centroid_idx] - vec
-        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            self.counters.point_accesses += len(centroid_idx)
+        return one_to_many_distances(
+            vec, self._centroids[centroid_idx], self.counters
+        )
 
     def _block_bounds(self, i: int, centroid_idx: np.ndarray) -> np.ndarray:
         """Vectorized block-vector lower bounds from point ``i`` to centroids."""

@@ -21,7 +21,6 @@ from typing import Optional
 
 import numpy as np
 
-from repro.common.rng import ensure_rng
 from repro.core.base import KMeansAlgorithm
 from repro.core.pruning import (
     GroupView,

@@ -25,7 +25,7 @@ All generators take a ``seed`` and are fully deterministic given it.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

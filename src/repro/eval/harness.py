@@ -16,7 +16,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Unio
 import numpy as np
 
 from repro.core import KnobConfig, build_algorithm, make_algorithm
-from repro.core.base import DEFAULT_MAX_ITER, KMeansAlgorithm
+from repro.core.base import KMeansAlgorithm
 from repro.core.initialization import initialize_centroids
 from repro.core.result import KMeansResult
 

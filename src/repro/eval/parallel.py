@@ -11,7 +11,7 @@ with identical inputs, so results are bit-identical to the serial harness
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 

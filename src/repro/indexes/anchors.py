@@ -26,6 +26,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.common.distance import euclidean, one_to_many_distances
 from repro.indexes.base import MetricTree, TreeNode, make_internal, make_leaf
 
 
@@ -57,12 +58,12 @@ class AnchorsHierarchy(MetricTree):
 
     def _build_node(self, indices: np.ndarray) -> TreeNode:
         if len(indices) <= self.capacity:
-            return make_leaf(self.X, indices, height=0)
+            return make_leaf(self.X, indices, height=0, counters=self.counters)
         anchors = self._grow_anchors(indices)
         nonempty = [anchor for anchor in anchors if len(anchor.points)]
         if len(nonempty) <= 1:
             # Degenerate data (all points identical): growing cannot split.
-            return make_leaf(self.X, indices, height=0)
+            return make_leaf(self.X, indices, height=0, counters=self.counters)
         children = [self._build_node(anchor.points) for anchor in nonempty]
         return self._agglomerate(children)
 
@@ -99,8 +100,7 @@ class AnchorsHierarchy(MetricTree):
         for anchor in anchors:
             if len(anchor.points) == 0:
                 continue
-            inter = float(np.linalg.norm(self.X[anchor.pivot_index] - pivot_vec))
-            self.counters.add_distances(1)
+            inter = euclidean(self.X[anchor.pivot_index], pivot_vec, self.counters)
             threshold = inter / 2.0
             keep_points: List[int] = []
             keep_dists: List[float] = []
@@ -112,8 +112,7 @@ class AnchorsHierarchy(MetricTree):
                 candidate = int(anchor.points[pos])
                 if candidate == new_pivot:
                     continue  # moves to the new anchor via the final append
-                d_new = float(np.linalg.norm(self.X[candidate] - pivot_vec))
-                self.counters.add_distances(1)
+                d_new = euclidean(self.X[candidate], pivot_vec, self.counters)
                 if d_new < anchor.dists[pos] and candidate != anchor.pivot_index:
                     stolen_points.append(candidate)
                     stolen_dists.append(d_new)
@@ -154,6 +153,7 @@ class AnchorsHierarchy(MetricTree):
             merged = make_internal(
                 [working[i], working[j]],
                 1 + max(working[i].height, working[j].height),
+                counters=self.counters,
             )
             working = [
                 node for pos, node in enumerate(working) if pos not in (i, j)
@@ -163,13 +163,10 @@ class AnchorsHierarchy(MetricTree):
     def _merged_radius(self, a: TreeNode, b: TreeNode) -> float:
         """Covering radius of the ball around the mass-weighted mean."""
         pivot = (a.sv + b.sv) / (a.num + b.num)
-        self.counters.add_distances(2)
         return max(
-            float(np.linalg.norm(a.pivot - pivot)) + a.radius,
-            float(np.linalg.norm(b.pivot - pivot)) + b.radius,
+            euclidean(a.pivot, pivot, self.counters) + a.radius,
+            euclidean(b.pivot, pivot, self.counters) + b.radius,
         )
 
     def _dists(self, indices: np.ndarray, center: np.ndarray) -> np.ndarray:
-        self.counters.add_distances(len(indices))
-        diff = self.X[indices] - center
-        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        return one_to_many_distances(center, self.X[indices], self.counters)

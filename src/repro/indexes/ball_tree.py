@@ -8,10 +8,10 @@ every node carries the Definition 1 augmentation computed bottom-up.
 
 from __future__ import annotations
 
-from typing import List
 
 import numpy as np
 
+from repro.common.distance import one_to_many_distances
 from repro.indexes.base import MetricTree, TreeNode, make_internal, make_leaf
 
 
@@ -26,14 +26,14 @@ class BallTree(MetricTree):
 
     def _build_node(self, indices: np.ndarray) -> TreeNode:
         if len(indices) <= self.capacity:
-            return make_leaf(self.X, indices, height=0)
+            return make_leaf(self.X, indices, height=0, counters=self.counters)
         left_idx, right_idx = self._split(indices)
         if len(left_idx) == 0 or len(right_idx) == 0:
             # Degenerate split (all points identical): stop recursing.
-            return make_leaf(self.X, indices, height=0)
+            return make_leaf(self.X, indices, height=0, counters=self.counters)
         children = [self._build_node(left_idx), self._build_node(right_idx)]
         height = 1 + max(child.height for child in children)
-        return make_internal(children, height)
+        return make_internal(children, height, counters=self.counters)
 
     def _split(self, indices: np.ndarray) -> tuple:
         """Farthest-pair split: two passes of farthest-point search."""
@@ -54,6 +54,4 @@ class BallTree(MetricTree):
         return indices[left_mask], indices[~left_mask]
 
     def _dists(self, points: np.ndarray, center: np.ndarray) -> np.ndarray:
-        self.counters.add_distances(len(points))
-        diff = points - center
-        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        return one_to_many_distances(center, points, self.counters)

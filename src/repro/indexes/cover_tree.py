@@ -19,6 +19,7 @@ from typing import List
 
 import numpy as np
 
+from repro.common.distance import chunked_sq_distances, one_to_many_distances
 from repro.indexes.base import MetricTree, TreeNode, make_internal, make_leaf
 
 #: groups at or below this size become leaves (not a tunable capacity; just
@@ -39,7 +40,7 @@ class CoverTree(MetricTree):
     def _build(self) -> TreeNode:
         indices = np.arange(len(self.X), dtype=np.intp)
         if len(indices) <= self.capacity:
-            return make_leaf(self.X, indices, height=0)
+            return make_leaf(self.X, indices, height=0, counters=self.counters)
         points = self.X[indices]
         center = points.mean(axis=0)
         spread = self._dists(points, center)
@@ -48,7 +49,7 @@ class CoverTree(MetricTree):
 
     def _build_level(self, indices: np.ndarray, scale: float) -> TreeNode:
         if len(indices) <= self.capacity or scale <= 1e-12:
-            return make_leaf(self.X, indices, height=0)
+            return make_leaf(self.X, indices, height=0, counters=self.counters)
         centers = self._greedy_cover(indices, scale)
         if len(centers) == 1:
             # One center covers everything at this scale; descend a scale.
@@ -60,7 +61,7 @@ class CoverTree(MetricTree):
         if len(children) == 1:
             return children[0]
         height = 1 + max(child.height for child in children)
-        return make_internal(children, height)
+        return make_internal(children, height, counters=self.counters)
 
     def _greedy_cover(self, indices: np.ndarray, scale: float) -> np.ndarray:
         """Greedy scale-``scale`` cover of ``X[indices]`` (center indices)."""
@@ -80,13 +81,9 @@ class CoverTree(MetricTree):
     ) -> List[np.ndarray]:
         points = self.X[indices]
         center_points = points[centers]
-        self.counters.add_distances(len(points) * len(centers))
-        diff = points[:, None, :] - center_points[None, :, :]
-        dists = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
-        nearest = np.argmin(dists, axis=1)
+        sq = chunked_sq_distances(points, center_points, self.counters)
+        nearest = np.argmin(sq, axis=1)
         return [indices[nearest == g] for g in range(len(centers))]
 
     def _dists(self, points: np.ndarray, center: np.ndarray) -> np.ndarray:
-        self.counters.add_distances(len(points))
-        diff = points - center
-        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        return one_to_many_distances(center, points, self.counters)

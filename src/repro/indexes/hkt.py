@@ -13,6 +13,7 @@ from typing import List
 
 import numpy as np
 
+from repro.common.distance import chunked_sq_distances
 from repro.common.rng import SeedLike, ensure_rng
 from repro.indexes.base import MetricTree, TreeNode, make_internal, make_leaf
 
@@ -45,13 +46,13 @@ class HierarchicalKMeansTree(MetricTree):
 
     def _build_node(self, indices: np.ndarray) -> TreeNode:
         if len(indices) <= self.capacity:
-            return make_leaf(self.X, indices, height=0)
+            return make_leaf(self.X, indices, height=0, counters=self.counters)
         groups = self._split_kmeans(indices)
         if len(groups) <= 1:
-            return make_leaf(self.X, indices, height=0)
+            return make_leaf(self.X, indices, height=0, counters=self.counters)
         children = [self._build_node(group) for group in groups]
         height = 1 + max(child.height for child in children)
-        return make_internal(children, height)
+        return make_internal(children, height, counters=self.counters)
 
     def _split_kmeans(self, indices: np.ndarray) -> List[np.ndarray]:
         """Partition ``X[indices]`` with a small vectorized Lloyd run."""
@@ -61,9 +62,7 @@ class HierarchicalKMeansTree(MetricTree):
         centroids = points[seeds].copy()
         labels = np.zeros(len(indices), dtype=np.intp)
         for iteration in range(self.split_iterations):
-            self.counters.add_distances(len(points) * len(centroids))
-            diff = points[:, None, :] - centroids[None, :, :]
-            sq = np.einsum("ijk,ijk->ij", diff, diff)
+            sq = chunked_sq_distances(points, centroids, self.counters)
             new_labels = np.argmin(sq, axis=1)
             if iteration > 0 and np.array_equal(new_labels, labels):
                 break

@@ -14,7 +14,7 @@ kd-specific hyperplane pruning of Section 3.1.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -40,7 +40,7 @@ class KDTree(MetricTree):
         lo = points.min(axis=0)
         hi = points.max(axis=0)
         if len(indices) <= self.capacity or np.all(hi == lo):
-            node = make_leaf(self.X, indices, height=0)
+            node = make_leaf(self.X, indices, height=0, counters=self.counters)
             self.boxes[id(node)] = (lo, hi)
             return node
         widths = hi - lo
@@ -58,7 +58,7 @@ class KDTree(MetricTree):
             self._build_node(indices[~left_mask]),
         ]
         height = 1 + max(child.height for child in children)
-        node = make_internal(children, height)
+        node = make_internal(children, height, counters=self.counters)
         self.boxes[id(node)] = (lo, hi)
         return node
 

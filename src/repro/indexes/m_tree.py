@@ -21,6 +21,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.common.distance import euclidean, one_to_many_distances
 from repro.indexes.base import MetricTree, TreeNode, make_internal, make_leaf
 
 
@@ -144,21 +145,17 @@ class MTree(MetricTree):
             indices = np.array(
                 [entry.point_index for entry in node.entries], dtype=np.intp
             )
-            return make_leaf(self.X, indices, height=0)
+            return make_leaf(self.X, indices, height=0, counters=self.counters)
         children = [self._convert(entry.child) for entry in node.entries]
         height = 1 + max(child.height for child in children)
-        return make_internal(children, height)
+        return make_internal(children, height, counters=self.counters)
 
     # ------------------------------------------------------------------
     # Counted distance helpers.
     # ------------------------------------------------------------------
 
     def _dist(self, a: np.ndarray, b: np.ndarray) -> float:
-        self.counters.add_distances()
-        diff = a - b
-        return float(np.sqrt(diff @ diff))
+        return euclidean(a, b, self.counters)
 
     def _dists(self, points: np.ndarray, center: np.ndarray) -> np.ndarray:
-        self.counters.add_distances(len(points))
-        diff = points - center
-        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        return one_to_many_distances(center, points, self.counters)

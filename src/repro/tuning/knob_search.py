@@ -17,14 +17,13 @@ values, so they feed straight into UTune's ground-truth pool.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.common.rng import SeedLike, ensure_rng
-from repro.core.knobs import INDEX_KNOBS, SELECTION_POOL, KnobConfig
+from repro.core.knobs import SELECTION_POOL, KnobConfig
 from repro.eval.harness import run_algorithm
 
 

@@ -8,7 +8,7 @@ prediction absent from the ranking contributes 0 (rank = infinity).
 
 from __future__ import annotations
 
-from typing import Hashable, List, Sequence
+from typing import Hashable, Sequence
 
 
 def reciprocal_rank(ranking: Sequence[Hashable], prediction: Hashable) -> float:

@@ -21,7 +21,7 @@ import numpy as np
 from repro.common.exceptions import ConfigurationError, NotFittedError
 from repro.core.knobs import KnobConfig
 from repro.indexes.base import MetricTree
-from repro.tuning.features import TaskFeatures, extract_features, feature_names
+from repro.tuning.features import TaskFeatures, extract_features
 from repro.tuning.models import make_model
 from repro.tuning.mrr import mean_reciprocal_rank
 from repro.tuning.training import GroundTruthRecord, records_to_training_arrays

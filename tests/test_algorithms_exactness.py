@@ -8,7 +8,7 @@ centroids, and SSE must match the Lloyd baseline on every dataset shape.
 import numpy as np
 import pytest
 
-from repro.core import ALGORITHMS, make_algorithm
+from repro.core import make_algorithm
 from repro.core.lloyd import LloydKMeans
 
 SEQUENTIAL = [

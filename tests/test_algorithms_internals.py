@@ -2,7 +2,6 @@
 method is named for (heap decay, annulus/ball candidate sets, suffix-min
 invariants, Eq. 12 inheritance, disjoint search balls)."""
 
-import heapq
 
 import numpy as np
 import pytest

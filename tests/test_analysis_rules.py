@@ -1,0 +1,346 @@
+"""Unit tests for the repo-contract static analyzer (``repro.analysis``).
+
+Each rule must fire on a minimal synthetic offender, stay quiet on the
+instrumented/clean counterpart, and respect ``# repro: ignore[...]``
+suppressions — the acceptance contract of the linter itself.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULE_IDS,
+    analyze_paths,
+    analyze_source,
+    format_findings_json,
+    format_findings_text,
+    get_rules,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
+from repro.analysis.runner import AnalysisReport
+from repro.analysis.suppressions import parse_suppressions
+
+CORE_PATH = "src/repro/core/fake.py"  # inside the instrumented scope
+OUTSIDE_PATH = "src/repro/eval/fake.py"  # outside it
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# ----------------------------------------------------------------------
+# R001 — uninstrumented-distance
+# ----------------------------------------------------------------------
+
+
+class TestR001:
+    def test_linalg_norm_fires(self):
+        src = (
+            "import numpy as np\n"
+            "def f(x, y):\n"
+            "    return np.linalg.norm(x - y)\n"
+        )
+        findings = analyze_source(src, CORE_PATH)
+        assert rule_ids(findings) == ["R001"]
+        assert findings[0].line == 3
+        assert "np.linalg.norm" in findings[0].snippet
+
+    def test_import_alias_resolved(self):
+        src = (
+            "from numpy import linalg as la\n"
+            "def f(d):\n"
+            "    return la.norm(d)\n"
+        )
+        assert rule_ids(analyze_source(src, CORE_PATH)) == ["R001"]
+
+    def test_scipy_spatial_fires(self):
+        src = (
+            "from scipy.spatial import distance\n"
+            "def f(x, y):\n"
+            "    return distance.euclidean(x, y)\n"
+        )
+        assert rule_ids(analyze_source(src, CORE_PATH)) == ["R001"]
+
+    def test_matmul_inner_product_fires(self):
+        src = (
+            "def f(x, y):\n"
+            "    diff = x - y\n"
+            "    return (diff @ diff) ** 0.5\n"
+        )
+        assert rule_ids(analyze_source(src, CORE_PATH)) == ["R001"]
+
+    def test_matmul_different_operands_clean(self):
+        src = "def f(a, b):\n    return a @ b\n"
+        assert analyze_source(src, CORE_PATH) == []
+
+    def test_same_operand_einsum_fires(self):
+        src = (
+            "import numpy as np\n"
+            "def f(diff):\n"
+            "    return np.einsum('ij,ij->i', diff, diff)\n"
+        )
+        assert rule_ids(analyze_source(src, CORE_PATH)) == ["R001"]
+
+    def test_other_einsum_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    return np.einsum('ij,jk->ik', a, b)\n"
+        )
+        assert analyze_source(src, CORE_PATH) == []
+
+    def test_instrumented_kernel_clean(self):
+        src = (
+            "from repro.common.distance import euclidean\n"
+            "def f(x, y, counters):\n"
+            "    return euclidean(x, y, counters)\n"
+        )
+        assert analyze_source(src, CORE_PATH) == []
+
+    def test_out_of_scope_path_ignored(self):
+        src = "import numpy as np\nr = np.linalg.norm([1.0, 2.0])\n"
+        assert analyze_source(src, OUTSIDE_PATH) == []
+
+
+# ----------------------------------------------------------------------
+# R002 — global-rng
+# ----------------------------------------------------------------------
+
+
+class TestR002:
+    def test_global_numpy_rng_fires(self):
+        src = "import numpy as np\nv = np.random.rand(3)\n"
+        assert rule_ids(analyze_source(src, OUTSIDE_PATH)) == ["R002"]
+
+    def test_stdlib_random_fires(self):
+        src = "import random\nv = random.random()\n"
+        assert rule_ids(analyze_source(src, OUTSIDE_PATH)) == ["R002"]
+
+    def test_unseeded_default_rng_fires(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rule_ids(analyze_source(src, OUTSIDE_PATH)) == ["R002"]
+
+    def test_seeded_default_rng_clean(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert analyze_source(src, OUTSIDE_PATH) == []
+
+    def test_rng_module_exempt(self):
+        src = "import numpy as np\nv = np.random.rand(3)\n"
+        assert analyze_source(src, "src/repro/common/rng.py") == []
+
+
+# ----------------------------------------------------------------------
+# R003 — counter-discipline
+# ----------------------------------------------------------------------
+
+
+class TestR003:
+    OFFENDER = (
+        "class A:\n"
+        "    def f(self, i, counters):\n"
+        "        return self.X[i]\n"
+    )
+
+    def test_uncharged_point_read_fires(self):
+        findings = analyze_source(self.OFFENDER, CORE_PATH)
+        assert rule_ids(findings) == ["R003"]
+        assert "point_accesses" in findings[0].message
+
+    def test_charged_point_read_clean(self):
+        src = (
+            "class A:\n"
+            "    def f(self, i, counters):\n"
+            "        counters.add_point_accesses(1)\n"
+            "        return self.X[i]\n"
+        )
+        assert analyze_source(src, CORE_PATH) == []
+
+    def test_uncharged_bound_read_fires(self):
+        src = (
+            "class A:\n"
+            "    def f(self, i, counters):\n"
+            "        return self._ub[i]\n"
+        )
+        findings = analyze_source(src, CORE_PATH)
+        assert rule_ids(findings) == ["R003"]
+        assert "bound_accesses" in findings[0].message
+
+    def test_no_counters_param_clean(self):
+        src = (
+            "class A:\n"
+            "    def f(self, i):\n"
+            "        return self.X[i]\n"
+        )
+        assert analyze_source(src, CORE_PATH) == []
+
+
+# ----------------------------------------------------------------------
+# R004 — float-equality
+# ----------------------------------------------------------------------
+
+
+class TestR004:
+    def test_float_literal_equality_fires(self):
+        src = "def f(x):\n    return x == 0.5\n"
+        assert rule_ids(analyze_source(src, CORE_PATH)) == ["R004"]
+
+    def test_float_call_inequality_fires(self):
+        src = "def f(x, y):\n    return float(x) != y\n"
+        assert rule_ids(analyze_source(src, CORE_PATH)) == ["R004"]
+
+    def test_int_equality_clean(self):
+        src = "def f(x):\n    return x == 0\n"
+        assert analyze_source(src, CORE_PATH) == []
+
+    def test_ordered_comparison_clean(self):
+        src = "def f(x):\n    return x <= 0.5\n"
+        assert analyze_source(src, CORE_PATH) == []
+
+
+# ----------------------------------------------------------------------
+# R005 — mutable-default-arg
+# ----------------------------------------------------------------------
+
+
+class TestR005:
+    def test_list_default_fires(self):
+        src = "def f(items=[]):\n    return items\n"
+        findings = analyze_source(src, OUTSIDE_PATH)
+        assert rule_ids(findings) == ["R005"]
+
+    def test_dict_factory_default_fires(self):
+        src = "def f(cfg=dict()):\n    return cfg\n"
+        assert rule_ids(analyze_source(src, OUTSIDE_PATH)) == ["R005"]
+
+    def test_none_default_clean(self):
+        src = "def f(items=None):\n    return items or []\n"
+        assert analyze_source(src, OUTSIDE_PATH) == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+
+class TestSuppressions:
+    OFFENDING_LINE = "    return np.linalg.norm(x - y)"
+
+    def test_trailing_suppression(self):
+        src = (
+            "import numpy as np\n"
+            "def f(x, y):\n"
+            f"{self.OFFENDING_LINE}  # repro: ignore[R001]\n"
+        )
+        assert analyze_source(src, CORE_PATH) == []
+
+    def test_banner_suppression_covers_next_code_line(self):
+        src = (
+            "import numpy as np\n"
+            "def f(x, y):\n"
+            "    # repro: ignore[R001] — deliberately uncounted\n"
+            f"{self.OFFENDING_LINE}\n"
+        )
+        assert analyze_source(src, CORE_PATH) == []
+
+    def test_bare_ignore_suppresses_all_rules(self):
+        src = (
+            "import numpy as np\n"
+            "def f(x, y):\n"
+            f"{self.OFFENDING_LINE}  # repro: ignore\n"
+        )
+        assert analyze_source(src, CORE_PATH) == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        src = (
+            "import numpy as np\n"
+            "def f(x, y):\n"
+            f"{self.OFFENDING_LINE}  # repro: ignore[R005]\n"
+        )
+        assert rule_ids(analyze_source(src, CORE_PATH)) == ["R001"]
+
+    def test_multiple_rule_ids(self):
+        src = (
+            "import numpy as np\n"
+            "def f(x, y):\n"
+            f"{self.OFFENDING_LINE}  # repro: ignore[R001, R004]\n"
+        )
+        assert analyze_source(src, CORE_PATH) == []
+
+    def test_parse_suppressions_map(self):
+        src = "x = 1  # repro: ignore[R001]\ny = 2\n"
+        supp = parse_suppressions(src)
+        assert supp[1] == frozenset({"R001"})
+        assert 2 not in supp
+
+
+# ----------------------------------------------------------------------
+# Baseline round-trip, registry, reporters
+# ----------------------------------------------------------------------
+
+
+def _finding(path="src/repro/core/a.py", rule="R001", snippet="x = bad()"):
+    return Finding(path=path, line=3, col=5, rule_id=rule,
+                   message="msg", snippet=snippet)
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_finding(), _finding(), _finding(rule="R004")])
+        baseline = load_baseline(path)
+        assert len(baseline) == 3
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        counts = {(i["path"], i["rule"]): i.get("count", 1)
+                  for i in payload["findings"]}
+        assert counts[("src/repro/core/a.py", "R001")] == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(load_baseline(tmp_path / "absent.json")) == 0
+
+    def test_filter_absorbs_up_to_count(self):
+        baseline = Baseline()
+        baseline.entries[_finding().baseline_key()] = 1
+        fresh, absorbed = baseline.filter([_finding(), _finding()])
+        assert absorbed == 1
+        assert len(fresh) == 1
+
+    def test_line_number_insensitive(self):
+        moved = Finding(path="src/repro/core/a.py", line=99, col=1,
+                        rule_id="R001", message="msg", snippet="x = bad()")
+        baseline = Baseline()
+        baseline.entries[_finding().baseline_key()] = 1
+        fresh, absorbed = baseline.filter([moved])
+        assert absorbed == 1 and fresh == []
+
+
+class TestRegistryAndReporters:
+    def test_all_five_rules_registered(self):
+        assert ALL_RULE_IDS == ("R001", "R002", "R003", "R004", "R005")
+
+    def test_get_rules_subset_and_unknown(self):
+        assert [r.rule_id for r in get_rules(["r004"])] == ["R004"]
+        with pytest.raises(KeyError):
+            get_rules(["R999"])
+
+    def test_text_reporter_mentions_findings(self):
+        report = AnalysisReport(findings=[_finding()], files_scanned=1)
+        text = format_findings_text(report)
+        assert "src/repro/core/a.py:3:5: R001" in text
+        assert "1 finding(s)" in text
+
+    def test_json_reporter_is_valid_json(self):
+        report = AnalysisReport(findings=[_finding()], files_scanned=1)
+        payload = json.loads(format_findings_json(report))
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "R001"
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        report = analyze_paths([bad], root=tmp_path)
+        assert report.parse_errors and report.ok is False

@@ -1,0 +1,61 @@
+"""Bound-audit sweep over the sequential algorithms (linter's runtime sibling).
+
+The static analyzer (``repro.analysis``) enforces the *counting* contract;
+:mod:`repro.diagnostics.bound_audit` enforces the *soundness* contract —
+every stored bound must actually bound the true distance.  This module runs
+the brute-force oracle against each sequential bound-based algorithm the
+issue names, on a small synthetic dataset, under a shared deterministic
+initialization, and asserts zero :class:`BoundViolation`\\ s.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import make_algorithm
+from repro.core.initialization import init_kmeans_plus_plus
+from repro.datasets import make_blobs
+from repro.diagnostics import audit_algorithm
+
+SEQUENTIAL_ALGORITHMS = [
+    "elkan", "hamerly", "drake", "annular", "exponion", "yinyang", "regroup",
+]
+
+K = 6
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, _ = make_blobs(240, 4, K, seed=7)
+    return X
+
+
+@pytest.fixture(scope="module")
+def shared_init(data):
+    return init_kmeans_plus_plus(data, K, seed=3)
+
+
+@pytest.mark.parametrize("name", SEQUENTIAL_ALGORITHMS)
+def test_sequential_algorithm_bounds_are_sound(name, data, shared_init):
+    algorithm = make_algorithm(name)
+    audit = audit_algorithm(
+        algorithm, data, K, max_iter=12, initial_centroids=shared_init.copy()
+    )
+    assert audit.iterations_audited > 0
+    assert audit.ok, (
+        f"{name}: {len(audit.violations)} bound violation(s); "
+        f"first: {audit.violations[:3]}"
+    )
+
+
+@pytest.mark.parametrize("name", SEQUENTIAL_ALGORITHMS)
+def test_audited_run_matches_lloyd_labels(name, data, shared_init):
+    # The audit hooks _update_bounds but must not perturb the trajectory:
+    # every exact method still lands on Lloyd's labels from the same start.
+    lloyd = make_algorithm("lloyd").fit(
+        data, K, initial_centroids=shared_init.copy(), max_iter=12
+    )
+    algorithm = make_algorithm(name)
+    audit_algorithm(
+        algorithm, data, K, max_iter=12, initial_centroids=shared_init.copy()
+    )
+    np.testing.assert_array_equal(algorithm._labels, lloyd.labels)

@@ -8,7 +8,7 @@ from repro.core.index_kmeans import IndexKMeans
 from repro.core.initialization import init_kmeans_plus_plus
 from repro.core.lloyd import LloydKMeans
 from repro.datasets import make_blobs, make_grid_clusters
-from repro.indexes import BallTree, KDTree
+from repro.indexes import BallTree
 
 
 @pytest.fixture(scope="module")

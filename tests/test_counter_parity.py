@@ -1,0 +1,100 @@
+"""Counter parity: paths that bypassed instrumentation now charge counters.
+
+Before the ``repro.analysis`` cleanup, several index build/query phases
+computed distances through raw ``np.linalg.norm`` and reported zero
+``distance_computations`` (e.g. the kd-tree leaf-radius scans).  These
+tests pin the new behavior — nonzero, documented counts — and prove the
+routing through :mod:`repro.common.distance` changed *only* the counters,
+never the clustering results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import make_algorithm
+from repro.core.initialization import init_kmeans_plus_plus
+from repro.datasets import make_blobs
+from repro.indexes import INDEX_CLASSES, build_index
+from repro.instrumentation.counters import OpCounters
+
+ALL_INDEXES = sorted(INDEX_CLASSES)
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, _ = make_blobs(300, 4, 5, seed=11)
+    return X
+
+
+class TestBuildPhaseCharges:
+    @pytest.mark.parametrize("name", ALL_INDEXES)
+    def test_every_index_build_counts_distances(self, name, data):
+        # Previously the kd-tree reported zero here: its coordinate splits
+        # need no distances, but the leaf-radius scans and internal pivot
+        # gaps it shares with every other tree do — one per point and one
+        # per child (Definition 1 node metadata).
+        tree = build_index(name, data)
+        assert tree.counters.distance_computations > 0
+
+    def test_kdtree_radius_scan_count_documented(self, data):
+        # Leaf radii: one distance per point; internal pivot gaps: one per
+        # child node.  Both lower-bound the build count.
+        tree = build_index("kd-tree", data)
+        n_internal_children = sum(
+            len(node.children) for node in tree.root.iter_subtree()
+            if not node.is_leaf
+        )
+        expected = len(data) + n_internal_children
+        assert tree.counters.distance_computations == expected
+
+
+class TestQueryPhaseCharges:
+    @pytest.mark.parametrize("name", ALL_INDEXES)
+    def test_range_search_counts_distances(self, name, data):
+        tree = build_index(name, data)
+        counters = OpCounters()
+        hits = tree.range_search(data.mean(axis=0), 2.0, counters)
+        assert counters.distance_computations > 0
+        assert counters.node_accesses > 0
+        # The counters are observational: same hits with or without them.
+        assert sorted(hits) == sorted(tree.range_search(data.mean(axis=0), 2.0))
+
+    @pytest.mark.parametrize("name", ALL_INDEXES)
+    def test_knn_search_counts_distances(self, name, data):
+        tree = build_index(name, data)
+        counters = OpCounters()
+        neighbors = tree.knn_search(data[0], 5, counters)
+        assert len(neighbors) == 5
+        assert counters.distance_computations > 0
+
+
+class TestResultsUnchanged:
+    """Routing through the instrumented kernels is bit-identical math."""
+
+    K = 5
+
+    @pytest.fixture(scope="class")
+    def shared_init(self, data):
+        return init_kmeans_plus_plus(data, self.K, seed=2)
+
+    @pytest.mark.parametrize("index_name", ["kd-tree", "ball-tree"])
+    def test_index_kmeans_matches_lloyd(self, index_name, data, shared_init):
+        lloyd = make_algorithm("lloyd").fit(
+            data, self.K, initial_centroids=shared_init.copy(), max_iter=10
+        )
+        indexed = make_algorithm("index", index=index_name).fit(
+            data, self.K, initial_centroids=shared_init.copy(), max_iter=10
+        )
+        np.testing.assert_array_equal(indexed.labels, lloyd.labels)
+        np.testing.assert_allclose(indexed.centroids, lloyd.centroids)
+        assert indexed.counters.distance_computations > 0
+
+    def test_lloyd_count_pins_drift_convention(self, data, shared_init):
+        # The drift convention (docs/static_analysis.md): centroid drift is
+        # bound-maintenance bookkeeping, NOT a charged distance — so Lloyd's
+        # count stays exactly n*k per iteration.
+        result = make_algorithm("lloyd").fit(
+            data, self.K, initial_centroids=shared_init.copy(), max_iter=10
+        )
+        expected = len(data) * self.K * result.n_iter
+        assert result.counters.distance_computations == expected

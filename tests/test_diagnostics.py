@@ -2,7 +2,6 @@
 soundness checks in the suite: every stored bound of every bound-based
 method is audited against brute force on every iteration."""
 
-import numpy as np
 import pytest
 
 from repro.core import make_algorithm

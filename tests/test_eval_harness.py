@@ -1,6 +1,5 @@
 """Tests for the evaluation harness, leaderboard, tables and sweeps."""
 
-import numpy as np
 import pytest
 
 from repro.core import KnobConfig

@@ -1,6 +1,5 @@
 """Tests for the evaluation-log store and the computed Table 4 ratings."""
 
-import numpy as np
 import pytest
 
 from repro.eval.harness import RunRecord

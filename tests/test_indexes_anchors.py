@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.index_kmeans import IndexKMeans
 from repro.core.lloyd import LloydKMeans
-from repro.core.initialization import init_kmeans_plus_plus
 from repro.datasets import make_blobs, make_spatial
 from repro.indexes import AnchorsHierarchy, BallTree
 

@@ -1,10 +1,9 @@
 """Integration tests: full workflows across subsystems."""
 
 import numpy as np
-import pytest
 
 from repro import KMeans
-from repro.core import KnobConfig, build_algorithm
+from repro.core import build_algorithm
 from repro.datasets import load_dataset
 from repro.datasets.loaders import append_jsonl, read_jsonl
 from repro.eval import Leaderboard, compare_algorithms, speedup_table

@@ -1,6 +1,5 @@
 """Tests for configuration-knob discovery (Section A.5 extension)."""
 
-import numpy as np
 import pytest
 
 from repro.core.knobs import KnobConfig

@@ -9,9 +9,7 @@ from repro.tuning.models import (
     DecisionTreeClassifier,
     KNeighborsClassifier,
     LabelEncoder,
-    LinearSVMClassifier,
     RandomForestClassifier,
-    RidgeClassifier,
     accuracy_score,
     confusion_matrix,
     make_model,

@@ -1,6 +1,5 @@
 """Tests for features, MRR, BDT, ground-truth generation and UTune."""
 
-import numpy as np
 import pytest
 
 from repro.common.exceptions import ConfigurationError, NotFittedError
