@@ -47,3 +47,27 @@ def fmt_ratio(value: float) -> str:
 
 def fmt_pct(value: float) -> str:
     return f"{value:.0%}"
+
+
+#: wall-clock guard per benchmark cell — the scaled-down cells finish in
+#: seconds, so a cell still running after this is hung, not slow
+CELL_TIMEOUT = 300.0
+
+
+def guarded_compare(specs, X, k, **kwargs):
+    """``compare_algorithms`` under the fault-tolerant runtime.
+
+    Long campaign benchmarks route cells through here so one pathological
+    (method, dataset, k) combination degrades into a recorded failure
+    instead of hanging or killing the whole matrix; healthy cells are
+    bit-identical to the serial harness (see docs/robustness.md).  Returns
+    only the successful records; failures are reported to stderr by the
+    runtime's warning path.
+    """
+    from repro.eval.parallel import parallel_compare
+    from repro.eval.runtime import is_failed_record
+
+    kwargs.setdefault("timeout", CELL_TIMEOUT)
+    kwargs.setdefault("retries", 1)
+    records = parallel_compare(specs, X, k, **kwargs)
+    return [record for record in records if not is_failed_record(record)]

@@ -9,9 +9,9 @@ one compact block per dataset.
 
 from __future__ import annotations
 
-from _common import MID_K, SMALL_K, report
+from _common import MID_K, SMALL_K, guarded_compare, report
 from repro.datasets import dataset_names, load_dataset
-from repro.eval import compare_algorithms, format_table
+from repro.eval import format_table
 
 METHODS = ["lloyd", "elkan", "hamerly", "drake", "yinyang", "heap", "index", "unik"]
 
@@ -22,7 +22,10 @@ def run_full_sweep():
         n = 200 if name in ("Mnist", "MSD") else 800
         X = load_dataset(name, n=n, seed=0)
         for k in [SMALL_K, MID_K]:
-            records = compare_algorithms(METHODS, X, k, repeats=1, max_iter=8)
+            # The longest campaign in the suite: run each cell under the
+            # fault-tolerant runtime so one pathological combination cannot
+            # hang or kill the whole matrix.
+            records = guarded_compare(METHODS, X, k, repeats=1, max_iter=8)
             base = records[0]
             rows = [
                 [

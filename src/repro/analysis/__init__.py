@@ -15,6 +15,7 @@ R002      global-rng                 randomness is explicitly seeded
 R003      counter-discipline         counter-taking code charges accesses
 R004      float-equality             pruning never compares floats with ==
 R005      mutable-default-arg        no shared mutable default arguments
+R006      no-swallowed-exception     failures are recorded, never eaten
 ========  =========================  ==================================
 
 Findings can be silenced inline with ``# repro: ignore[R001]`` (with an

@@ -1,4 +1,4 @@
-"""AST rule framework and the repo-contract rule set (R001–R005).
+"""AST rule framework and the repo-contract rule set (R001–R006).
 
 Each rule is a small class with an id, a path scope, and a ``check`` method
 that walks a parsed module and yields :class:`Finding`\\ s.  Rules are
@@ -10,7 +10,7 @@ Scope conventions
 The *instrumented core* is ``repro/core/`` and ``repro/indexes/`` — the code
 whose operation counts the paper reports (Table 3).  R001/R003/R004 apply
 there; R002 applies everywhere except :mod:`repro.common.rng` (the one
-blessed RNG chokepoint); R005 applies to the whole tree.
+blessed RNG chokepoint); R005 and R006 apply to the whole tree.
 """
 
 from __future__ import annotations
@@ -442,6 +442,70 @@ class MutableDefaultArgRule(Rule):
         if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
             return node.func.id in cls._MUTABLE_FACTORIES
         return False
+
+
+# ----------------------------------------------------------------------
+# R006 — no-swallowed-exception.
+# ----------------------------------------------------------------------
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """The fault-tolerant runtime turns failures into structured
+    :class:`FailedRun` records; a bare/broad ``except`` that just ``pass``es
+    instead silently deletes the evidence — a failed run looks identical to
+    one that never happened, which poisons both the evaluation log and the
+    UTune training corpus built from it."""
+
+    rule_id = "R006"
+    name = "no-swallowed-exception"
+    description = (
+        "bare or broad except whose body silently swallows the exception; "
+        "handle, record, or re-raise"
+    )
+
+    _BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if self._swallows(node.body):
+                what = "bare except" if node.type is None else "broad except"
+                yield module.finding(
+                    self,
+                    node,
+                    f"{what} silently swallows the error; handle it, record "
+                    "a FailedRun, or re-raise",
+                )
+
+    @classmethod
+    def _is_broad(cls, type_node: Optional[ast.AST]) -> bool:
+        if type_node is None:
+            return True
+        if isinstance(type_node, ast.Name):
+            return type_node.id in cls._BROAD_NAMES
+        if isinstance(type_node, ast.Attribute):
+            return type_node.attr in cls._BROAD_NAMES
+        if isinstance(type_node, ast.Tuple):
+            return any(cls._is_broad(element) for element in type_node.elts)
+        return False
+
+    @staticmethod
+    def _swallows(body: Sequence[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and (stmt.value.value is Ellipsis or isinstance(stmt.value.value, str))
+            ):
+                continue  # `...` or a docstring-style literal
+            return False
+        return True
 
 
 ALL_RULE_IDS = tuple(sorted(RULES))

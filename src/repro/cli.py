@@ -16,8 +16,14 @@ Commands
 ``tune``
     Generate ground truth over the registry, train UTune, report MRR
     against the BDT baseline, and print per-task predictions.
+``bench``
+    Run a fault-tolerant benchmark campaign over datasets × k values ×
+    algorithms with per-run timeouts, transient-failure retries,
+    checkpoint/resume against a JSONL log, and an optional deterministic
+    chaos mode (``--inject-faults``); failed cells are recorded, not
+    fatal (see docs/robustness.md).
 ``lint``
-    Run the repo-contract static analyzer (R001–R005) over source trees
+    Run the repo-contract static analyzer (R001–R006) over source trees
     and fail on any non-baselined finding (see docs/static_analysis.md).
 """
 
@@ -147,6 +153,76 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.common.exceptions import ReproError
+    from repro.eval.faults import FaultPlan, corrupt_jsonl_tail
+    from repro.eval.logdb import EvaluationLog
+    from repro.eval.parallel import parallel_compare
+    from repro.eval.runtime import is_failed_record
+
+    names = [name.strip() for name in args.algorithms.split(",") if name.strip()]
+    unknown = [name for name in names if name not in ALGORITHMS]
+    if unknown:
+        print(f"unknown algorithms: {unknown}; known: {sorted(ALGORITHMS)}",
+              file=sys.stderr)
+        return 2
+    if args.resume and not args.log:
+        print("--resume requires --log (the checkpoint to resume from)",
+              file=sys.stderr)
+        return 2
+    try:
+        plan = FaultPlan.parse(args.inject_faults) if args.inject_faults else None
+        datasets = [d.strip() for d in args.datasets.split(",") if d.strip()]
+        ks = [int(k) for k in args.ks.split(",")]
+    except (ReproError, ValueError) as exc:
+        print(f"bad arguments: {exc}", file=sys.stderr)
+        return 2
+    log = EvaluationLog(args.log) if args.log else EvaluationLog()
+    rows = []
+    ok_count = failed_count = resumed_count = 0
+    for dataset in datasets:
+        X = load_dataset(dataset, n=args.n, seed=args.seed)
+        for k in ks:
+            records = parallel_compare(
+                names, X, k,
+                repeats=args.repeats, max_iter=args.max_iter, seed=args.seed,
+                max_workers=args.max_workers, timeout=args.timeout,
+                retries=args.retries, dataset=dataset, log=log,
+                resume=args.resume, fault_plan=plan,
+            )
+            for record in records:
+                if is_failed_record(record):
+                    failed_count += 1
+                    rows.append([
+                        dataset, k, record.key.algorithm, "FAILED",
+                        f"{record.error_type} x{record.attempts}",
+                    ])
+                else:
+                    resumed = bool(record.extras.get("resumed"))
+                    ok_count += 1
+                    resumed_count += resumed
+                    rows.append([
+                        dataset, k, record.algorithm,
+                        "resumed" if resumed else "ok",
+                        round(record.total_time, 4),
+                    ])
+    if plan is not None and plan.wants_log_corruption() and log.path is not None:
+        # Log-level chaos: truncate the tail like a crash mid-append would,
+        # to exercise the quarantine/recovery path on the next load.
+        corrupt_jsonl_tail(log.path)
+        print(f"injected log corruption: truncated tail of {log.path}",
+              file=sys.stderr)
+    print(format_table(
+        ["dataset", "k", "algorithm", "status", "time/error"], rows,
+        title=(f"bench: {ok_count} ok ({resumed_count} resumed), "
+               f"{failed_count} failed"),
+    ))
+    if failed_count and args.log:
+        print(f"{failed_count} cell(s) failed; rerun with --resume --log "
+              f"{args.log} to retry only those", file=sys.stderr)
+    return 1 if (args.strict and failed_count) else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -222,8 +298,37 @@ def build_parser() -> argparse.ArgumentParser:
                       help="full running instead of selective (Algorithm 2)")
     tune.add_argument("--log", default=None)
 
+    bench = sub.add_parser(
+        "bench",
+        help="fault-tolerant benchmark campaign (timeouts, retries, resume, chaos)",
+    )
+    bench.add_argument("--datasets", default="Skin",
+                       help="comma-separated registry dataset names")
+    bench.add_argument("--algorithms", default="lloyd,hamerly,yinyang")
+    bench.add_argument("--ks", default="4", help="comma-separated k values")
+    bench.add_argument("--n", type=int, default=300,
+                       help="surrogate point count per dataset")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--repeats", type=int, default=1)
+    bench.add_argument("--max-iter", type=int, default=5)
+    bench.add_argument("--timeout", type=float, default=None,
+                       help="wall-clock seconds per run; hung workers are killed")
+    bench.add_argument("--retries", type=int, default=0,
+                       help="extra attempts for transient failures")
+    bench.add_argument("--max-workers", type=int, default=None)
+    bench.add_argument("--log", default=None,
+                       help="JSONL evaluation log (checkpoint for --resume)")
+    bench.add_argument("--resume", action="store_true",
+                       help="skip cells already completed in --log")
+    bench.add_argument("--inject-faults", default=None, metavar="PLAN",
+                       help="deterministic chaos, e.g. "
+                            "'transient:hamerly:1,hang:lloyd,kill:elkan'")
+    bench.add_argument("--strict", action="store_true",
+                       help="exit 1 when any cell failed (default: exit 0, "
+                            "failures recorded)")
+
     lint = sub.add_parser(
-        "lint", help="run the repo-contract static analyzer (R001–R005)"
+        "lint", help="run the repo-contract static analyzer (R001–R006)"
     )
     lint.add_argument("paths", nargs="*", default=None,
                       help="files or directories to analyze (default: src)")
@@ -246,6 +351,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "cluster": _cmd_cluster,
         "compare": _cmd_compare,
         "tune": _cmd_tune,
+        "bench": _cmd_bench,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

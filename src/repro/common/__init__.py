@@ -10,7 +10,10 @@ from repro.common.exceptions import (
     DatasetError,
     NotFittedError,
     ReproError,
+    RunTimeoutError,
+    TransientError,
     ValidationError,
+    WorkerCrashError,
 )
 from repro.common.rng import ensure_rng
 from repro.common.validation import (
@@ -26,6 +29,9 @@ __all__ = [
     "ConfigurationError",
     "DatasetError",
     "NotFittedError",
+    "TransientError",
+    "RunTimeoutError",
+    "WorkerCrashError",
     "ensure_rng",
     "check_data_matrix",
     "check_k",

@@ -9,8 +9,10 @@ from __future__ import annotations
 
 import csv
 import json
+import os
+import warnings
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Union
+from typing import Any, Dict, Iterable, List, Tuple, Union
 
 import numpy as np
 
@@ -54,7 +56,13 @@ def load_points_csv(path: PathLike) -> np.ndarray:
 
 
 def append_jsonl(path: PathLike, records: Iterable[Dict[str, Any]]) -> int:
-    """Append JSON-lines records (used for evaluation/ground-truth logs)."""
+    """Append JSON-lines records (used for evaluation/ground-truth logs).
+
+    The batch is flushed and fsynced before the handle closes, so a crash
+    *after* the call never loses acknowledged records; a crash *during*
+    the call leaves at worst one truncated final line, which
+    :func:`read_jsonl` recovers from.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     count = 0
@@ -62,22 +70,68 @@ def append_jsonl(path: PathLike, records: Iterable[Dict[str, Any]]) -> int:
         for record in records:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
             count += 1
+        handle.flush()
+        os.fsync(handle.fileno())
     return count
 
 
-def read_jsonl(path: PathLike) -> List[Dict[str, Any]]:
-    """Read all JSON-lines records from ``path`` (empty list if missing)."""
+#: policies for an unparseable final JSONL line (a crash-mid-append artifact)
+TRUNCATED_POLICIES = ("skip", "quarantine", "raise")
+
+
+def read_jsonl(
+    path: PathLike, *, truncated: str = "skip", repair: bool = False
+) -> List[Dict[str, Any]]:
+    """Read all JSON-lines records from ``path`` (empty list if missing).
+
+    An unparseable *final* line is the signature of a crash mid-append;
+    ``truncated`` selects the recovery policy: ``"skip"`` (default) drops
+    it with a warning, ``"quarantine"`` additionally preserves the bytes in
+    ``<path>.quarantine`` for post-mortem, ``"raise"`` restores the strict
+    behavior.  A malformed line *followed by valid records* is corruption,
+    not truncation, and always raises :class:`DatasetError`.
+
+    ``repair=True`` additionally rewrites the file without the dropped
+    tail, so a later append cannot glue new bytes onto the partial line
+    (which would turn a recoverable crash artifact into mid-file
+    corruption).  Consumers that append after loading — the evaluation
+    log — must repair.
+    """
+    if truncated not in TRUNCATED_POLICIES:
+        raise ValueError(
+            f"truncated must be one of {TRUNCATED_POLICIES}, got {truncated!r}"
+        )
     path = Path(path)
     if not path.exists():
         return []
+    raw_lines = path.read_text().splitlines()
+    entries: List[Tuple[int, str]] = []
+    for lineno, raw in enumerate(raw_lines, start=1):
+        line = raw.strip()
+        if line:
+            entries.append((lineno, line))
     records: List[Dict[str, Any]] = []
-    with path.open() as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                raise DatasetError(f"{path}:{lineno}: malformed JSON: {exc}") from exc
+    for position, (lineno, line) in enumerate(entries):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if position == len(entries) - 1 and truncated != "raise":
+                if truncated == "quarantine":
+                    quarantine = Path(str(path) + ".quarantine")
+                    with quarantine.open("a") as handle:
+                        handle.write(line + "\n")
+                    where = f"; quarantined to {quarantine.name}"
+                else:
+                    where = ""
+                warnings.warn(
+                    f"{path}:{lineno}: dropping truncated trailing JSONL line "
+                    f"({exc}){where}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                if repair:
+                    good = "".join(raw + "\n" for raw in raw_lines[: lineno - 1])
+                    path.write_text(good)
+                break
+            raise DatasetError(f"{path}:{lineno}: malformed JSON: {exc}") from exc
     return records

@@ -10,11 +10,14 @@ are attributable to the method alone.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.common.exceptions import ValidationError
+from repro.common.validation import check_data_matrix, check_k
 from repro.core import KnobConfig, build_algorithm, make_algorithm
 from repro.core.base import KMeansAlgorithm
 from repro.core.initialization import initialize_centroids
@@ -76,6 +79,29 @@ class RunRecord:
         record.update(self.extras)
         return record
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunRecord":
+        """Rebuild a record from its :meth:`as_dict` form (log round-trip).
+
+        Unknown keys — logging context such as ``dataset``/``seed``, or the
+        original extras — land in ``extras``; the ``status`` discriminator
+        used by failed records is dropped.
+        """
+        field_names = [f.name for f in dataclasses.fields(cls) if f.name != "extras"]
+        missing = [name for name in ("algorithm", "n", "d", "k") if name not in data]
+        if missing:
+            raise ValidationError(f"record is missing run fields {missing}: {data}")
+        kwargs = {name: data[name] for name in field_names if name in data}
+        kwargs.setdefault("repeats", 1)
+        for name in field_names:
+            kwargs.setdefault(name, 0.0)
+        extras = {
+            key: value
+            for key, value in data.items()
+            if key not in field_names and key != "status"
+        }
+        return cls(extras=extras, **kwargs)
+
 
 def _materialize(spec: AlgorithmSpec) -> KMeansAlgorithm:
     if isinstance(spec, str):
@@ -108,12 +134,21 @@ def run_algorithm(
     When ``initial_centroids`` is not given, k-means++ seeds with
     ``seed + r`` are generated per repeat (and are identical for any other
     algorithm run with the same arguments — the comparability guarantee).
+
+    Raises :class:`ValidationError` up front for ``repeats < 1``, ``k < 1``,
+    ``k > n``, or non-finite ``X`` — the harness boundary is where bad
+    campaign configs must surface, not deep inside a distance kernel.
     """
-    X = np.asarray(X, dtype=np.float64)
+    X = check_data_matrix(X)
+    k = check_k(k, X.shape[0])
     if initial_centroids is None:
+        if repeats < 1:
+            raise ValidationError(f"repeats must be >= 1, got {repeats}")
         initial_centroids = [
             initialize_centroids(X, k, "k-means++", seed=seed + r) for r in range(repeats)
         ]
+    elif len(initial_centroids) < 1:
+        raise ValidationError("initial_centroids must contain at least one seeding")
     results: List[KMeansResult] = []
     for centroids in initial_centroids:
         algorithm = _materialize(spec)
@@ -163,7 +198,10 @@ def compare_algorithms(
     seed: int = 0,
 ) -> List[RunRecord]:
     """Run several algorithms on the same task with shared initializations."""
-    X = np.asarray(X, dtype=np.float64)
+    X = check_data_matrix(X)
+    k = check_k(k, X.shape[0])
+    if repeats < 1:
+        raise ValidationError(f"repeats must be >= 1, got {repeats}")
     initial_centroids = [
         initialize_centroids(X, k, "k-means++", seed=seed + r) for r in range(repeats)
     ]
@@ -186,8 +224,16 @@ def speedup_table(
     ``work`` is the distance-computation ratio, which is hardware- and
     language-independent and therefore the faithful cross-substrate
     comparison (see EXPERIMENTS.md).
+
+    Failed cells (``FailedRun`` entries from the fault-tolerant runtime)
+    are skipped — they carry no metrics; the baseline itself must have
+    succeeded.
     """
-    by_name = {record.algorithm: record for record in records}
+    by_name = {
+        record.algorithm: record
+        for record in records
+        if getattr(record, "status", None) != "failed"
+    }
     if baseline not in by_name:
         raise KeyError(f"baseline {baseline!r} not among records: {sorted(by_name)}")
     base = by_name[baseline]

@@ -12,10 +12,16 @@ from collections import defaultdict
 from typing import Callable, Dict, List, Sequence
 
 from repro.eval.harness import RunRecord
+from repro.eval.runtime import is_failed_record
 
 
 class Leaderboard:
-    """Accumulates per-task rankings and reports aggregate placements."""
+    """Accumulates per-task rankings and reports aggregate placements.
+
+    Failed cells from the fault-tolerant runtime are excluded from ranking:
+    a :class:`~repro.eval.runtime.FailedRun` carries no metrics, and a task
+    where *every* method failed contributes nothing rather than crashing
+    the aggregation."""
 
     def __init__(self, metric: str = "total_time", ascending: bool = True) -> None:
         self.metric = metric
@@ -28,10 +34,14 @@ class Leaderboard:
     def add_task(self, records: Sequence[RunRecord]) -> List[str]:
         """Rank one task's records and update the tallies.
 
-        Returns the ranking (best first).
+        Returns the ranking (best first) — empty when every record in the
+        task failed (the task is then not counted).
         """
         if not records:
             raise ValueError("cannot rank an empty record list")
+        records = [r for r in records if not is_failed_record(r)]
+        if not records:
+            return []
         key: Callable[[RunRecord], float] = lambda r: getattr(r, self.metric)
         ranked = sorted(records, key=key, reverse=not self.ascending)
         names = [record.algorithm for record in ranked]

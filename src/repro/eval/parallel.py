@@ -2,28 +2,49 @@
 
 Section 2.2 lists parallelization as an acceleration orthogonal to the
 exact-pruning family.  The evaluation harness embarrassingly parallelizes
-over (algorithm, task) pairs, so :func:`parallel_compare` runs them in a
-process pool — each worker re-runs :func:`repro.eval.harness.run_algorithm`
-with identical inputs, so results are bit-identical to the serial harness
-(only wall-clock *measurement* noise differs; counters are deterministic).
+over (algorithm, task) pairs, so :func:`parallel_compare` runs them in
+supervised worker processes — each worker re-runs
+:func:`repro.eval.harness.run_algorithm` with identical inputs, so results
+are bit-identical to the serial harness (only wall-clock *measurement*
+noise differs; counters are deterministic).
+
+Unlike a plain ``ProcessPoolExecutor`` (which dies with
+``BrokenProcessPool`` on any worker fault), execution goes through
+:func:`repro.eval.runtime.supervised_map`: hung workers are killed at the
+``timeout`` deadline, crashed workers don't take the pool down, transient
+failures are retried with deterministic backoff, and terminal failures
+degrade to :class:`~repro.eval.runtime.FailedRun` entries so the sweep
+always completes.  With an :class:`~repro.eval.logdb.EvaluationLog`
+attached, every outcome is checkpointed and ``resume=True`` skips cells
+the log already holds — re-running only failures.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from typing import Iterable, List, Optional, Tuple, Union
 
-import numpy as np
-
+from repro.common.exceptions import ValidationError
+from repro.common.validation import check_data_matrix, check_k
 from repro.core.initialization import initialize_centroids
 from repro.core.knobs import KnobConfig
-from repro.eval.harness import RunRecord, run_algorithm
+from repro.eval.harness import RunRecord, _spec_label, run_algorithm
+from repro.eval.runtime import (
+    ExecutionPolicy,
+    FailedRun,
+    RunKey,
+    supervised_map,
+)
 
 SpecLike = Union[str, KnobConfig]
 
+RunOutcome = Union[RunRecord, FailedRun]
 
-def _worker(payload: Tuple) -> RunRecord:
-    spec, X, k, initial_centroids, repeats, max_iter, seed = payload
+
+def _worker(item: Tuple, attempt: int) -> RunRecord:
+    (spec, X, k, initial_centroids, repeats, max_iter, seed, key, fault_plan) = item
+    if fault_plan is not None:
+        fault_plan.apply(key, attempt)
     return run_algorithm(
         spec, X, k,
         initial_centroids=initial_centroids,
@@ -33,20 +54,44 @@ def _worker(payload: Tuple) -> RunRecord:
 
 def parallel_compare(
     specs: Iterable[SpecLike],
-    X: np.ndarray,
+    X,
     k: int,
     *,
     repeats: int = 2,
     max_iter: int = 10,
     seed: int = 0,
     max_workers: Optional[int] = None,
-) -> List[RunRecord]:
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    policy: Optional[ExecutionPolicy] = None,
+    on_failure: str = "record",
+    dataset: str = "",
+    log=None,
+    resume: bool = False,
+    fault_plan=None,
+) -> List[RunOutcome]:
     """Run several algorithm specs concurrently on the same task.
 
     Shared k-means++ initializations are generated once in the parent so
     every worker clusters from identical centroids (the comparability
     guarantee of the serial harness).  Only string and
     :class:`KnobConfig` specs are accepted — factories do not pickle.
+
+    Fault tolerance (see ``docs/robustness.md``):
+
+    * ``timeout`` — wall-clock budget per run; a hung worker is killed and
+      the cell recorded as timed out.
+    * ``retries`` — extra attempts for :class:`TransientError` failures,
+      with deterministic exponential backoff (``policy`` overrides both).
+    * ``on_failure`` — ``"record"`` (default) degrades a failed cell to a
+      :class:`FailedRun` entry in the returned list (with a warning);
+      ``"raise"`` re-raises the classified error instead.
+    * ``log`` / ``resume`` — with an :class:`EvaluationLog`, every outcome
+      is appended as it lands; ``resume=True`` loads already-completed
+      cells from the log (marked ``extras["resumed"]``) instead of
+      re-running them, so a restarted campaign re-runs only failures.
+    * ``fault_plan`` — a :class:`~repro.eval.faults.FaultPlan` applied
+      inside each worker (chaos mode / recovery tests).
     """
     specs = list(specs)
     for spec in specs:
@@ -55,13 +100,69 @@ def parallel_compare(
                 "parallel_compare accepts algorithm names or KnobConfig "
                 f"values; got {type(spec).__name__}"
             )
-    initial_centroids = [
-        initialize_centroids(X, k, "k-means++", seed=seed + r)
-        for r in range(repeats)
-    ]
-    payloads = [
-        (spec, X, k, initial_centroids, repeats, max_iter, seed)
+    if on_failure not in ("record", "raise"):
+        raise ValidationError(
+            f"on_failure must be 'record' or 'raise', got {on_failure!r}"
+        )
+    if resume and log is None:
+        raise ValidationError("resume=True requires an EvaluationLog via log=")
+    X = check_data_matrix(X)
+    k = check_k(k, X.shape[0])
+    if repeats < 1:
+        raise ValidationError(f"repeats must be >= 1, got {repeats}")
+    if policy is None:
+        policy = ExecutionPolicy(timeout=timeout, retries=retries)
+    n, d = X.shape
+    keys = [
+        RunKey(
+            algorithm=_spec_label(spec), dataset=dataset, n=n, d=d, k=k,
+            seed=seed, max_iter=max_iter,
+        )
         for spec in specs
     ]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(_worker, payloads))
+
+    results: List[Optional[RunOutcome]] = [None] * len(specs)
+    if resume:
+        completed = log.completed_keys()
+        for index, key in enumerate(keys):
+            if key in completed:
+                stored = log.latest_success(key)
+                if stored is not None:
+                    record = RunRecord.from_dict(stored)
+                    record.extras["resumed"] = True
+                    results[index] = record
+    todo = [index for index in range(len(specs)) if results[index] is None]
+    if todo:
+        initial_centroids = [
+            initialize_centroids(X, k, "k-means++", seed=seed + r)
+            for r in range(repeats)
+        ]
+        items = [
+            (specs[i], X, k, initial_centroids, repeats, max_iter, seed, keys[i],
+             fault_plan)
+            for i in todo
+        ]
+        outcomes = supervised_map(
+            _worker, items, [keys[i] for i in todo],
+            policy=policy, max_workers=max_workers,
+        )
+        first_failure: Optional[FailedRun] = None
+        for index, outcome in zip(todo, outcomes):
+            results[index] = outcome
+            if log is not None:
+                if isinstance(outcome, FailedRun):
+                    log.add(outcome)
+                else:
+                    log.add(outcome, dataset=dataset, seed=seed, max_iter=max_iter)
+            if isinstance(outcome, FailedRun):
+                first_failure = first_failure or outcome
+                if on_failure == "record":
+                    warnings.warn(
+                        f"run {outcome.key} failed after {outcome.attempts} "
+                        f"attempt(s): {outcome.error_type}: {outcome.message}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+        if first_failure is not None and on_failure == "raise":
+            raise first_failure.to_exception()
+    return results

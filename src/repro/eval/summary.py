@@ -18,6 +18,7 @@ from typing import Dict, List, Mapping, Sequence
 
 from repro.eval.harness import RunRecord
 from repro.eval.leaderboard import Leaderboard
+from repro.eval.runtime import is_failed_record
 
 #: methods that need no dataset-dependent parameter beyond k (Table 4's
 #: "parameter-free" column: Yinyang/Drake/Vector/indexes have knobs)
@@ -53,20 +54,29 @@ def rate_algorithms(
     """Compute Table 4 ratings from per-task harness records.
 
     ``tasks`` is a list of record lists, one per clustering task, each
-    covering the same algorithm set.
+    covering the same algorithm set.  Failed cells are tolerated: a method
+    that failed on some task is rated on the tasks it completed (its sums
+    simply miss the failed cells), and all-failed tasks are skipped.
     """
     if not tasks:
         raise ValueError("need at least one task to rate")
     board = Leaderboard(metric="modeled_cost")
     sums: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
-    names: List[str] = [record.algorithm for record in tasks[0]]
+    ordered: Dict[str, None] = {}
     for records in tasks:
-        board.add_task(list(records))
-        for record in records:
+        healthy = [r for r in records if not is_failed_record(r)]
+        if not healthy:
+            continue
+        board.add_task(healthy)
+        for record in healthy:
+            ordered.setdefault(record.algorithm, None)
             sums[record.algorithm]["footprint"] += record.footprint_floats
             sums[record.algorithm]["point"] += record.point_accesses
             sums[record.algorithm]["bound"] += record.bound_accesses + record.bound_updates
             sums[record.algorithm]["distance"] += record.distance_computations
+    names: List[str] = list(ordered)
+    if not names:
+        raise ValueError("no successful runs to rate")
 
     top3 = {name: board.top3.get(name, 0) for name in names}
     leaderboard_scores = _rank_scores(top3, lower_better=False)

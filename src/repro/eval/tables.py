@@ -46,10 +46,16 @@ def format_table(
 def format_speedup_rows(
     table: dict, order: Optional[Sequence[str]] = None
 ) -> List[List[Any]]:
-    """Rows for a speedup table as produced by ``speedup_table``."""
+    """Rows for a speedup table as produced by ``speedup_table``.
+
+    Names in ``order`` that are missing from ``table`` (failed cells
+    filtered out upstream) are skipped, so a degraded comparison still
+    renders."""
     names = list(order) if order is not None else sorted(table)
     rows = []
     for name in names:
+        if name not in table:
+            continue
         entry = table[name]
         rows.append(
             [

@@ -222,6 +222,92 @@ class TestR005:
 
 
 # ----------------------------------------------------------------------
+# R006 — no-swallowed-exception
+# ----------------------------------------------------------------------
+
+
+class TestR006:
+    def test_bare_except_pass_fires(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except:\n"
+            "        pass\n"
+        )
+        findings = analyze_source(src, OUTSIDE_PATH)
+        assert rule_ids(findings) == ["R006"]
+        assert "bare except" in findings[0].message
+
+    def test_broad_except_ellipsis_fires(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except Exception:\n"
+            "        ...\n"
+        )
+        findings = analyze_source(src, OUTSIDE_PATH)
+        assert rule_ids(findings) == ["R006"]
+        assert "broad except" in findings[0].message
+
+    def test_broad_except_in_tuple_fires(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except (ValueError, Exception):\n"
+            "        continue_marker = None\n"
+            "        pass\n"
+        )
+        # A tuple containing Exception is broad, but the body assigns — no
+        # swallow, so it's clean; pure pass bodies do fire.
+        assert analyze_source(src, OUTSIDE_PATH) == []
+        swallowed = src.replace("        continue_marker = None\n", "")
+        assert rule_ids(analyze_source(swallowed, OUTSIDE_PATH)) == ["R006"]
+
+    def test_narrow_except_clean(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        )
+        assert analyze_source(src, OUTSIDE_PATH) == []
+
+    def test_handled_broad_except_clean(self):
+        src = (
+            "def f(log):\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except Exception as exc:\n"
+            "        log.add(exc)\n"
+        )
+        assert analyze_source(src, OUTSIDE_PATH) == []
+
+    def test_reraise_clean(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except Exception:\n"
+            "        raise\n"
+        )
+        assert analyze_source(src, OUTSIDE_PATH) == []
+
+    def test_suppression_comment_respected(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except Exception:  # repro: ignore[R006]\n"
+            "        pass\n"
+        )
+        assert analyze_source(src, OUTSIDE_PATH) == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 
@@ -319,8 +405,8 @@ class TestBaseline:
 
 
 class TestRegistryAndReporters:
-    def test_all_five_rules_registered(self):
-        assert ALL_RULE_IDS == ("R001", "R002", "R003", "R004", "R005")
+    def test_all_six_rules_registered(self):
+        assert ALL_RULE_IDS == ("R001", "R002", "R003", "R004", "R005", "R006")
 
     def test_get_rules_subset_and_unknown(self):
         assert [r.rule_id for r in get_rules(["r004"])] == ["R004"]

@@ -109,3 +109,72 @@ class TestTuneCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "selective=False" in out
+
+
+class TestBenchCommand:
+    BASE = ["bench", "--datasets", "Skin", "--n", "200", "--ks", "4",
+            "--repeats", "1", "--max-iter", "2", "--timeout", "60"]
+
+    def test_healthy_run_exits_zero(self, capsys):
+        code = main(self.BASE + ["--algorithms", "lloyd,hamerly"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 ok" in out and "0 failed" in out
+
+    def test_unknown_algorithm_exits_two(self, capsys):
+        code = main(self.BASE + ["--algorithms", "lloyd,nope"])
+        assert code == 2
+        assert "unknown algorithms" in capsys.readouterr().err
+
+    def test_resume_without_log_exits_two(self, capsys):
+        code = main(self.BASE + ["--resume"])
+        assert code == 2
+        assert "--resume requires --log" in capsys.readouterr().err
+
+    def test_malformed_fault_spec_exits_two(self, capsys):
+        code = main(self.BASE + ["--inject-faults", "meteor:lloyd"])
+        assert code == 2
+        assert "bad arguments" in capsys.readouterr().err
+
+    def test_chaos_records_failures_but_exits_zero(self, tmp_path, capsys):
+        log = tmp_path / "chaos.jsonl"
+        with pytest.warns(RuntimeWarning):
+            code = main(self.BASE + [
+                "--algorithms", "lloyd,hamerly",
+                "--inject-faults", "transient:hamerly:1,raise:lloyd",
+                "--retries", "2", "--log", str(log),
+            ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "1 ok" in captured.out and "1 failed" in captured.out
+        assert "FAILED" in captured.out
+        assert "--resume" in captured.err  # hint to retry failed cells
+        records = read_jsonl(log)
+        statuses = {r["algorithm"]: r.get("status", "ok") for r in records}
+        assert statuses == {"hamerly": "ok", "lloyd": "failed"}
+
+    def test_strict_turns_failures_into_exit_one(self, capsys):
+        with pytest.warns(RuntimeWarning):
+            code = main(self.BASE + [
+                "--algorithms", "lloyd",
+                "--inject-faults", "raise:lloyd", "--strict",
+            ])
+        assert code == 1
+        assert "1 failed" in capsys.readouterr().out
+
+    def test_resume_reruns_only_failures(self, tmp_path, capsys):
+        log = tmp_path / "campaign.jsonl"
+        with pytest.warns(RuntimeWarning):
+            main(self.BASE + [
+                "--algorithms", "lloyd,hamerly",
+                "--inject-faults", "raise:lloyd", "--log", str(log),
+            ])
+        capsys.readouterr()
+        code = main(self.BASE + [
+            "--algorithms", "lloyd,hamerly", "--log", str(log), "--resume",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 ok (1 resumed)" in out and "0 failed" in out
+        statuses = [r.get("status", "ok") for r in read_jsonl(log)]
+        assert statuses.count("ok") == 2 and statuses.count("failed") == 1

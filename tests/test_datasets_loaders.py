@@ -68,8 +68,46 @@ class TestJsonl:
     def test_missing_file_returns_empty(self, tmp_path):
         assert read_jsonl(tmp_path / "nope.jsonl") == []
 
-    def test_malformed_json(self, tmp_path):
+    def test_malformed_midfile_raises(self, tmp_path):
+        # A bad line *followed by valid records* is corruption, not a
+        # crash-truncated tail — recovery must not silently eat it.
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"ok": 1}\n{broken\n')
+        path.write_text('{broken\n{"ok": 1}\n')
         with pytest.raises(DatasetError, match="malformed JSON"):
             read_jsonl(path)
+
+    def test_truncated_tail_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "crashed.jsonl"
+        path.write_text('{"ok": 1}\n{"partial": tru')
+        with pytest.warns(RuntimeWarning, match="truncated trailing"):
+            records = read_jsonl(path)
+        assert records == [{"ok": 1}]
+
+    def test_truncated_tail_quarantined(self, tmp_path):
+        path = tmp_path / "crashed.jsonl"
+        path.write_text('{"ok": 1}\n{"partial": tru')
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            records = read_jsonl(path, truncated="quarantine")
+        assert records == [{"ok": 1}]
+        quarantine = tmp_path / "crashed.jsonl.quarantine"
+        assert quarantine.read_text() == '{"partial": tru\n'
+
+    def test_truncated_tail_strict_mode_raises(self, tmp_path):
+        path = tmp_path / "crashed.jsonl"
+        path.write_text('{"partial": tru')
+        with pytest.raises(DatasetError, match="malformed JSON"):
+            read_jsonl(path, truncated="raise")
+
+    def test_unknown_truncated_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="truncated"):
+            read_jsonl(tmp_path / "x.jsonl", truncated="explode")
+
+    def test_append_then_recover_round_trip(self, tmp_path):
+        from repro.eval.faults import corrupt_jsonl_tail
+
+        path = tmp_path / "log.jsonl"
+        append_jsonl(path, [{"x": 1}, {"x": 2}])
+        corrupt_jsonl_tail(path, drop_bytes=4)
+        with pytest.warns(RuntimeWarning):
+            records = read_jsonl(path)
+        assert records == [{"x": 1}]

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.eval.harness import RunRecord
+from repro.eval.leaderboard import Leaderboard
 from repro.eval.logdb import EvaluationLog
+from repro.eval.runtime import FailedRun, RunKey
 from repro.eval.summary import (
     CRITERIA,
     PARAMETER_FREE,
@@ -110,3 +112,100 @@ class TestSummaryRatings:
         assert render_circles(0) == "○○○○○"
         assert render_circles(3) == "●●●○○"
         assert len(render_circles(99)) == 5
+
+
+class TestCheckpointIndex:
+    """The resume index layered on the evaluation log."""
+
+    def _failed(self, name):
+        key = RunKey(algorithm=name, dataset="toy", n=100, d=4, k=5,
+                     seed=0, max_iter=10)
+        return FailedRun(key=key, error_type="RunTimeoutError",
+                         message="hung", attempts=2, elapsed=1.5)
+
+    def _key_of(self, name):
+        return RunKey(algorithm=name, dataset="toy", n=100, d=4, k=5,
+                      seed=0, max_iter=10)
+
+    def test_successes_and_failures_partition(self):
+        log = EvaluationLog()
+        log.add(_record("lloyd"), dataset="toy", seed=0, max_iter=10)
+        log.add(self._failed("elkan"))
+        assert len(log.successes()) == 1
+        assert len(log.failures()) == 1
+        assert log.completed_keys() == {self._key_of("lloyd")}
+        assert log.failed_keys() == {self._key_of("elkan")}
+
+    def test_success_after_failure_wins(self):
+        log = EvaluationLog()
+        log.add(self._failed("lloyd"))
+        assert log.failed_keys() == {self._key_of("lloyd")}
+        log.add(_record("lloyd"), dataset="toy", seed=0, max_iter=10)
+        assert log.failed_keys() == set()
+        assert log.has_completed(self._key_of("lloyd"))
+
+    def test_failure_never_shadows_success(self):
+        log = EvaluationLog()
+        log.add(_record("lloyd"), dataset="toy", seed=0, max_iter=10)
+        log.add(self._failed("lloyd"))
+        assert log.has_completed(self._key_of("lloyd"))
+        assert log.failed_keys() == set()
+
+    def test_latest_success_returns_newest(self):
+        log = EvaluationLog()
+        log.add(_record("lloyd", time=1.0), dataset="toy", seed=0, max_iter=10)
+        log.add(_record("lloyd", time=2.0), dataset="toy", seed=0, max_iter=10)
+        stored = log.latest_success(self._key_of("lloyd"))
+        assert stored["total_time"] == pytest.approx(2.0)
+
+    def test_failed_run_round_trips_through_disk(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = EvaluationLog(path)
+        log.add(self._failed("elkan"))
+        reloaded = EvaluationLog(path)
+        assert reloaded.failed_keys() == {self._key_of("elkan")}
+        (failure,) = reloaded.failures()
+        assert failure["error_type"] == "RunTimeoutError"
+        assert failure["attempts"] == 2
+
+    def test_records_without_keys_are_queryable_not_indexed(self):
+        log = EvaluationLog()
+        log.add({"algorithm": "lloyd", "note": "no key fields"})
+        assert len(log) == 1
+        assert log.completed_keys() == set()
+
+
+class TestAggregatesTolerateFailures:
+    def _failed(self, name):
+        key = RunKey(algorithm=name, dataset="toy", n=100, d=4, k=5,
+                     seed=0, max_iter=10)
+        return FailedRun(key=key, error_type="WorkerCrashError",
+                         message="died", attempts=1, elapsed=0.1)
+
+    def test_ratings_skip_failed_cells(self):
+        tasks = [
+            [_record("a"), _record("b")],
+            [_record("a"), self._failed("b")],
+        ]
+        ratings = rate_algorithms(tasks)
+        assert set(ratings) == {"a", "b"}
+
+    def test_all_failed_task_skipped(self):
+        tasks = [
+            [_record("a"), _record("b")],
+            [self._failed("a"), self._failed("b")],
+        ]
+        ratings = rate_algorithms(tasks)
+        assert set(ratings) == {"a", "b"}
+
+    def test_no_successes_at_all_raises(self):
+        with pytest.raises(ValueError, match="no successful runs"):
+            rate_algorithms([[self._failed("a")]])
+
+    def test_leaderboard_skips_failed_and_uncounts_dead_tasks(self):
+        board = Leaderboard(metric="total_time")
+        assert board.add_task([_record("a", time=1.0),
+                               self._failed("b")]) == ["a"]
+        assert board.add_task([self._failed("a"), self._failed("b")]) == []
+        assert board.tasks == 1
+        assert board.top1["a"] == 1
