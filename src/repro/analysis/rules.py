@@ -162,7 +162,16 @@ class UninstrumentedDistanceRule(Rule):
     """Distance arithmetic in the instrumented core must go through the
     counted kernels of :mod:`repro.common.distance` (or carry a justified
     suppression), otherwise ``distance_computations`` silently undercounts
-    and every Table 3-style measurement downstream is wrong."""
+    and every Table 3-style measurement downstream is wrong.
+
+    Besides ``np.linalg.norm``/scipy and the same-operand ``einsum`` /
+    ``@`` idioms, this recognizes the two batched squared-distance shapes a
+    vectorized implementation (:mod:`repro.core.vectorized`) is most likely
+    to hand-roll: the same-operand batched ``np.matmul`` row reduction
+    (``np.matmul(diff[:, None, :], diff[:, :, None])`` — the kernel inside
+    :func:`repro.common.distance._rowwise_sq_norms`) and the
+    power-expansion ``((a - b) ** 2).sum()`` / ``np.sum((a - b) ** 2)``.
+    """
 
     rule_id = "R001"
     name = "uninstrumented-distance"
@@ -199,6 +208,22 @@ class UninstrumentedDistanceRule(Rule):
                         "same-operand einsum is a squared-distance evaluation; "
                         "use repro.common.distance so it is counted",
                     )
+                elif resolved == "numpy.matmul" and self._is_same_root_matmul(node):
+                    yield module.finding(
+                        self,
+                        node,
+                        "same-operand batched matmul is a squared-distance "
+                        "evaluation; use repro.common.distance "
+                        "(paired_sq_distances / block_sq_distances) so it is "
+                        "counted",
+                    )
+                elif self._is_sq_diff_sum(module, node):
+                    yield module.finding(
+                        self,
+                        node,
+                        "((a - b) ** 2) summed is a squared-distance "
+                        "evaluation; use repro.common.distance so it is counted",
+                    )
             elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
                 if ast.dump(node.left) == ast.dump(node.right):
                     yield module.finding(
@@ -219,6 +244,41 @@ class UninstrumentedDistanceRule(Rule):
         if signature not in _DISTANCE_EINSUM_SIGS:
             return False
         return ast.dump(node.args[1]) == ast.dump(node.args[2])
+
+    @staticmethod
+    def _is_same_root_matmul(node: ast.Call) -> bool:
+        """``np.matmul(x[...], x[...])`` (or plain ``np.matmul(x, x)``)."""
+        if len(node.args) < 2:
+            return False
+
+        def strip_subscripts(expr: ast.AST) -> ast.AST:
+            while isinstance(expr, ast.Subscript):
+                expr = expr.value
+            return expr
+
+        left = strip_subscripts(node.args[0])
+        right = strip_subscripts(node.args[1])
+        return ast.dump(left) == ast.dump(right)
+
+    @classmethod
+    def _is_sq_diff_sum(cls, module: ParsedModule, node: ast.Call) -> bool:
+        """``((a - b) ** 2).sum(...)`` or ``np.sum((a - b) ** 2, ...)``."""
+        func = node.func
+        if resolve_name(module.aliases, func) == "numpy.sum" and node.args:
+            return cls._is_sq_diff(node.args[0])
+        if isinstance(func, ast.Attribute) and func.attr == "sum":
+            return cls._is_sq_diff(func.value)
+        return False
+
+    @staticmethod
+    def _is_sq_diff(node: ast.AST) -> bool:
+        """An ``(a - b) ** 2`` expression (optionally parenthesized)."""
+        if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Pow)):
+            return False
+        power = node.right
+        if not (isinstance(power, ast.Constant) and power.value == 2):
+            return False
+        return isinstance(node.left, ast.BinOp) and isinstance(node.left.op, ast.Sub)
 
 
 # ----------------------------------------------------------------------
@@ -284,10 +344,17 @@ class GlobalRngRule(Rule):
 
 @register
 class CounterDisciplineRule(Rule):
-    """A function that accepts an :class:`OpCounters` parameter advertises
-    that its work is measured; reading data-point rows or stored bound
-    arrays inside it without charging ``point_accesses`` /
-    ``bound_accesses`` breaks the Table 3 access accounting."""
+    """A function that accepts an :class:`OpCounters` parameter — or, in a
+    method, touches ``self.counters`` — advertises that its work is
+    measured; reading data-point rows or stored bound arrays inside it
+    without charging ``point_accesses`` / ``bound_accesses`` breaks the
+    Table 3 access accounting.
+
+    Vectorized assignment passes (:mod:`repro.core.vectorized`) hoist
+    ``self.X`` / bound arrays into locals before the batch operations
+    (``lb = self._lb``), so reads through such single-assignment local
+    aliases are tracked as bound/point reads too.
+    """
 
     rule_id = "R003"
     name = "counter-discipline"
@@ -302,7 +369,7 @@ class CounterDisciplineRule(Rule):
     def check(self, module: ParsedModule) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                if self._accepts_counters(node):
+                if self._accepts_counters(node) or self._uses_self_counters(node):
                     yield from self._check_function(module, node)
 
     @staticmethod
@@ -316,9 +383,45 @@ class CounterDisciplineRule(Rule):
                 return True
         return False
 
+    @staticmethod
+    def _uses_self_counters(func: ast.AST) -> bool:
+        """A method touching ``self.counters`` claims its work is measured."""
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "counters"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _local_array_aliases(func: ast.AST) -> Dict[str, str]:
+        """Local names bound to ``self.X`` / bound arrays: name -> kind."""
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            value = node.value
+            if not (
+                isinstance(target, ast.Name)
+                and isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+            ):
+                continue
+            if value.attr == "X":
+                aliases[target.id] = "point"
+            elif value.attr in BOUND_ARRAY_ATTRS:
+                aliases[target.id] = "bound"
+        return aliases
+
     def _check_function(
         self, module: ParsedModule, func: ast.AST
     ) -> Iterator[Finding]:
+        aliases = self._local_array_aliases(func)
         point_reads: List[ast.AST] = []
         bound_reads: List[ast.AST] = []
         charges_points = False
@@ -330,6 +433,11 @@ class CounterDisciplineRule(Rule):
                     if target.attr == "X":
                         point_reads.append(node)
                     elif target.attr in BOUND_ARRAY_ATTRS:
+                        bound_reads.append(node)
+                elif isinstance(target, ast.Name) and target.id in aliases:
+                    if aliases[target.id] == "point":
+                        point_reads.append(node)
+                    else:
                         bound_reads.append(node)
             elif isinstance(node, ast.Attribute):
                 if node.attr in ("add_point_accesses", "point_accesses"):

@@ -34,11 +34,18 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from repro.core import ALGORITHMS, make_algorithm
+from repro.core import ALGORITHMS, BACKENDS, VECTORIZED_ALGORITHMS, make_algorithm
 from repro.datasets import dataset_names, get_dataset_spec, load_dataset
 from repro.datasets.loaders import append_jsonl, load_points_csv
 from repro.eval import compare_algorithms, format_table, speedup_table
 from repro.eval.tables import format_speedup_rows
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default="reference", choices=list(BACKENDS),
+                        help="execution backend; 'vectorized' is NumPy-batched "
+                             "and counter/trajectory-identical to 'reference' "
+                             "(see docs/backends.md)")
 
 
 def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
@@ -72,7 +79,7 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
     X = _load(args)
-    algorithm = make_algorithm(args.algorithm)
+    algorithm = make_algorithm(args.algorithm, backend=args.backend)
     result = algorithm.fit(X, args.k, max_iter=args.max_iter, seed=args.seed)
     summary = result.summary()
     if args.json:
@@ -94,11 +101,29 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(f"unknown algorithms: {unknown}; known: {sorted(ALGORITHMS)}",
               file=sys.stderr)
         return 2
+    if args.backend != "reference":
+        unsupported = [name for name in names if name not in VECTORIZED_ALGORITHMS]
+        if unsupported:
+            print(
+                f"no {args.backend!r} implementation for: {unsupported}; "
+                f"vectorized backends exist for: {sorted(VECTORIZED_ALGORITHMS)}",
+                file=sys.stderr,
+            )
+            return 2
+    records = []
     if "lloyd" not in names:
+        # speedup_table needs the Lloyd baseline; Lloyd has no vectorized
+        # variant, so the implicit baseline always runs on "reference"
+        # (the same initializations are regenerated from args.seed).
         names.insert(0, "lloyd")
-    records = compare_algorithms(
-        names, X, args.k, repeats=args.repeats, max_iter=args.max_iter,
-        seed=args.seed,
+        records += compare_algorithms(
+            ["lloyd"], X, args.k, repeats=args.repeats, max_iter=args.max_iter,
+            seed=args.seed,
+        )
+    records += compare_algorithms(
+        names[1:] if records else names, X, args.k,
+        repeats=args.repeats, max_iter=args.max_iter,
+        seed=args.seed, backend=args.backend,
     )
     table = speedup_table(records)
     rows = format_speedup_rows(table, order=names)
@@ -188,7 +213,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 repeats=args.repeats, max_iter=args.max_iter, seed=args.seed,
                 max_workers=args.max_workers, timeout=args.timeout,
                 retries=args.retries, dataset=dataset, log=log,
-                resume=args.resume, fault_plan=plan,
+                resume=args.resume, fault_plan=plan, backend=args.backend,
             )
             for record in records:
                 if is_failed_record(record):
@@ -271,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster = sub.add_parser("cluster", help="run one algorithm on one dataset")
     _add_data_arguments(cluster)
     cluster.add_argument("--algorithm", default="unik", choices=sorted(ALGORITHMS))
+    _add_backend_argument(cluster)
     cluster.add_argument("--k", type=int, default=10)
     cluster.add_argument("--max-iter", type=int, default=10)
     cluster.add_argument("--json", action="store_true", help="JSON output")
@@ -279,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="compare algorithms on one dataset")
     _add_data_arguments(compare)
     compare.add_argument("--algorithms", default="lloyd,yinyang,index,unik")
+    _add_backend_argument(compare)
     compare.add_argument("--k", type=int, default=10)
     compare.add_argument("--max-iter", type=int, default=10)
     compare.add_argument("--repeats", type=int, default=2)
@@ -305,6 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--datasets", default="Skin",
                        help="comma-separated registry dataset names")
     bench.add_argument("--algorithms", default="lloyd,hamerly,yinyang")
+    _add_backend_argument(bench)
     bench.add_argument("--ks", default="4", help="comma-separated k values")
     bench.add_argument("--n", type=int, default=300,
                        help="surrogate point count per dataset")

@@ -1,16 +1,37 @@
 """Instrumented Euclidean distance kernels.
 
-Two layers are provided:
+Three layers are provided:
 
 * scalar helpers (:func:`euclidean`, :func:`sq_euclidean`) used by the
   pointwise pruning loops of the sequential algorithms, each charging one
   distance computation to the supplied :class:`OpCounters`;
-* vectorized batch kernels (:func:`pairwise_sq_distances`,
-  :func:`distances_to_centroids`) used by Lloyd's algorithm and by bulk
+* row-wise batch kernels (:func:`one_to_many_distances`,
+  :func:`paired_distances`, :func:`block_distances`) that evaluate many
+  scalar distances in one NumPy call while staying **bit-identical** to the
+  scalar helpers (see below) — these back the vectorized execution backend
+  of :mod:`repro.core.vectorized`;
+* bulk kernels (:func:`pairwise_sq_distances`, :func:`chunked_sq_distances`,
+  :func:`distances_to_centroids`) used by Lloyd's algorithm and bulk
   phases, charging the number of row-pairs evaluated.
 
-Both layers count identically: a "distance computation" is one full
+All layers count identically: a "distance computation" is one full
 ``d``-dimensional evaluation, regardless of how the arithmetic is batched.
+That is the counter-semantics contract of ``docs/backends.md``: counters
+measure the paper's cost model, never the number of BLAS calls.
+
+Bit-identity
+------------
+The scalar helpers reduce ``diff @ diff`` with NumPy's 1-D dot.  The
+row-wise batch kernels reduce each row through a batched matmul of shape
+``(m, 1, d) @ (m, d, 1)``, which dispatches to the same per-row dot kernel
+and therefore produces the *same 64-bit float* as the scalar path for every
+row.  This is what lets the vectorized backend reproduce the reference
+backend's labels, tie-breaking, and convergence trajectory exactly —
+``tests/test_backend_conformance.py`` and the hypothesis parity properties
+enforce it.  The expansion-based bulk kernels
+(:func:`pairwise_sq_distances`, :func:`centroid_pairwise_distances`) trade
+that identity for speed and are only used where both backends share the
+same call site.
 """
 
 from __future__ import annotations
@@ -62,19 +83,83 @@ def pairwise_distances(
     return np.sqrt(pairwise_sq_distances(A, B, counters))
 
 
+def _rowwise_sq_norms(diff: np.ndarray) -> np.ndarray:
+    """Per-row ``diff[i] @ diff[i]``, bit-identical to the scalar helpers.
+
+    A batched matmul of shape ``(m, 1, d) @ (m, d, 1)`` runs the same dot
+    reduction per row as ``sq_euclidean``'s 1-D ``diff @ diff``, so every
+    output element equals the scalar result exactly (not just to rounding).
+    A plain ``einsum("ij,ij->i", ...)`` does *not* have this property — its
+    pairwise summation order differs from the dot kernel's.
+    """
+    diff = np.ascontiguousarray(diff)
+    return np.matmul(diff[:, None, :], diff[:, :, None])[:, 0, 0]
+
+
 def one_to_many_distances(
     x: np.ndarray, Y: np.ndarray, counters: Optional[OpCounters] = None
 ) -> np.ndarray:
     """Distances from one vector to every row of ``Y`` (counts ``len(Y)``).
 
-    Direct differencing — bit-identical to the scalar helpers — so candidate
-    loops, leaf scans and pivot-gap computations that switch to this kernel
-    keep the exact tie-breaking of the code they replace.
+    Direct differencing with the row-wise dot reduction — bit-identical to
+    the scalar helpers — so candidate loops, leaf scans and pivot-gap
+    computations that switch to this kernel keep the exact tie-breaking of
+    the code they replace.
     """
     if counters is not None:
         counters.distance_computations += Y.shape[0]
-    diff = Y - x
-    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    return np.sqrt(_rowwise_sq_norms(Y - x))
+
+
+def paired_sq_distances(
+    A: np.ndarray, B: np.ndarray, counters: Optional[OpCounters] = None
+) -> np.ndarray:
+    """Row-paired squared distances ``|A[i] - B[i]|^2`` (counts ``len(A)``).
+
+    ``B`` may be a single ``(d,)`` vector, broadcast against every row of
+    ``A``.  Bit-identical to calling :func:`sq_euclidean` per row — the
+    bound-tightening kernel of the vectorized backend (many points, each to
+    its own assigned centroid).
+    """
+    A = np.atleast_2d(A)
+    diff = A - B
+    if counters is not None:
+        counters.distance_computations += diff.shape[0]
+    return _rowwise_sq_norms(diff)
+
+
+def paired_distances(
+    A: np.ndarray, B: np.ndarray, counters: Optional[OpCounters] = None
+) -> np.ndarray:
+    """Row-paired Euclidean distances, bit-identical to :func:`euclidean`."""
+    return np.sqrt(paired_sq_distances(A, B, counters))
+
+
+def block_sq_distances(
+    A: np.ndarray, B: np.ndarray, counters: Optional[OpCounters] = None
+) -> np.ndarray:
+    """All-pairs squared distances with scalar-identical numerics.
+
+    Returns the ``(len(A), len(B))`` block where entry ``(i, j)`` is
+    bit-identical to ``sq_euclidean(A[i], B[j])``; charges one distance per
+    entry.  Slower than :func:`pairwise_sq_distances` (no expansion trick)
+    but exact — the rescan kernel of the vectorized backend, where every
+    entry must reproduce the reference backend's pointwise loop.
+    """
+    A = np.atleast_2d(A)
+    B = np.atleast_2d(B)
+    if counters is not None:
+        counters.distance_computations += A.shape[0] * B.shape[0]
+    diff = A[:, None, :] - B[None, :, :]
+    flat = _rowwise_sq_norms(diff.reshape(-1, diff.shape[-1]))
+    return flat.reshape(A.shape[0], B.shape[0])
+
+
+def block_distances(
+    A: np.ndarray, B: np.ndarray, counters: Optional[OpCounters] = None
+) -> np.ndarray:
+    """All-pairs Euclidean distances, entry-identical to :func:`euclidean`."""
+    return np.sqrt(block_sq_distances(A, B, counters))
 
 
 def distances_to_centroids(
@@ -114,6 +199,12 @@ def chunked_sq_distances(
     Slower than :func:`pairwise_sq_distances` but numerically identical to
     the per-point helpers (no cancellation), which keeps tie-breaking
     consistent between vectorized full scans and pointwise pruning loops.
+
+    Counter parity: charges exactly one distance per row-pair, identical to
+    :func:`pairwise_sq_distances`, regardless of ``chunk`` — the charge is
+    taken once up front, never inside the chunk loop, so chunk size is a
+    pure memory/throughput knob with no effect on any Table 3 metric
+    (regression-tested in ``tests/test_common_distance.py``).
     """
     A = np.atleast_2d(A)
     B = np.atleast_2d(B)

@@ -2,6 +2,15 @@
 
 The :data:`ALGORITHMS` registry maps names to classes; :func:`make_algorithm`
 builds instances by name, and :class:`KMeans` is the user-facing facade.
+
+Two execution backends exist (see ``docs/backends.md``): ``"reference"``
+(the pointwise scalar implementations, ground truth for counter semantics)
+and ``"vectorized"`` (NumPy-batched replacements for the sequential
+bound-based methods that reproduce the reference labels, centroids,
+iteration counts and counter totals exactly — enforced by
+``tests/test_backend_conformance.py``).  Select with
+``make_algorithm(name, backend="vectorized")`` or
+``KMeans(..., backend="vectorized")``.
 """
 
 from __future__ import annotations
@@ -44,6 +53,12 @@ from repro.core.search import SearchKMeans
 from repro.core.sphere import SphereKMeans
 from repro.core.unik import UniKKMeans
 from repro.core.vector import VectorKMeans
+from repro.core.vectorized import (
+    VECTORIZED_ALGORITHMS,
+    VectorizedElkanKMeans,
+    VectorizedHamerlyKMeans,
+    VectorizedYinyangKMeans,
+)
 from repro.core.yinyang import YinyangKMeans
 
 ALGORITHMS: Dict[str, Type[KMeansAlgorithm]] = {
@@ -75,21 +90,43 @@ EXACT_ALGORITHMS = tuple(
     name for name in ALGORITHMS if name not in ("minibatch", "sampled")
 )
 
+#: the selectable execution backends
+BACKENDS = ("reference", "vectorized")
 
-def make_algorithm(name: str, **kwargs) -> KMeansAlgorithm:
+
+def make_algorithm(
+    name: str, *, backend: str = "reference", **kwargs
+) -> KMeansAlgorithm:
     """Instantiate an algorithm by registry name.
 
-    Extra keyword arguments go to the algorithm constructor, e.g.
+    ``backend`` selects the execution backend: ``"reference"`` (default;
+    every algorithm) or ``"vectorized"`` (NumPy-batched, currently
+    :data:`VECTORIZED_ALGORITHMS`; exact — same labels, centroids,
+    iteration counts and counter totals as the reference).  Extra keyword
+    arguments go to the algorithm constructor, e.g.
     ``make_algorithm("index", index="kd-tree")`` or
-    ``make_algorithm("unik", traversal="multiple")``.
+    ``make_algorithm("elkan", backend="vectorized", use_inter=False)``.
     """
-    try:
-        cls = ALGORITHMS[name.lower()]
-    except KeyError:
+    key = name.lower()
+    if key not in ALGORITHMS:
         known = ", ".join(sorted(ALGORITHMS))
         raise ConfigurationError(
             f"unknown algorithm {name!r}; known algorithms: {known}"
-        ) from None
+        )
+    if backend == "reference":
+        cls = ALGORITHMS[key]
+    elif backend == "vectorized":
+        if key not in VECTORIZED_ALGORITHMS:
+            available = ", ".join(sorted(VECTORIZED_ALGORITHMS))
+            raise ConfigurationError(
+                f"algorithm {name!r} has no vectorized implementation; "
+                f"vectorized backends exist for: {available}"
+            )
+        cls = VECTORIZED_ALGORITHMS[key]
+    else:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; known backends: {', '.join(BACKENDS)}"
+        )
     return cls(**kwargs)
 
 
@@ -109,6 +146,7 @@ class KMeans:
         k: int,
         *,
         algorithm: str = "unik",
+        backend: str = "reference",
         init: str = "k-means++",
         max_iter: int = DEFAULT_MAX_ITER,
         tol: float = 0.0,
@@ -117,6 +155,7 @@ class KMeans:
     ) -> None:
         self.k = int(k)
         self.algorithm_name = algorithm
+        self.backend = backend
         self.init = init
         self.max_iter = int(max_iter)
         self.tol = float(tol)
@@ -126,7 +165,9 @@ class KMeans:
 
     def fit(self, X: np.ndarray, initial_centroids: Optional[np.ndarray] = None) -> KMeansResult:
         """Cluster ``X``; returns (and stores in ``result_``) the result."""
-        algorithm = make_algorithm(self.algorithm_name, **self.algorithm_kwargs)
+        algorithm = make_algorithm(
+            self.algorithm_name, backend=self.backend, **self.algorithm_kwargs
+        )
         self.result_ = algorithm.fit(
             X,
             self.k,
@@ -150,7 +191,9 @@ class KMeans:
 
 __all__ = [
     "ALGORITHMS",
+    "BACKENDS",
     "EXACT_ALGORITHMS",
+    "VECTORIZED_ALGORITHMS",
     "BOUND_KNOBS",
     "DEFAULT_MAX_ITER",
     "INDEX_KNOBS",
@@ -183,6 +226,9 @@ __all__ = [
     "IndexKMeans",
     "UniKKMeans",
     "FullKMeans",
+    "VectorizedElkanKMeans",
+    "VectorizedHamerlyKMeans",
+    "VectorizedYinyangKMeans",
     "SphereKMeans",
     "MiniBatchKMeans",
     "SampledKMeans",

@@ -61,6 +61,11 @@ class KMeansAlgorithm(abc.ABC):
 
     #: registry name, overridden by subclasses
     name: str = "base"
+    #: execution backend: "reference" (pointwise scalar loops, the ground
+    #: truth for OpCounters semantics) or "vectorized" (NumPy-batched,
+    #: counter- and trajectory-identical; see repro.core.vectorized and
+    #: docs/backends.md)
+    backend: str = "reference"
     #: refinement mode: "rescan", "delta" or "none" (see module docstring)
     refinement: str = "delta"
 
@@ -207,7 +212,7 @@ class KMeansAlgorithm(abc.ABC):
             setup_time=timer.total("setup"),
             init_time=timer.total("init"),
             iteration_stats=iteration_stats,
-            extras=self._extras(),
+            extras={"backend": self.backend, **self._extras()},
         )
         return result
 

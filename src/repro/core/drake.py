@@ -116,6 +116,7 @@ class DrakeKMeans(KMeansAlgorithm):
 
     def _enforce_suffix_min(self, i: int) -> None:
         """Restore ``lb(i, z) <= lb(i, z')`` for ``z < z'`` (suffix minimum)."""
+        # repro: ignore[R003] — in-place bound maintenance, charged as bound_updates
         row = self._lbs[i]
         np.minimum.accumulate(row[::-1], out=row[::-1])
         self.counters.add_bound_updates(self.b)
@@ -129,6 +130,7 @@ class DrakeKMeans(KMeansAlgorithm):
         # invariant in one vectorized pass.
         self._lbs -= drifts[self._order]
         self._lbs[:, -1] = np.minimum(
+            # repro: ignore[R003] — drift bookkeeping (base.py's drift convention), charged as bound_updates
             self._lbs[:, -1],
             (self._lbs[:, -1] + drifts[self._order[:, -1]]) - float(drifts.max()),
         )

@@ -58,12 +58,20 @@ class ElkanKMeans(KMeansAlgorithm):
         n = len(self.X)
         self.counters.record_footprint(n * self.k + n)
 
+    def _initial_scan(self) -> None:
+        """First-iteration full scan seeding ``ub`` and the ``lb`` matrix.
+
+        Shared with the vectorized backend (both backends take this exact
+        path, so iteration 0 is trivially identical between them).
+        """
+        dists = self._full_scan_assign()
+        self._lb = dists
+        self._ub = dists[np.arange(len(self.X)), self._labels].copy()
+        self.counters.add_bound_updates(dists.size + len(self.X))
+
     def _assign(self, iteration: int) -> None:
         if iteration == 0:
-            dists = self._full_scan_assign()
-            self._lb = dists
-            self._ub = dists[np.arange(len(self.X)), self._labels].copy()
-            self.counters.add_bound_updates(dists.size + len(self.X))
+            self._initial_scan()
             return
 
         if self.use_inter:

@@ -120,6 +120,7 @@ class IndexKMeans(KMeansAlgorithm):
             cj = self._centroids[j]
             corner = self.tree.farthest_corner(node, cj - c1)
             self.counters.add_distances(2)
+            # repro: ignore[R001] — both corner distances charged manually on the line above
             if np.sum((corner - cj) ** 2) >= np.sum((corner - c1) ** 2):
                 keep[pos] = False
         return keep

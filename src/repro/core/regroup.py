@@ -84,6 +84,7 @@ class RegroupKMeans(YinyangKMeans):
         remapped = np.empty((len(self.X), new_groups.t))
         for g_new, members in enumerate(new_groups.members):
             sources = np.unique(old_group_of[members])
+            # repro: ignore[R003] — drift bookkeeping (base.py's drift convention), charged as bound_updates
             remapped[:, g_new] = self._glb[:, sources].min(axis=1)
         self._glb = remapped
         self.groups = new_groups

@@ -49,20 +49,28 @@ class YinyangKMeans(KMeansAlgorithm):
         n = len(self.X)
         self.counters.record_footprint(n * self._t + n)
 
+    def _initial_scan(self) -> None:
+        """First-iteration grouping + full scan seeding ``ub`` and ``glb``.
+
+        Shared with the vectorized backend (both backends take this exact
+        path, so iteration 0 is trivially identical between them).
+        """
+        self.groups = GroupView(
+            group_centroids_kmeans(self._centroids, self._t, seed=self._group_seed)
+        )
+        dists = self._full_scan_assign()
+        n = len(self.X)
+        self._ub = dists[np.arange(n), self._labels].copy()
+        masked = dists.copy()
+        masked[np.arange(n), self._labels] = np.inf
+        self._glb = np.empty((n, self.groups.t))
+        for g, members in enumerate(self.groups.members):
+            self._glb[:, g] = masked[:, members].min(axis=1)
+        self.counters.add_bound_updates(n * (self.groups.t + 1))
+
     def _assign(self, iteration: int) -> None:
         if iteration == 0:
-            self.groups = GroupView(
-                group_centroids_kmeans(self._centroids, self._t, seed=self._group_seed)
-            )
-            dists = self._full_scan_assign()
-            n = len(self.X)
-            self._ub = dists[np.arange(n), self._labels].copy()
-            masked = dists.copy()
-            masked[np.arange(n), self._labels] = np.inf
-            self._glb = np.empty((n, self.groups.t))
-            for g, members in enumerate(self.groups.members):
-                self._glb[:, g] = masked[:, members].min(axis=1)
-            self.counters.add_bound_updates(n * (self.groups.t + 1))
+            self._initial_scan()
             return
 
         counters = self.counters

@@ -103,9 +103,9 @@ class RunRecord:
         return cls(extras=extras, **kwargs)
 
 
-def _materialize(spec: AlgorithmSpec) -> KMeansAlgorithm:
+def _materialize(spec: AlgorithmSpec, backend: str = "reference") -> KMeansAlgorithm:
     if isinstance(spec, str):
-        return make_algorithm(spec)
+        return make_algorithm(spec, backend=backend)
     if isinstance(spec, KnobConfig):
         return build_algorithm(spec)
     return spec()
@@ -128,12 +128,18 @@ def run_algorithm(
     repeats: int = 3,
     max_iter: int = PAPER_ITER_BUDGET,
     seed: int = 0,
+    backend: str = "reference",
 ) -> RunRecord:
     """Run one algorithm ``repeats`` times and average the metrics.
 
     When ``initial_centroids`` is not given, k-means++ seeds with
     ``seed + r`` are generated per repeat (and are identical for any other
     algorithm run with the same arguments — the comparability guarantee).
+
+    ``backend`` selects the execution backend for string specs (see
+    ``docs/backends.md``); counters and trajectories are backend-invariant,
+    so only wall-clock metrics change.  :class:`KnobConfig` and factory
+    specs carry their own construction and ignore it.
 
     Raises :class:`ValidationError` up front for ``repeats < 1``, ``k < 1``,
     ``k > n``, or non-finite ``X`` — the harness boundary is where bad
@@ -151,7 +157,7 @@ def run_algorithm(
         raise ValidationError("initial_centroids must contain at least one seeding")
     results: List[KMeansResult] = []
     for centroids in initial_centroids:
-        algorithm = _materialize(spec)
+        algorithm = _materialize(spec, backend)
         results.append(
             algorithm.fit(X, k, initial_centroids=centroids, max_iter=max_iter)
         )
@@ -196,6 +202,7 @@ def compare_algorithms(
     repeats: int = 3,
     max_iter: int = PAPER_ITER_BUDGET,
     seed: int = 0,
+    backend: str = "reference",
 ) -> List[RunRecord]:
     """Run several algorithms on the same task with shared initializations."""
     X = check_data_matrix(X)
@@ -209,7 +216,7 @@ def compare_algorithms(
         run_algorithm(
             spec, X, k,
             initial_centroids=initial_centroids,
-            repeats=repeats, max_iter=max_iter, seed=seed,
+            repeats=repeats, max_iter=max_iter, seed=seed, backend=backend,
         )
         for spec in specs
     ]

@@ -26,6 +26,7 @@ from typing import Iterable, List, Optional, Tuple, Union
 
 from repro.common.exceptions import ValidationError
 from repro.common.validation import check_data_matrix, check_k
+from repro.core import BACKENDS
 from repro.core.initialization import initialize_centroids
 from repro.core.knobs import KnobConfig
 from repro.eval.harness import RunRecord, _spec_label, run_algorithm
@@ -42,13 +43,14 @@ RunOutcome = Union[RunRecord, FailedRun]
 
 
 def _worker(item: Tuple, attempt: int) -> RunRecord:
-    (spec, X, k, initial_centroids, repeats, max_iter, seed, key, fault_plan) = item
+    (spec, X, k, initial_centroids, repeats, max_iter, seed, key, fault_plan,
+     backend) = item
     if fault_plan is not None:
         fault_plan.apply(key, attempt)
     return run_algorithm(
         spec, X, k,
         initial_centroids=initial_centroids,
-        repeats=repeats, max_iter=max_iter, seed=seed,
+        repeats=repeats, max_iter=max_iter, seed=seed, backend=backend,
     )
 
 
@@ -69,6 +71,7 @@ def parallel_compare(
     log=None,
     resume: bool = False,
     fault_plan=None,
+    backend: str = "reference",
 ) -> List[RunOutcome]:
     """Run several algorithm specs concurrently on the same task.
 
@@ -92,6 +95,10 @@ def parallel_compare(
       re-running them, so a restarted campaign re-runs only failures.
     * ``fault_plan`` — a :class:`~repro.eval.faults.FaultPlan` applied
       inside each worker (chaos mode / recovery tests).
+    * ``backend`` — execution backend for string specs (``"reference"`` or
+      ``"vectorized"``; see ``docs/backends.md``).  Counters and
+      trajectories are backend-invariant, so cells are resumable across
+      backends; only wall-clock metrics differ.
     """
     specs = list(specs)
     for spec in specs:
@@ -103,6 +110,10 @@ def parallel_compare(
     if on_failure not in ("record", "raise"):
         raise ValidationError(
             f"on_failure must be 'record' or 'raise', got {on_failure!r}"
+        )
+    if backend not in BACKENDS:
+        raise ValidationError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
         )
     if resume and log is None:
         raise ValidationError("resume=True requires an EvaluationLog via log=")
@@ -139,7 +150,7 @@ def parallel_compare(
         ]
         items = [
             (specs[i], X, k, initial_centroids, repeats, max_iter, seed, keys[i],
-             fault_plan)
+             fault_plan, backend)
             for i in todo
         ]
         outcomes = supervised_map(

@@ -56,6 +56,7 @@ class HierarchicalKMeansTree(MetricTree):
 
     def _split_kmeans(self, indices: np.ndarray) -> List[np.ndarray]:
         """Partition ``X[indices]`` with a small vectorized Lloyd run."""
+        # repro: ignore[R003] — index construction; build cost is modeled by distance/node counters
         points = self.X[indices]
         b = min(self.branching, len(indices))
         seeds = self._rng.choice(len(indices), size=b, replace=False)

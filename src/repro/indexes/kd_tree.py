@@ -36,6 +36,7 @@ class KDTree(MetricTree):
         return self._build_node(indices)
 
     def _build_node(self, indices: np.ndarray) -> TreeNode:
+        # repro: ignore[R003] — index construction; build cost is modeled by distance/node counters
         points = self.X[indices]
         lo = points.min(axis=0)
         hi = points.max(axis=0)

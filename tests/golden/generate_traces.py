@@ -1,0 +1,49 @@
+"""Regenerate the golden trace files under ``tests/golden/``.
+
+Run from the repo root:
+
+    PYTHONPATH=src python tests/golden/generate_traces.py
+
+Traces are captured from the **reference** backend only — it is the
+ground truth for counter semantics (``docs/backends.md``) — and
+``tests/test_golden_traces.py`` replays both backends against them.
+Regenerating is only legitimate when a deliberate, reviewed change to an
+algorithm's trajectory or counter charging lands; a diff in these files
+is a behavioral change, not noise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT))
+
+from tests.trace_utils import (  # noqa: E402 (path bootstrap above)
+    GOLDEN_ALGORITHMS,
+    GOLDEN_SEEDS,
+    capture_trace,
+    golden_path,
+    golden_task,
+)
+
+
+def main() -> int:
+    for seed in GOLDEN_SEEDS:
+        X, k, C0, max_iter = golden_task(seed)
+        for name in GOLDEN_ALGORITHMS:
+            trace = capture_trace(name, "reference", X, k, C0, max_iter)
+            path = golden_path(name, seed)
+            path.write_text(json.dumps(trace, indent=1) + "\n")
+            print(
+                f"wrote {path.relative_to(ROOT)}: "
+                f"{trace['n_iter']} iterations, converged={trace['converged']}"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -105,6 +105,60 @@ class TestR001:
         src = "import numpy as np\nr = np.linalg.norm([1.0, 2.0])\n"
         assert analyze_source(src, OUTSIDE_PATH) == []
 
+    # -- vectorized-backend idioms (ISSUE 3) ---------------------------
+
+    def test_same_root_batched_matmul_fires(self):
+        # The _rowwise_sq_norms idiom hand-rolled inside the core.
+        src = (
+            "import numpy as np\n"
+            "def f(diff):\n"
+            "    return np.matmul(diff[:, None, :], diff[:, :, None])[:, 0, 0]\n"
+        )
+        assert rule_ids(analyze_source(src, CORE_PATH)) == ["R001"]
+
+    def test_plain_same_operand_matmul_fires(self):
+        src = (
+            "import numpy as np\n"
+            "def f(diff):\n"
+            "    return np.matmul(diff, diff)\n"
+        )
+        assert rule_ids(analyze_source(src, CORE_PATH)) == ["R001"]
+
+    def test_matmul_distinct_roots_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    return np.matmul(a[:, None, :], b[:, :, None])\n"
+        )
+        assert analyze_source(src, CORE_PATH) == []
+
+    def test_sq_diff_method_sum_fires(self):
+        src = "def f(a, b):\n    return ((a - b) ** 2).sum(axis=1)\n"
+        assert rule_ids(analyze_source(src, CORE_PATH)) == ["R001"]
+
+    def test_sq_diff_np_sum_fires(self):
+        src = (
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    return np.sum((a - b) ** 2)\n"
+        )
+        assert rule_ids(analyze_source(src, CORE_PATH)) == ["R001"]
+
+    def test_sq_sum_without_difference_clean(self):
+        # A plain norm table (no subtraction) is not a distance.
+        src = "def f(a):\n    return (a ** 2).sum(axis=1)\n"
+        assert analyze_source(src, CORE_PATH) == []
+
+    def test_sq_diff_sum_suppressible(self):
+        src = (
+            "import numpy as np\n"
+            "def f(a, b, counters):\n"
+            "    counters.add_distances(1)\n"
+            "    # repro: ignore[R001] — charged manually above\n"
+            "    return np.sum((a - b) ** 2)\n"
+        )
+        assert analyze_source(src, CORE_PATH) == []
+
 
 # ----------------------------------------------------------------------
 # R002 — global-rng
@@ -174,6 +228,72 @@ class TestR003:
             "class A:\n"
             "    def f(self, i):\n"
             "        return self.X[i]\n"
+        )
+        assert analyze_source(src, CORE_PATH) == []
+
+    # -- vectorized-backend methods (ISSUE 3): self.counters + aliases --
+
+    def test_self_counters_method_fires_on_uncharged_read(self):
+        # Vectorized _assign methods take no counters parameter; touching
+        # self.counters is what marks them as measured.
+        src = (
+            "class A:\n"
+            "    def _assign(self, i):\n"
+            "        self.counters.add_distances(1)\n"
+            "        return self.X[i]\n"
+        )
+        findings = analyze_source(src, CORE_PATH)
+        assert rule_ids(findings) == ["R003"]
+        assert "point_accesses" in findings[0].message
+
+    def test_self_counters_method_charged_clean(self):
+        src = (
+            "class A:\n"
+            "    def _assign(self, i):\n"
+            "        self.counters.add_point_accesses(1)\n"
+            "        return self.X[i]\n"
+        )
+        assert analyze_source(src, CORE_PATH) == []
+
+    def test_bound_read_through_local_alias_fires(self):
+        # The hoist-to-local idiom of repro.core.vectorized.
+        src = (
+            "class A:\n"
+            "    def _assign(self, active):\n"
+            "        lb = self._lb\n"
+            "        self.counters.add_distances(1)\n"
+            "        return lb[active]\n"
+        )
+        findings = analyze_source(src, CORE_PATH)
+        assert rule_ids(findings) == ["R003"]
+        assert "bound_accesses" in findings[0].message
+
+    def test_point_read_through_local_alias_charged_clean(self):
+        src = (
+            "class A:\n"
+            "    def _assign(self, active):\n"
+            "        X = self.X\n"
+            "        self.counters.add_point_accesses(len(active))\n"
+            "        return X[active]\n"
+        )
+        assert analyze_source(src, CORE_PATH) == []
+
+    def test_unrelated_local_subscript_clean(self):
+        src = (
+            "class A:\n"
+            "    def _assign(self, active):\n"
+            "        self.counters.add_distances(1)\n"
+            "        scratch = [1, 2, 3]\n"
+            "        return scratch[0]\n"
+        )
+        assert analyze_source(src, CORE_PATH) == []
+
+    def test_method_without_counters_use_stays_clean(self):
+        src = (
+            "class A:\n"
+            "    def helper(self, i):\n"
+            "        lb = self._lb\n"
+            "        return lb[i]\n"
         )
         assert analyze_source(src, CORE_PATH) == []
 

@@ -1,0 +1,234 @@
+"""Differential conformance: the vectorized backend ≡ the reference backend.
+
+The vectorized backend (``repro.core.vectorized``) promises *bit-identical*
+trajectories: from the same initial centroids, every (algorithm, task) pair
+must produce the same labels, the same centroids (exact float equality, not
+approximate), the same iteration count, and the same counter totals — per
+iteration, not just in aggregate.  The reference scalar implementations are
+the ground truth for ``OpCounters`` semantics; a vectorized implementation
+that computes the right clustering but charges different counters is a
+conformance failure (it would silently change the paper's Table 3 metrics).
+
+The perf test at the bottom enforces the point of the backend: on the
+20k x 16 synthetic workload the vectorized backend must beat the reference
+by at least 2x wall-clock, and the measurement is recorded to
+``BENCH_backends.json`` at the repo root (the CI perf-smoke artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.core import BACKENDS, VECTORIZED_ALGORITHMS, KMeans, make_algorithm
+from repro.core.initialization import init_kmeans_plus_plus
+from repro.datasets import make_blobs, make_spatial, make_uniform
+
+VECTORIZED = sorted(VECTORIZED_ALGORITHMS)
+MAX_ITER = 60
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_backends.json"
+
+#: wall-clock advantage the vectorized backend must demonstrate (ISSUE 3)
+MIN_SPEEDUP = 2.0
+
+
+def _dataset(name: str) -> np.ndarray:
+    if name == "blobs":
+        X, _ = make_blobs(350, 6, 5, seed=11)
+        return X
+    if name == "spatial":
+        return make_spatial(400, hotspots=12, seed=17)
+    if name == "uniform":
+        return make_uniform(250, 4, seed=19)
+    raise AssertionError(name)
+
+
+_DATASETS = {name: _dataset(name) for name in ("blobs", "spatial", "uniform")}
+
+
+def _run_pair(name, X, k, seed, max_iter=MAX_ITER, **kwargs):
+    C0 = init_kmeans_plus_plus(X, k, seed=seed)
+    reference = make_algorithm(name, backend="reference", **kwargs).fit(
+        X, k, initial_centroids=C0, max_iter=max_iter
+    )
+    vectorized = make_algorithm(name, backend="vectorized", **kwargs).fit(
+        X, k, initial_centroids=C0, max_iter=max_iter
+    )
+    return reference, vectorized
+
+
+def _assert_identical(reference, vectorized):
+    """The full conformance contract, with per-field diagnostics."""
+    __tracebackhide__ = True
+    mismatched = np.count_nonzero(reference.labels != vectorized.labels)
+    assert mismatched == 0, (
+        f"{reference.algorithm}: {mismatched} label(s) diverge between backends"
+    )
+    # Exact equality, not allclose: the backend contract is bit-identity.
+    assert np.array_equal(reference.centroids, vectorized.centroids), (
+        f"{reference.algorithm}: centroids diverge by up to "
+        f"{np.abs(reference.centroids - vectorized.centroids).max():.3e}"
+    )
+    assert reference.n_iter == vectorized.n_iter
+    assert reference.converged == vectorized.converged
+    assert reference.sse == vectorized.sse
+    assert reference.counters == vectorized.counters, (
+        f"{reference.algorithm}: counter totals diverge:\n"
+        f"  reference:  {reference.counters.as_dict()}\n"
+        f"  vectorized: {vectorized.counters.as_dict()}"
+    )
+    assert reference.footprint_floats == vectorized.footprint_floats
+    assert len(reference.iteration_stats) == len(vectorized.iteration_stats)
+    for ref_it, vec_it in zip(reference.iteration_stats, vectorized.iteration_stats):
+        for field in (
+            "distance_computations",
+            "point_accesses",
+            "node_accesses",
+            "bound_accesses",
+            "bound_updates",
+            "changed",
+        ):
+            assert getattr(ref_it, field) == getattr(vec_it, field), (
+                f"{reference.algorithm} iteration {ref_it.iteration}: "
+                f"{field} diverges ({getattr(ref_it, field)} vs "
+                f"{getattr(vec_it, field)})"
+            )
+
+
+@pytest.mark.parametrize("name", VECTORIZED)
+@pytest.mark.parametrize("dataset", sorted(_DATASETS))
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("k", [3, 16])
+class TestBackendMatrix:
+    """Every (algorithm, dataset, seed, k) cell run to convergence."""
+
+    def test_identical_trajectory(self, name, dataset, seed, k):
+        reference, vectorized = _run_pair(name, _DATASETS[dataset], k, seed)
+        assert reference.converged, "matrix cell must converge within MAX_ITER"
+        _assert_identical(reference, vectorized)
+
+
+@pytest.mark.parametrize("name", VECTORIZED)
+class TestBackendEdgeCases:
+    def test_k_equals_one(self, name):
+        X = _DATASETS["uniform"]
+        reference, vectorized = _run_pair(name, X, 1, seed=0)
+        _assert_identical(reference, vectorized)
+
+    def test_duplicate_rows_1d(self, name):
+        rng = np.random.default_rng(7)
+        X = np.repeat(rng.normal(size=(40, 1)), 4, axis=0)
+        reference, vectorized = _run_pair(name, X, 5, seed=2)
+        _assert_identical(reference, vectorized)
+
+    def test_k_exceeds_cluster_structure(self, name):
+        reference, vectorized = _run_pair(name, _DATASETS["blobs"], 25, seed=3)
+        _assert_identical(reference, vectorized)
+
+    def test_iteration_cap(self, name):
+        # Truncated runs must agree too — parity cannot rely on convergence.
+        reference, vectorized = _run_pair(
+            name, _DATASETS["spatial"], 12, seed=0, max_iter=3
+        )
+        assert not reference.converged
+        _assert_identical(reference, vectorized)
+
+
+class TestAlgorithmKnobs:
+    """Constructor knobs must conform too, not just the defaults."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"use_inter": False}, {"use_drift": False}],
+        ids=["no-inter", "no-drift"],
+    )
+    def test_elkan_ablations(self, kwargs):
+        reference, vectorized = _run_pair(
+            "elkan", _DATASETS["blobs"], 8, seed=1, **kwargs
+        )
+        _assert_identical(reference, vectorized)
+
+    @pytest.mark.parametrize("t", [1, 2, 5])
+    def test_yinyang_group_counts(self, t):
+        reference, vectorized = _run_pair(
+            "yinyang", _DATASETS["blobs"], 10, seed=1, t=t
+        )
+        _assert_identical(reference, vectorized)
+
+
+class TestBackendSelection:
+    def test_backend_recorded_in_extras(self):
+        X = _DATASETS["uniform"]
+        reference, vectorized = _run_pair("elkan", X, 4, seed=0, max_iter=5)
+        assert reference.extras["backend"] == "reference"
+        assert vectorized.extras["backend"] == "vectorized"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            make_algorithm("elkan", backend="gpu")
+
+    def test_unvectorized_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError, match="no vectorized implementation"):
+            make_algorithm("lloyd", backend="vectorized")
+
+    def test_facade_threads_backend(self):
+        X = _DATASETS["uniform"]
+        model = KMeans(k=4, algorithm="hamerly", backend="vectorized", seed=0)
+        result = model.fit(X)
+        assert result.extras["backend"] == "vectorized"
+
+    def test_registry_exposes_backends(self):
+        assert BACKENDS == ("reference", "vectorized")
+        assert set(VECTORIZED_ALGORITHMS) >= {"elkan", "hamerly", "yinyang"}
+
+
+class TestBackendPerformance:
+    """The backend must be *worth it*: >= 2x on the 20k x 16 workload."""
+
+    N, D, K, ITERS, COMPONENTS = 20_000, 16, 16, 5, 12
+
+    def test_vectorized_beats_reference(self):
+        X, _ = make_blobs(self.N, self.D, self.COMPONENTS, seed=5)
+        C0 = init_kmeans_plus_plus(X, self.K, seed=0)
+        report = {
+            "workload": {
+                "n": self.N, "d": self.D, "k": self.K,
+                "max_iter": self.ITERS, "dataset": "blobs(seed=5)",
+            },
+            "min_speedup": MIN_SPEEDUP,
+            "algorithms": {},
+        }
+        failures = []
+        for name in VECTORIZED:
+            times = {}
+            for backend in BACKENDS:
+                best = float("inf")
+                for _ in range(3):  # best-of-3 to damp scheduler noise
+                    algorithm = make_algorithm(name, backend=backend)
+                    t0 = time.perf_counter()
+                    result = algorithm.fit(
+                        X, self.K, initial_centroids=C0, max_iter=self.ITERS
+                    )
+                    best = min(best, time.perf_counter() - t0)
+                times[backend] = best
+            speedup = times["reference"] / times["vectorized"]
+            report["algorithms"][name] = {
+                "reference_s": round(times["reference"], 5),
+                "vectorized_s": round(times["vectorized"], 5),
+                "speedup": round(speedup, 2),
+            }
+            if speedup < MIN_SPEEDUP:
+                failures.append(f"{name}: {speedup:.2f}x < {MIN_SPEEDUP}x")
+        BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        assert not failures, (
+            "vectorized backend too slow on the 20k x 16 workload: "
+            + "; ".join(failures)
+            + f" (see {BENCH_PATH.name})"
+        )

@@ -79,6 +79,21 @@ class TestCompareCommand:
         assert code == 2
         assert "unknown algorithms" in capsys.readouterr().err
 
+    def test_vectorized_backend_keeps_reference_lloyd_baseline(self, capsys):
+        code = main(["compare", "--dataset", "Skin", "--n", "250", "--k", "4",
+                     "--algorithms", "elkan,hamerly", "--max-iter", "3",
+                     "--repeats", "1", "--backend", "vectorized"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lloyd" in out and "elkan" in out and "hamerly" in out
+
+    def test_vectorized_backend_rejects_unsupported_algorithm(self, capsys):
+        code = main(["compare", "--dataset", "Skin", "--n", "200", "--k", "3",
+                     "--algorithms", "lloyd,elkan", "--backend", "vectorized"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no 'vectorized' implementation" in err and "lloyd" in err
+
 
 class TestTuneCommand:
     def test_end_to_end(self, tmp_path, capsys):

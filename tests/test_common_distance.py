@@ -4,11 +4,16 @@ import numpy as np
 import pytest
 
 from repro.common.distance import (
+    block_distances,
+    block_sq_distances,
     centroid_pairwise_distances,
     chunked_sq_distances,
     distances_to_centroids,
     euclidean,
     norms,
+    one_to_many_distances,
+    paired_distances,
+    paired_sq_distances,
     pairwise_distances,
     pairwise_sq_distances,
     sq_euclidean,
@@ -83,6 +88,106 @@ class TestBatchDistances:
         counters = OpCounters()
         distances_to_centroids(rng.normal(size=4), rng.normal(size=(6, 4)), counters)
         assert counters.distance_computations == 6
+
+
+class TestChunkedCounterParity:
+    """Chunk size is a memory knob — it must never change a Table 3 metric.
+
+    Regression for the counter-parity contract of ``chunked_sq_distances``:
+    the charge is one distance per row-pair, taken once up front, exactly
+    as ``pairwise_sq_distances`` charges — for *every* chunk size,
+    including chunks that don't divide n and chunks larger than n.
+    """
+
+    @pytest.mark.parametrize("chunk", [1, 3, 7, 512, 10_000])
+    def test_charge_is_chunk_invariant(self, rng, chunk):
+        A = rng.normal(size=(23, 3))
+        B = rng.normal(size=(5, 3))
+        counters = OpCounters()
+        chunked_sq_distances(A, B, counters, chunk=chunk)
+        assert counters.distance_computations == 23 * 5
+
+    def test_charge_equals_pairwise(self, rng):
+        A = rng.normal(size=(17, 4))
+        B = rng.normal(size=(6, 4))
+        chunked_counters = OpCounters()
+        pairwise_counters = OpCounters()
+        chunked_sq_distances(A, B, chunked_counters, chunk=4)
+        pairwise_sq_distances(A, B, pairwise_counters)
+        assert (
+            chunked_counters.distance_computations
+            == pairwise_counters.distance_computations
+            == 17 * 6
+        )
+
+    def test_values_are_chunk_invariant_bitwise(self, rng):
+        A = rng.normal(size=(50, 4))
+        B = rng.normal(size=(7, 4))
+        baseline = chunked_sq_distances(A, B, chunk=512)
+        for chunk in (1, 13, 50):
+            assert (chunked_sq_distances(A, B, chunk=chunk) == baseline).all()
+
+    def test_only_distance_counter_is_touched(self, rng):
+        counters = OpCounters()
+        chunked_sq_distances(rng.normal(size=(9, 2)), rng.normal(size=(4, 2)),
+                             counters, chunk=2)
+        assert counters.point_accesses == 0
+        assert counters.bound_accesses == 0
+        assert counters.bound_updates == 0
+        assert counters.node_accesses == 0
+
+
+class TestRowwiseExactKernels:
+    """The bit-identity layer backing ``repro.core.vectorized``."""
+
+    def test_one_to_many_bitwise_scalar_parity(self, rng):
+        x = rng.normal(size=6)
+        Y = rng.normal(size=(9, 6))
+        batch = one_to_many_distances(x, Y)
+        assert (batch == np.array([euclidean(x, y) for y in Y])).all()
+
+    def test_paired_bitwise_scalar_parity(self, rng):
+        A = rng.normal(size=(8, 5))
+        B = rng.normal(size=(8, 5))
+        sq = paired_sq_distances(A, B)
+        assert (sq == np.array([sq_euclidean(a, b) for a, b in zip(A, B)])).all()
+
+    def test_paired_broadcasts_single_vector(self, rng):
+        A = rng.normal(size=(8, 5))
+        b = rng.normal(size=5)
+        batch = paired_distances(A, b)
+        assert (batch == np.array([euclidean(a, b) for a in A])).all()
+
+    def test_paired_counts_rows(self, rng):
+        counters = OpCounters()
+        paired_sq_distances(rng.normal(size=(8, 5)), rng.normal(size=5), counters)
+        assert counters.distance_computations == 8
+
+    def test_block_bitwise_scalar_parity(self, rng):
+        A = rng.normal(size=(6, 4))
+        B = rng.normal(size=(5, 4))
+        block = block_sq_distances(A, B)
+        for i in range(6):
+            for j in range(5):
+                assert block[i, j] == sq_euclidean(A[i], B[j])
+
+    def test_block_distances_counts_all_pairs(self, rng):
+        counters = OpCounters()
+        block_distances(rng.normal(size=(6, 4)), rng.normal(size=(5, 4)), counters)
+        assert counters.distance_computations == 30
+
+    def test_gathered_rows_keep_parity(self, rng):
+        # Fancy-indexed (gathered) operands are the common case inside the
+        # vectorized backend; parity must survive the gather.
+        X = rng.normal(size=(30, 5))
+        C = rng.normal(size=(4, 5))
+        idx = rng.integers(0, 30, size=12)
+        labels = rng.integers(0, 4, size=12)
+        sq = paired_sq_distances(X[idx], C[labels])
+        want = np.array(
+            [sq_euclidean(X[i], C[j]) for i, j in zip(idx, labels)]
+        )
+        assert (sq == want).all()
 
 
 class TestCentroidMatrix:

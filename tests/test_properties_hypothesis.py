@@ -2,8 +2,10 @@
 
 These verify the load-bearing guarantees across randomly generated inputs:
 tree invariants for every index, trajectory equivalence of the accelerated
-methods, bound soundness of the block-vector filter, and range-search
-correctness.
+methods, bound soundness of the block-vector filter, range-search
+correctness, and batch-vs-scalar parity of the distance kernels (the
+bit-identity contract the vectorized backend is built on, see
+``docs/backends.md``).
 """
 
 import numpy as np
@@ -12,7 +14,18 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
+from repro.common.distance import (
+    block_sq_distances,
+    chunked_sq_distances,
+    euclidean,
+    one_to_many_distances,
+    paired_distances,
+    paired_sq_distances,
+    pairwise_sq_distances,
+    sq_euclidean,
+)
 from repro.core import make_algorithm
+from repro.instrumentation.counters import OpCounters
 from repro.core.initialization import init_kmeans_plus_plus
 from repro.core.lloyd import LloydKMeans
 from repro.core.pruning import half_min_separation, second_max, two_smallest
@@ -135,6 +148,95 @@ def test_sse_never_increases_with_iterations(X, k):
         result = LloydKMeans().fit(X, k, initial_centroids=C0, max_iter=budget)
         assert result.sse <= previous + 1e-9
         previous = result.sse
+
+
+# ---------------------------------------------------------------------------
+# Batch-vs-scalar kernel parity (the vectorized-backend bit-identity contract).
+# ---------------------------------------------------------------------------
+
+
+@settings(**SETTINGS)
+@given(X=datasets(min_n=2, max_n=60, min_d=1), seed=st.integers(0, 10_000))
+def test_one_to_many_bitwise_equals_scalar_loop(X, seed):
+    """one_to_many_distances == looped euclidean() to *exact* equality.
+
+    The sampled Y deliberately contains duplicate rows (gathered with
+    replacement) and can be a single row; d=1 comes from the strategy.
+    Exact equality — not allclose — is the documented contract: it is what
+    preserves tie-breaking when a pointwise candidate loop is batched.
+    """
+    rng = np.random.default_rng(seed)
+    x = X[int(rng.integers(len(X)))]
+    m = 1 + int(rng.integers(len(X)))  # m=1: the single-point degenerate
+    Y = X[rng.integers(0, len(X), size=m)]  # sampling w/ replacement: dupes
+    batch = one_to_many_distances(x, Y)
+    scalar = np.array([euclidean(x, y) for y in Y])
+    assert (batch == scalar).all()
+
+
+@settings(**SETTINGS)
+@given(X=datasets(min_n=2, max_n=60, min_d=1), seed=st.integers(0, 10_000))
+def test_paired_kernels_bitwise_equal_scalar_loop(X, seed):
+    rng = np.random.default_rng(seed)
+    half = len(X) // 2
+    A, B = X[:half], X[half : 2 * half]
+    sq = paired_sq_distances(A, B)
+    assert (sq == np.array([sq_euclidean(a, b) for a, b in zip(A, B)])).all()
+    # A (d,) second operand broadcasts against every row of A — the
+    # tighten-to-own-centroid kernel of the vectorized backend.
+    b = X[int(rng.integers(len(X)))]
+    batch = paired_distances(A, b)
+    assert (batch == np.array([euclidean(a, b) for a in A])).all()
+
+
+@settings(**SETTINGS)
+@given(X=datasets(min_n=2, max_n=30, min_d=1), seed=st.integers(0, 10_000))
+def test_block_sq_distances_entrywise_equals_scalar(X, seed):
+    rng = np.random.default_rng(seed)
+    A = X[: max(1, len(X) // 3)]
+    B = X[rng.integers(0, len(X), size=1 + int(rng.integers(8)))]
+    block = block_sq_distances(A, B)
+    for i in range(len(A)):
+        for j in range(len(B)):
+            assert block[i, j] == sq_euclidean(A[i], B[j])
+
+
+@settings(**SETTINGS)
+@given(X=datasets(min_n=4, max_n=40, min_d=1), chunk=st.integers(1, 7))
+def test_bulk_kernels_match_scalar_loop_tightly(X, chunk):
+    """The expansion/einsum bulk kernels agree with the scalar loop to a
+    tight tolerance (they don't promise bit-identity — see the distance
+    module docstring) and chunking is numerically invisible."""
+    A, B = X[: len(X) // 2], X[len(X) // 2 :]
+    looped = np.array([[sq_euclidean(a, b) for b in B] for a in A])
+    np.testing.assert_allclose(
+        pairwise_sq_distances(A, B), looped, rtol=1e-9, atol=1e-9
+    )
+    chunked = chunked_sq_distances(A, B, chunk=chunk)
+    np.testing.assert_allclose(chunked, looped, rtol=1e-12, atol=1e-12)
+    # Chunk size must be bitwise-invisible, not just approximately so.
+    assert (chunked == chunked_sq_distances(A, B, chunk=len(A) + 1)).all()
+
+
+@settings(**SETTINGS)
+@given(X=datasets(min_n=4, max_n=30, min_d=1), chunk=st.integers(1, 5))
+def test_kernel_counter_charges_are_batch_invariant(X, chunk):
+    """Every kernel charges per pruning-model distance, never per BLAS call."""
+    A, B = X[: len(X) // 2], X[len(X) // 2 :]
+    expected = len(A) * len(B)
+    for kernel in (pairwise_sq_distances, block_sq_distances):
+        counters = OpCounters()
+        kernel(A, B, counters)
+        assert counters.distance_computations == expected
+    counters = OpCounters()
+    chunked_sq_distances(A, B, counters, chunk=chunk)
+    assert counters.distance_computations == expected
+    counters = OpCounters()
+    one_to_many_distances(A[0], B, counters)
+    assert counters.distance_computations == len(B)
+    counters = OpCounters()
+    paired_sq_distances(A, A[::-1], counters)
+    assert counters.distance_computations == len(A)
 
 
 @settings(**SETTINGS)
