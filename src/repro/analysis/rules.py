@@ -165,12 +165,15 @@ class UninstrumentedDistanceRule(Rule):
     and every Table 3-style measurement downstream is wrong.
 
     Besides ``np.linalg.norm``/scipy and the same-operand ``einsum`` /
-    ``@`` idioms, this recognizes the two batched squared-distance shapes a
+    ``@`` idioms, this recognizes the batched squared-distance shapes a
     vectorized implementation (:mod:`repro.core.vectorized`) is most likely
     to hand-roll: the same-operand batched ``np.matmul`` row reduction
     (``np.matmul(diff[:, None, :], diff[:, :, None])`` — the kernel inside
-    :func:`repro.common.distance._rowwise_sq_norms`) and the
-    power-expansion ``((a - b) ** 2).sum()`` / ``np.sum((a - b) ** 2)``.
+    :func:`repro.common.distance._rowwise_sq_norms`), the same-operand
+    ``np.dot``, and the summed squared difference in every spelling —
+    ``((a - b) ** 2).sum()``, ``np.sum((a - b) ** 2)``,
+    ``np.square(a - b).sum()``, ``((a - b) * (a - b)).sum()`` — the
+    scatter-add and frontier batching idioms tempt exactly these.
     """
 
     rule_id = "R001"
@@ -217,11 +220,19 @@ class UninstrumentedDistanceRule(Rule):
                         "(paired_sq_distances / block_sq_distances) so it is "
                         "counted",
                     )
+                elif resolved == "numpy.dot" and self._is_same_root_matmul(node):
+                    yield module.finding(
+                        self,
+                        node,
+                        "same-operand np.dot is a squared-distance "
+                        "evaluation; use repro.common.distance "
+                        "(sq_euclidean / paired_sq_distances) so it is counted",
+                    )
                 elif self._is_sq_diff_sum(module, node):
                     yield module.finding(
                         self,
                         node,
-                        "((a - b) ** 2) summed is a squared-distance "
+                        "a squared difference summed is a squared-distance "
                         "evaluation; use repro.common.distance so it is counted",
                     )
             elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
@@ -262,23 +273,41 @@ class UninstrumentedDistanceRule(Rule):
 
     @classmethod
     def _is_sq_diff_sum(cls, module: ParsedModule, node: ast.Call) -> bool:
-        """``((a - b) ** 2).sum(...)`` or ``np.sum((a - b) ** 2, ...)``."""
+        """A summed squared difference, in any of its spellings:
+        ``((a - b) ** 2).sum(...)``, ``np.sum((a - b) ** 2, ...)``,
+        ``np.square(a - b).sum()``, or ``((a - b) * (a - b)).sum()``."""
         func = node.func
         if resolve_name(module.aliases, func) == "numpy.sum" and node.args:
-            return cls._is_sq_diff(node.args[0])
+            return cls._is_sq_diff(module, node.args[0])
         if isinstance(func, ast.Attribute) and func.attr == "sum":
-            return cls._is_sq_diff(func.value)
+            return cls._is_sq_diff(module, func.value)
         return False
 
     @staticmethod
-    def _is_sq_diff(node: ast.AST) -> bool:
-        """An ``(a - b) ** 2`` expression (optionally parenthesized)."""
-        if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Pow)):
+    def _is_sq_diff(module: ParsedModule, node: ast.AST) -> bool:
+        """An ``(a - b) ** 2`` / ``np.square(a - b)`` / same-operand
+        ``(a - b) * (a - b)`` expression (optionally parenthesized)."""
+        if (
+            isinstance(node, ast.Call)
+            and resolve_name(module.aliases, node.func) == "numpy.square"
+            and node.args
+        ):
+            inner = node.args[0]
+            return isinstance(inner, ast.BinOp) and isinstance(inner.op, ast.Sub)
+        if not isinstance(node, ast.BinOp):
             return False
-        power = node.right
-        if not (isinstance(power, ast.Constant) and power.value == 2):
-            return False
-        return isinstance(node.left, ast.BinOp) and isinstance(node.left.op, ast.Sub)
+        if isinstance(node.op, ast.Pow):
+            power = node.right
+            if not (isinstance(power, ast.Constant) and power.value == 2):
+                return False
+            return isinstance(node.left, ast.BinOp) and isinstance(node.left.op, ast.Sub)
+        if isinstance(node.op, ast.Mult):
+            return (
+                isinstance(node.left, ast.BinOp)
+                and isinstance(node.left.op, ast.Sub)
+                and ast.dump(node.left) == ast.dump(node.right)
+            )
+        return False
 
 
 # ----------------------------------------------------------------------

@@ -110,18 +110,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-    records = []
     if "lloyd" not in names:
-        # speedup_table needs the Lloyd baseline; Lloyd has no vectorized
-        # variant, so the implicit baseline always runs on "reference"
-        # (the same initializations are regenerated from args.seed).
+        # speedup_table needs the Lloyd baseline; it runs on the selected
+        # backend like everything else, so vectorized comparisons measure
+        # speedups against vectorized Lloyd, not the scalar reference.
         names.insert(0, "lloyd")
-        records += compare_algorithms(
-            ["lloyd"], X, args.k, repeats=args.repeats, max_iter=args.max_iter,
-            seed=args.seed,
-        )
-    records += compare_algorithms(
-        names[1:] if records else names, X, args.k,
+    records = compare_algorithms(
+        names, X, args.k,
         repeats=args.repeats, max_iter=args.max_iter,
         seed=args.seed, backend=args.backend,
     )
@@ -130,7 +125,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print(format_table(
         ["method", "time_x", "assign_x", "refine_x", "work_x", "pruned"],
         rows,
-        title=f"{args.dataset}: n={len(X)}, d={X.shape[1]}, k={args.k}",
+        title=(
+            f"{args.dataset}: n={len(X)}, d={X.shape[1]}, k={args.k}, "
+            f"backend={args.backend}"
+        ),
     ))
     if args.log:
         append_jsonl(args.log, [record.as_dict() for record in records])

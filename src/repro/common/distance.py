@@ -57,20 +57,43 @@ def euclidean(a: np.ndarray, b: np.ndarray, counters: Optional[OpCounters] = Non
     return math.sqrt(sq_euclidean(a, b, counters))
 
 
+def sq_norms(X: np.ndarray) -> np.ndarray:
+    """Row-wise squared L2 norms (the ``|a|^2`` terms of the expansion trick).
+
+    Factored out so callers that keep a matrix fixed across many expansion
+    calls (the vectorized Lloyd assignment, k-means++ D² updates) can
+    compute the norms once and pass them back via the ``a_sq``/``b_sq``
+    hooks of :func:`pairwise_sq_distances`.  Uncounted: norms are reusable
+    precomputation, not a distance evaluation.
+    """
+    X = np.atleast_2d(X)
+    return np.einsum("ij,ij->i", X, X)
+
+
 def pairwise_sq_distances(
-    A: np.ndarray, B: np.ndarray, counters: Optional[OpCounters] = None
+    A: np.ndarray,
+    B: np.ndarray,
+    counters: Optional[OpCounters] = None,
+    *,
+    a_sq: Optional[np.ndarray] = None,
+    b_sq: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """All-pairs squared distances between rows of ``A`` and rows of ``B``.
 
     Uses the expansion ``|a-b|^2 = |a|^2 + |b|^2 - 2 a.b`` and clamps tiny
-    negative values produced by floating-point cancellation.
+    negative values produced by floating-point cancellation.  ``a_sq`` /
+    ``b_sq`` optionally supply precomputed row norms (:func:`sq_norms`);
+    passing them is bit-invisible because the same einsum would have
+    produced the same floats, and saves one full pass over the larger
+    operand per call — the dominant cost when ``B`` is a handful of
+    centroids and ``A`` is the whole dataset.
     """
     A = np.atleast_2d(A)
     B = np.atleast_2d(B)
     if counters is not None:
         counters.distance_computations += A.shape[0] * B.shape[0]
-    aa = np.einsum("ij,ij->i", A, A)
-    bb = np.einsum("ij,ij->i", B, B)
+    aa = sq_norms(A) if a_sq is None else a_sq
+    bb = sq_norms(B) if b_sq is None else b_sq
     sq = aa[:, None] + bb[None, :] - 2.0 * (A @ B.T)
     np.maximum(sq, 0.0, out=sq)
     return sq
@@ -170,21 +193,38 @@ def distances_to_centroids(
 
 
 def centroid_pairwise_distances(
-    centroids: np.ndarray, counters: Optional[OpCounters] = None
+    centroids: np.ndarray,
+    counters: Optional[OpCounters] = None,
+    *,
+    scratch: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Symmetric centroid-to-centroid distance matrix.
 
     Charges ``k(k-1)/2`` distance computations — the cost the paper assigns
     to Elkan's inter-bound (Section 4.1).
+
+    ``scratch`` optionally supplies a reusable ``(2, k, k)`` float64 buffer
+    (Gram matrix + result); per-iteration callers avoid two allocations and
+    the returned matrix aliases ``scratch[1]``.  The buffered path runs the
+    same operations in the same association order — ``(aa_i + aa_j)`` first,
+    then subtract ``2 * gram`` — so every entry is bit-identical to the
+    allocating path.
     """
     k = centroids.shape[0]
     if counters is not None:
         counters.distance_computations += k * (k - 1) // 2
-    aa = np.einsum("ij,ij->i", centroids, centroids)
-    sq = aa[:, None] + aa[None, :] - 2.0 * (centroids @ centroids.T)
+    aa = sq_norms(centroids)
+    if scratch is None:
+        sq = aa[:, None] + aa[None, :] - 2.0 * (centroids @ centroids.T)
+    else:
+        gram, sq = scratch[0], scratch[1]
+        np.matmul(centroids, centroids.T, out=gram)
+        np.add(aa[:, None], aa[None, :], out=sq)
+        np.multiply(gram, 2.0, out=gram)
+        np.subtract(sq, gram, out=sq)
     np.maximum(sq, 0.0, out=sq)
     np.fill_diagonal(sq, 0.0)
-    return np.sqrt(sq)
+    return np.sqrt(sq, out=sq)
 
 
 def chunked_sq_distances(

@@ -138,11 +138,24 @@ class IndexKMeans(KMeansAlgorithm):
         self.counters.add_point_accesses(len(idx) * len(candidates))
         sq = chunked_sq_distances(points, self._centroids[candidates], self.counters)
         winners = candidates[np.argmin(sq, axis=1)]
+        self._apply_leaf_winners(node, winners)
+
+    def _apply_leaf_winners(self, node: TreeNode, winners: np.ndarray) -> None:
+        """Fold a leaf's per-point winners into labels and cluster sums.
+
+        Accumulation is deliberately *per point, in leaf storage order*
+        (``np.add.at`` applies its updates sequentially in element order).
+        Together with the descent's depth-first decision order this makes
+        the full iteration's sum update one well-defined sequence of scalar
+        additions per (cluster, dimension) — which is exactly what lets the
+        vectorized backend replay it as a single flattened ``bincount``
+        scatter-add and still match the reference centroids bitwise
+        (see ``VectorizedIndexKMeans`` and ``repro.core.refinement``).
+        """
+        idx = node.point_indices
         self._labels[idx] = winners
-        for j in np.unique(winners):
-            members = idx[winners == j]
-            self._sums[j] += self.X[members].sum(axis=0)
-            self._counts[j] += len(members)
+        np.add.at(self._sums, winners, self.X[idx])
+        self._counts += np.bincount(winners, minlength=self.k)
 
     def _extras(self) -> dict:
         return {

@@ -4,6 +4,29 @@ The paper uses k-means++ by default and shows in its appendix (Figure 16)
 that the *relative* speedups of the accelerated methods are insensitive to
 the initialization choice; both options are provided so that experiment can
 be reproduced.
+
+Backends and seeding parity
+---------------------------
+Like the clustering algorithms, k-means++ exists in both execution
+backends (``docs/backends.md``):
+
+``reference``
+    The pointwise scalar loop — one :func:`~repro.common.distance.sq_euclidean`
+    call per point per D² update, the ground truth for counter semantics.
+``vectorized``
+    One :func:`~repro.common.distance.paired_sq_distances` call per D²
+    update.  That kernel is bit-identical per row to ``sq_euclidean``, so
+    the ``closest_sq`` array — and therefore the sampling probability
+    vector handed to the RNG — carries the exact same 64-bit floats as the
+    scalar path.  Both backends make the *same RNG calls in the same
+    order* (one ``integers`` for the first pick, one ``choice``/``integers``
+    per subsequent pick), so under the same seed they select identical
+    centroid rows: the seeding-parity contract enforced by
+    ``tests/test_backend_conformance.py``.
+
+Counter totals are backend-independent (``n`` distances + ``n`` point
+accesses per D² update), per the backend doctrine that counters measure the
+paper's cost model, never BLAS calls.
 """
 
 from __future__ import annotations
@@ -12,7 +35,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.common.distance import pairwise_sq_distances
+from repro.common.distance import paired_sq_distances, sq_euclidean
 from repro.common.exceptions import ConfigurationError
 from repro.common.rng import SeedLike, ensure_rng
 from repro.common.validation import check_data_matrix, check_k
@@ -24,8 +47,14 @@ def init_random(
     k: int,
     seed: SeedLike = None,
     counters: Optional[OpCounters] = None,
+    backend: str = "reference",
 ) -> np.ndarray:
-    """Choose ``k`` distinct data points uniformly at random as centroids."""
+    """Choose ``k`` distinct data points uniformly at random as centroids.
+
+    ``backend`` is accepted for dispatch uniformity; random seeding has no
+    distance computations to vectorize, so both backends share this code.
+    """
+    _check_backend(backend)
     X = check_data_matrix(X)
     k = check_k(k, len(X))
     rng = ensure_rng(seed)
@@ -40,11 +69,16 @@ def init_kmeans_plus_plus(
     k: int,
     seed: SeedLike = None,
     counters: Optional[OpCounters] = None,
+    backend: str = "reference",
 ) -> np.ndarray:
     """k-means++ seeding: each next centroid sampled ∝ squared distance.
 
     This is the exact (non-greedy) k-means++ of Arthur & Vassilvitskii.
+    ``backend="vectorized"`` batches each D² update into one row-paired
+    kernel call; picks, centroids and counter totals are identical to the
+    reference under the same seed (see module docstring).
     """
+    _check_backend(backend)
     X = check_data_matrix(X)
     k = check_k(k, len(X))
     rng = ensure_rng(seed)
@@ -52,9 +86,13 @@ def init_kmeans_plus_plus(
     centroids = np.empty((k, X.shape[1]))
     first = int(rng.integers(0, n))
     centroids[0] = X[first]
-    closest_sq = pairwise_sq_distances(X, centroids[0:1], counters).ravel()
-    if counters is not None:
-        counters.add_point_accesses(n)
+    update = (
+        _update_closest_sq_vectorized
+        if backend == "vectorized"
+        else _update_closest_sq_reference
+    )
+    closest_sq = np.full(n, np.inf)
+    update(X, centroids[0], closest_sq, counters)
     for j in range(1, k):
         total = float(closest_sq.sum())
         if total <= 0.0:
@@ -64,11 +102,42 @@ def init_kmeans_plus_plus(
         else:
             pick = int(rng.choice(n, p=closest_sq / total))
         centroids[j] = X[pick]
-        new_sq = pairwise_sq_distances(X, centroids[j : j + 1], counters).ravel()
-        if counters is not None:
-            counters.add_point_accesses(n)
-        np.minimum(closest_sq, new_sq, out=closest_sq)
+        update(X, centroids[j], closest_sq, counters)
     return centroids
+
+
+def _update_closest_sq_reference(
+    X: np.ndarray,
+    centroid: np.ndarray,
+    closest_sq: np.ndarray,
+    counters: Optional[OpCounters],
+) -> None:
+    """Pointwise D² update: one scalar distance per point (``n`` charged)."""
+    if counters is not None:
+        counters.add_point_accesses(len(X))
+    for i in range(len(X)):
+        new_sq = sq_euclidean(X[i], centroid, counters)
+        if new_sq < closest_sq[i]:
+            closest_sq[i] = new_sq
+
+
+def _update_closest_sq_vectorized(
+    X: np.ndarray,
+    centroid: np.ndarray,
+    closest_sq: np.ndarray,
+    counters: Optional[OpCounters],
+) -> None:
+    """Batched D² update, bit-identical per row to the reference loop.
+
+    ``paired_sq_distances`` reduces each row with the same dot kernel as
+    ``sq_euclidean``, and ``np.minimum`` applies the same strict-< keep
+    rule, so ``closest_sq`` stays bitwise equal to the scalar path's —
+    which is what makes the subsequent RNG draw pick the same index.
+    """
+    if counters is not None:
+        counters.add_point_accesses(len(X))
+    new_sq = paired_sq_distances(X, centroid, counters)
+    np.minimum(closest_sq, new_sq, out=closest_sq)
 
 
 _INIT_METHODS = {
@@ -78,12 +147,20 @@ _INIT_METHODS = {
 }
 
 
+def _check_backend(backend: str) -> None:
+    if backend not in ("reference", "vectorized"):
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; known backends: reference, vectorized"
+        )
+
+
 def initialize_centroids(
     X: np.ndarray,
     k: int,
     method: str = "k-means++",
     seed: SeedLike = None,
     counters: Optional[OpCounters] = None,
+    backend: str = "reference",
 ) -> np.ndarray:
     """Dispatch to an initialization method by name."""
     try:
@@ -93,4 +170,4 @@ def initialize_centroids(
         raise ConfigurationError(
             f"unknown initialization {method!r}; known methods: {known}"
         ) from None
-    return func(X, k, seed=seed, counters=counters)
+    return func(X, k, seed=seed, counters=counters, backend=backend)

@@ -1,4 +1,4 @@
-"""Vectorized NumPy backend for the sequential bound-based algorithms.
+"""Vectorized NumPy backend: bound-based trio, Lloyd, and index k-means.
 
 The reference implementations in :mod:`repro.core.elkan`,
 :mod:`repro.core.hamerly` and :mod:`repro.core.yinyang` run their pruning
@@ -6,14 +6,22 @@ loops point by point — faithful to the paper's pseudocode and easy to
 audit, but dominated by Python interpreter overhead, so the "accelerated"
 methods often lose to plain vectorized Lloyd on wall-clock.  Newling &
 Fleuret's and Raff's implementations show the fix: bound-based pruning only
-pays when the bound *bookkeeping* is batched too.
+pays when the bound *bookkeeping* is batched too.  The same applies to the
+paper's other pipeline half: the reference :class:`IndexKMeans` descent
+(Section 3, Eq. 2/9) makes one tiny NumPy call per tree node, and plain
+Lloyd's chunked direct-differencing scan leaves the expansion trick's GEMM
+throughput on the table.
 
 The classes here are drop-in replacements selected with
 ``backend="vectorized"`` (see :func:`repro.core.make_algorithm` and
 ``docs/backends.md``).  Each subclasses its reference implementation and
-replaces only the per-iteration assignment pass with array-held bounds,
-masked batch updates and vectorized drift application; setup, iteration 0,
-refinement and drift correction are inherited unchanged.
+replaces only the per-iteration assignment pass — array-held bounds and
+masked batch updates for the trio, a speculative expansion scan with exact
+near-tie fallback for Lloyd, and a frontier-batched breadth-first traversal
+for index k-means; setup, initialization, refinement and drift correction
+are inherited unchanged (refinement itself is the shared scatter-add of
+:mod:`repro.core.refinement`, and k-means++ seeding batches its D² updates
+through the same bit-identical kernels, see :mod:`repro.core.initialization`).
 
 Exactness contract
 ------------------
@@ -51,15 +59,24 @@ backends do the same algorithmic work.
 
 from __future__ import annotations
 
-from typing import Dict, Type
+from typing import Dict, List, Tuple, Type
 
 import numpy as np
 
-from repro.common.distance import block_distances, paired_distances
+from repro.common.distance import (
+    block_distances,
+    chunked_sq_distances,
+    paired_distances,
+    pairwise_sq_distances,
+    sq_norms,
+)
 from repro.core.base import KMeansAlgorithm
 from repro.core.elkan import ElkanKMeans
 from repro.core.hamerly import HamerlyKMeans
+from repro.core.index_kmeans import IndexKMeans
+from repro.core.lloyd import LloydKMeans
 from repro.core.pruning import centroid_separations
+from repro.core.refinement import accumulate_cluster_sums
 from repro.core.yinyang import YinyangKMeans
 
 
@@ -77,15 +94,35 @@ class VectorizedElkanKMeans(ElkanKMeans):
 
     backend = "vectorized"
 
+    def _setup(self) -> None:
+        super()._setup()
+        # Per-fit scratch, reused every iteration: the (n, k) candidate
+        # matrix, the (2, k, k) + (k, k) center-center buffers, and the
+        # half-separation matrix shared by both pruning passes below.
+        n, k = len(self.X), self.k
+        self._cand_buf = np.empty((n, k), dtype=bool)
+        self._cc_scratch = np.empty((2, k, k)) if self.use_inter else None
+        self._cc_work = np.empty((k, k)) if self.use_inter else None
+        self._half_cc = np.empty((k, k)) if self.use_inter else None
+
     def _assign(self, iteration: int) -> None:
         if iteration == 0:
             self._initial_scan()
             return
 
         if self.use_inter:
-            cc, s = centroid_separations(self._centroids, self.counters)
+            cc, s = centroid_separations(
+                self._centroids,
+                self.counters,
+                scratch=self._cc_scratch,
+                work=self._cc_work,
+            )
+            # One center-center pass per iteration: the candidate filter and
+            # the per-column scan both test against 0.5 * cc; halving once
+            # (exact scaling, bit-invisible) replaces two full passes.
+            half_cc = np.multiply(cc, 0.5, out=self._half_cc)
         else:
-            cc = None
+            half_cc = None
             s = np.zeros(self.k)  # never prunes
         n = len(self.X)
         labels = self._labels
@@ -102,9 +139,9 @@ class VectorizedElkanKMeans(ElkanKMeans):
         a0 = labels[active]
         u0 = ub[active]
         counters.add_bound_accesses(len(active) * self.k)
-        cand = lb[active] < u0[:, None]
-        if cc is not None:
-            cand &= 0.5 * cc[a0] < u0[:, None]
+        cand = np.less(lb[active], u0[:, None], out=self._cand_buf[: len(active)])
+        if half_cc is not None:
+            cand &= half_cc[a0] < u0[:, None]
         cand[np.arange(len(active)), a0] = False
         has = cand.any(axis=1)
         pts = active[has]
@@ -130,8 +167,8 @@ class VectorizedElkanKMeans(ElkanKMeans):
             p = pts[rows]
             counters.add_bound_accesses(2 * len(rows))
             skip = lb[p, j] >= u[rows]
-            if cc is not None:
-                skip |= 0.5 * cc[labels[p], j] >= u[rows]
+            if half_cc is not None:
+                skip |= half_cc[labels[p], j] >= u[rows]
             todo = rows[~skip]
             if len(todo) == 0:
                 continue
@@ -159,17 +196,29 @@ class VectorizedHamerlyKMeans(HamerlyKMeans):
 
     backend = "vectorized"
 
+    def _setup(self) -> None:
+        super()._setup()
+        n, k = len(self.X), self.k
+        self._thresh_buf = np.empty(n)
+        self._cc_scratch = np.empty((2, k, k))
+        self._cc_work = np.empty((k, k))
+
     def _assign(self, iteration: int) -> None:
         if iteration == 0:
             self._initial_scan()
             return
-        _, s = centroid_separations(self._centroids, self.counters)
+        _, s = centroid_separations(
+            self._centroids,
+            self.counters,
+            scratch=self._cc_scratch,
+            work=self._cc_work,
+        )
         labels = self._labels
         ub = self._ub
         lb = self._lb
         counters = self.counters
         # Global test over all points (2n bound reads), as in the reference.
-        thresholds = np.maximum(lb, s[labels])
+        thresholds = np.maximum(lb, s[labels], out=self._thresh_buf)
         counters.add_bound_accesses(2 * len(self.X))
         active = np.flatnonzero(ub > thresholds)
         if len(active) == 0:
@@ -215,6 +264,35 @@ class VectorizedYinyangKMeans(YinyangKMeans):
 
     backend = "vectorized"
 
+    def _setup(self) -> None:
+        super()._setup()
+        self._scan_bufs = None
+
+    def _scan_scratch(
+        self, m: int, t: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Reusable ``(n, t)`` scan-evidence buffers, sliced to ``m`` rows.
+
+        Allocated on first use (the grouping — hence ``t`` — only exists
+        after iteration 0) and reinitialized per call; slicing a persistent
+        buffer produces the same values as the former per-iteration
+        ``np.full``/``np.zeros`` allocations.
+        """
+        if self._scan_bufs is None or self._scan_bufs[0].shape[1] != t:
+            n = len(self.X)
+            self._scan_bufs = (
+                np.empty((n, t)),
+                np.empty((n, t)),
+                np.empty((n, t)),
+                np.empty((n, t), dtype=bool),
+            )
+        skip_min, comp_min1, comp_min2, scanned = (buf[:m] for buf in self._scan_bufs)
+        skip_min.fill(np.inf)
+        comp_min1.fill(np.inf)
+        comp_min2.fill(np.inf)
+        scanned.fill(False)
+        return skip_min, comp_min1, comp_min2, scanned
+
     def _assign(self, iteration: int) -> None:
         if iteration == 0:
             self._initial_scan()
@@ -257,13 +335,10 @@ class VectorizedYinyangKMeans(YinyangKMeans):
         old_a = self._labels[scan].copy()
         best = old_a.copy()
         best_d = da.copy()
-        scanned = np.zeros((m, t), dtype=bool)
         # Scan evidence, resolved after the group loop: minimum skipped
         # local-filter bound and the two smallest computed distances per
-        # (point, group).
-        skip_min = np.full((m, t), np.inf)
-        comp_min1 = np.full((m, t), np.inf)
-        comp_min2 = np.full((m, t), np.inf)
+        # (point, group).  Held in per-fit scratch buffers.
+        skip_min, comp_min1, comp_min2, scanned = self._scan_scratch(m, t)
         for g in range(t):
             counters.add_bound_accesses(m)
             enter = self._glb[scan, g] < best_d
@@ -332,16 +407,331 @@ class VectorizedYinyangKMeans(YinyangKMeans):
             counters.add_bound_updates(len(mv))
 
 
+class VectorizedLloydKMeans(LloydKMeans):
+    """Lloyd's algorithm with a speculative expansion scan + exact fallback.
+
+    The reference full scan uses :func:`chunked_sq_distances` — direct
+    differencing, bit-identical to the pointwise helpers but ~4x slower
+    than the GEMM-backed expansion trick.  This class computes the whole
+    ``(n, k)`` matrix with :func:`pairwise_sq_distances` (cached row norms,
+    one GEMM) and takes its argmin, then *proves* each winner correct: a
+    row can only disagree with the exact scan if its two smallest expansion
+    values are within twice the expansion's rounding-error bound, and only
+    those suspect rows are recomputed with the exact kernel.
+
+    Soundness of the margin test: for every entry,
+    ``|expansion - exact| <= margin_i`` where ``margin_i`` scales with the
+    row/centroid squared norms (cancellation is the only error source; see
+    ``_expansion_margin``).  If the expansion's best-vs-runner-up gap
+    exceeds ``2 * margin_i``, the exact values preserve strict order, so
+    the exact argmin is unique and equals the expansion argmin — no
+    tie-breaking is involved.  Exact ties or near-ties always fall inside
+    the margin and take the exact path, inheriting ``np.argmin``'s
+    first-index rule on the same bits the reference sees
+    (:func:`chunked_sq_distances` is row-subset invariant).  On generic
+    data the suspect set is empty or tiny, so the scan runs at GEMM speed.
+
+    Counter totals are unchanged: ``n * k`` distances and ``n * k`` point
+    accesses per iteration, charged up front like the reference — the
+    exact-fallback recomputation re-evaluates distances already charged,
+    which the cost model treats as one logical evaluation.
+    """
+
+    backend = "vectorized"
+
+    #: safety factor over the worst-case relative rounding error of the
+    #: expansion identity |a-b|^2 = |a|^2 + |b|^2 - 2 a.b (a standard
+    #: forward-error analysis gives ~3(d+3) eps (|a|^2 + |b|^2); 16(d+4)
+    #: leaves a generous cushion without inflating the suspect set).
+    _MARGIN_FACTOR = 16.0
+
+    def _setup(self) -> None:
+        super()._setup()
+        self._x_sq: np.ndarray | None = None
+
+    def _expansion_margin(self, c_sq: np.ndarray) -> np.ndarray:
+        """Per-row bound on ``|expansion - exact|`` for the current scan."""
+        eps = np.finfo(np.float64).eps
+        d = self.X.shape[1]
+        return (
+            self._MARGIN_FACTOR * (d + 4) * eps * (self._x_sq + float(c_sq.max()))
+        )
+
+    def _assign(self, iteration: int) -> None:
+        X = self.X
+        centroids = self._centroids
+        n, d = X.shape
+        k = self.k
+        counters = self.counters
+        # The paper's Lloyd cost: n*k distances, each touching its point.
+        counters.add_distances(n * k)
+        counters.add_point_accesses(n * k)
+        if self._x_sq is None:
+            self._x_sq = sq_norms(X)
+        c_sq = sq_norms(centroids)
+        # Uncounted kernel calls — the n*k charge above covers this scan.
+        fast = pairwise_sq_distances(X, centroids, a_sq=self._x_sq, b_sq=c_sq)
+        labels = np.argmin(fast, axis=1).astype(np.intp)
+        if k > 1:
+            two = np.partition(fast, 1, axis=1)
+            margin = self._expansion_margin(c_sq)
+            suspects = np.flatnonzero(two[:, 1] - two[:, 0] <= 2.0 * margin)
+            if len(suspects):
+                exact = chunked_sq_distances(X[suspects], centroids)
+                labels[suspects] = np.argmin(exact, axis=1)
+        self._labels = labels
+
+
+class VectorizedIndexKMeans(IndexKMeans):
+    """Index-based k-means with a frontier-batched breadth-first traversal.
+
+    The reference descends the tree recursively, making one tiny NumPy call
+    per node (Section 3's filtering algorithm).  This class processes whole
+    BFS *frontiers* instead: one :func:`block_distances` call yields the
+    pivot-to-centroid matrix for every frontier node, the Eq. 2/9 batch
+    test and the ring filter ``d_j - r <= d_1 + r`` run array-wise over the
+    frontier, pruned subtrees queue their ``sv``/``num`` batch assignment,
+    and all surviving leaves are scanned in one concatenated
+    :func:`chunked_sq_distances` call.
+
+    Exactness
+    ---------
+    * Per-node decisions are identical: ``block_distances`` entries are
+      bit-identical to the reference's ``one_to_many_distances``; masked
+      ``argmin``/``partition`` reproduce the stable-argsort two-smallest
+      over each node's (ascending) candidate set; the kd-tree hyperplane
+      filter reuses the inherited per-node corner test verbatim.  So every
+      node is batch-assigned / filtered / descended exactly as in the
+      reference, and each leaf sees the same candidate set.
+    * The sum update is replayed, not re-derived: the reference's
+      depth-first descent performs one well-defined sequence of additions
+      into ``self._sums`` — per visited node in left-to-right pre-order,
+      either its ``sv`` vector (batch assignment) or its points one by one
+      (leaf fold, ``np.add.at``).  The traversal buffers every decision,
+      sorts by pre-order rank (``MetricTree.preorder_nodes``), stacks the
+      addend rows in exactly that order and folds them with the same
+      sequential bincount scatter-add the shared refinement step uses
+      (:func:`repro.core.refinement.accumulate_cluster_sums`) — from the
+      zeroed per-iteration base this is bit-identical to the reference's
+      addition sequence, so the refined centroids match bitwise.  Label
+      writes and integer counts are order-independent and applied in bulk
+      (whole subtrees via precomputed pre-order point ranges).
+    * Counters charge per pruning decision, as always: node accesses per
+      frontier node, one distance per (node, surviving candidate) pair
+      actually tested, leaf point accesses/distances per (point, candidate)
+      pair scanned — the full-matrix kernel calls themselves are uncounted.
+    """
+
+    backend = "vectorized"
+
+    def _setup(self) -> None:
+        super()._setup()
+        # Pre-order flattening of the tree (parallel arrays indexed by
+        # left-to-right pre-order rank = reference visit order), cached on
+        # the tree itself so repeated fits over a prebuilt index pay it once.
+        flat = self.tree.preorder_flat()
+        self._nodes = flat.nodes
+        self._pivots = flat.pivots
+        self._radii = flat.radii
+        self._svs = flat.svs
+        self._leaf_flags = flat.leaf_flags
+        self._child_flat = flat.child_flat
+        self._child_offsets = flat.child_offsets
+        # Each subtree covers the contiguous slice perm[start[r]:end[r]],
+        # replacing the reference's per-call subtree walk for
+        # (order-independent) bulk label writes.
+        self._perm = flat.perm
+        self._subtree_starts = flat.subtree_starts
+        self._subtree_ends = flat.subtree_ends
+
+    def _assign(self, iteration: int) -> None:
+        self._sums.fill(0.0)
+        self._counts.fill(0)
+        counters = self.counters
+        centroids = self._centroids
+        k = self.k
+        nodes = self._nodes
+        # Decisions accumulate as parallel arrays: batch-assigned node ranks
+        # with their winning cluster, and surviving-leaf ranks with their
+        # candidate masks (winners filled in after the batched scan).
+        batch_rank_parts: List[np.ndarray] = []
+        batch_best_parts: List[np.ndarray] = []
+        leaf_rank_parts: List[np.ndarray] = []
+        leaf_mask_parts: List[np.ndarray] = []
+        frontier_ranks = np.array([0], dtype=np.intp)
+        frontier_masks = np.ones((1, k), dtype=bool)
+        while len(frontier_ranks):
+            m = len(frontier_ranks)
+            counters.add_node_accesses(m)
+            # One distance per (node, candidate) pair, as in the reference;
+            # the full (m, k) block itself is an uncounted kernel call.
+            counters.add_distances(int(frontier_masks.sum()))
+            dists = block_distances(self._pivots[frontier_ranks], centroids)
+            np.copyto(dists, np.inf, where=~frontier_masks)
+            best = np.argmin(dists, axis=1)
+            d1 = dists[np.arange(m), best]
+            d2 = (
+                np.partition(dists, 1, axis=1)[:, 1]
+                if k > 1
+                else np.full(m, np.inf)
+            )
+            radii = self._radii[frontier_ranks]
+            # Eq. 2/9 batch test; single-candidate nodes have d2 = inf and
+            # batch-assign too, matching the reference's explicit branch.
+            batch = d2 - d1 > 2.0 * radii
+            if batch.any():
+                batch_rank_parts.append(frontier_ranks[batch])
+                batch_best_parts.append(best[batch])
+            survivors = np.flatnonzero(~batch)
+            if len(survivors) == 0:
+                break
+            # Ring filter over the whole frontier: candidates with
+            # d_j - r > d_1 + r cannot win anywhere inside the ball.
+            keep = dists[survivors] - radii[survivors, None] <= (
+                d1[survivors] + radii[survivors]
+            )[:, None]
+            surv_ranks = frontier_ranks[survivors]
+            surv_best = best[survivors]
+            if self._use_hyperplane:
+                for pos, row in enumerate(survivors):
+                    cand_idx = np.flatnonzero(frontier_masks[row])
+                    keep[pos, cand_idx] &= self._hyperplane_keep(
+                        nodes[int(surv_ranks[pos])], cand_idx, int(surv_best[pos])
+                    )
+            keep[np.arange(len(survivors)), surv_best] = True
+            leaf_sel = self._leaf_flags[surv_ranks]
+            if leaf_sel.any():
+                leaf_rank_parts.append(surv_ranks[leaf_sel])
+                leaf_mask_parts.append(keep[leaf_sel])
+            int_sel = ~leaf_sel
+            int_ranks = surv_ranks[int_sel]
+            if len(int_ranks):
+                # CSR-style frontier expansion: gather every surviving
+                # internal node's children in one shot.
+                starts = self._child_offsets[int_ranks]
+                cnts = self._child_offsets[int_ranks + 1] - starts
+                rep = np.repeat(np.arange(len(int_ranks)), cnts)
+                within = np.arange(int(cnts.sum())) - (np.cumsum(cnts) - cnts)[rep]
+                frontier_ranks = self._child_flat[starts[rep] + within]
+                frontier_masks = keep[int_sel][rep]
+            else:
+                frontier_ranks = np.empty(0, dtype=np.intp)
+        empty = np.empty(0, dtype=np.intp)
+        batch_ranks = (
+            np.concatenate(batch_rank_parts) if batch_rank_parts else empty
+        )
+        batch_best = (
+            np.concatenate(batch_best_parts) if batch_best_parts else empty
+        )
+        leaf_ranks = np.concatenate(leaf_rank_parts) if leaf_rank_parts else empty
+        leaf_masks = (
+            np.vstack(leaf_mask_parts)
+            if leaf_mask_parts
+            else np.empty((0, k), dtype=bool)
+        )
+        leaf_points, leaf_idx, leaf_winners, leaf_offsets = self._scan_leaves_batch(
+            leaf_ranks, leaf_masks
+        )
+        # Replay: stack every decision's addend rows in reference (pre-order)
+        # order — one sv row per batch-assigned node, the leaf's point rows
+        # per scanned leaf — and fold them with one sequential bincount
+        # scatter-add.  Bin-internal accumulation runs in row order, so each
+        # (cluster, dim) cell sums in exactly the reference's sequence.
+        n_batch = len(batch_ranks)
+        order = np.argsort(np.concatenate([batch_ranks, leaf_ranks]))
+        addends: List[np.ndarray] = []
+        keys: List[np.ndarray] = []
+        for pos in order:
+            if pos < n_batch:
+                addends.append(self._svs[batch_ranks[pos]][None])
+                keys.append(batch_best[pos : pos + 1])
+            else:
+                lo, hi = leaf_offsets[pos - n_batch], leaf_offsets[pos - n_batch + 1]
+                addends.append(leaf_points[lo:hi])
+                keys.append(leaf_winners[lo:hi])
+        if addends:
+            self._sums[:] = accumulate_cluster_sums(
+                np.concatenate(addends), np.concatenate(keys), k
+            )
+        # Labels and integer counts are order-independent: bulk subtree
+        # slice writes for batch assignments, one write for all leaf points.
+        lo = self._subtree_starts[batch_ranks]
+        hi = self._subtree_ends[batch_ranks]
+        np.add.at(self._counts, batch_best, hi - lo)
+        for pos in range(n_batch):
+            self._labels[self._perm[lo[pos] : hi[pos]]] = batch_best[pos]
+        if len(leaf_winners):
+            self._labels[leaf_idx] = leaf_winners
+            self._counts += np.bincount(leaf_winners, minlength=k)
+
+    def _scan_leaves_batch(
+        self, leaf_ranks: np.ndarray, leaf_masks: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One concatenated exact scan over every surviving leaf.
+
+        Returns ``(points, point_indices, winners, offsets)`` where leaf
+        ``i`` (in ``leaf_ranks`` order) owns rows
+        ``offsets[i]:offsets[i+1]``.  Winners are bit-identical to the
+        reference's per-leaf ``candidates[argmin]``: each group scans the
+        exact column subset the reference scans (chunked entries are row-
+        and column-subset invariant), so argmin sees the same floats in the
+        same candidate order.
+        """
+        d = self.X.shape[1]
+        if len(leaf_ranks) == 0:
+            empty_idx = np.empty(0, dtype=np.intp)
+            return np.empty((0, d)), empty_idx, empty_idx, np.zeros(1, dtype=np.intp)
+        counters = self.counters
+        # A leaf's perm slice is its own point_indices (see FlatTree).
+        lstarts = self._subtree_starts[leaf_ranks]
+        sizes = self._subtree_ends[leaf_ranks] - lstarts
+        pairs = sizes * leaf_masks.sum(axis=1)
+        counters.add_point_accesses(int(pairs.sum()))
+        counters.add_distances(int(pairs.sum()))
+        rep = np.repeat(np.arange(len(leaf_ranks)), sizes)
+        offsets = np.zeros(len(leaf_ranks) + 1, dtype=np.intp)
+        np.cumsum(sizes, out=offsets[1:])
+        within = np.arange(int(offsets[-1])) - offsets[:-1][rep]
+        idx = self._perm[lstarts[rep] + within]
+        points = self.X[idx]
+        # Group leaves sharing the same surviving-candidate set and scan
+        # each group over those columns only — the same
+        # ``chunked_sq_distances(points, centroids[candidates])`` call the
+        # reference makes per leaf (entry- and subset-invariant), but one
+        # rectangular kernel per distinct candidate set instead of one per
+        # leaf, and no wasted columns for well-pruned frontiers.
+        groups: Dict[bytes, List[int]] = {}
+        for pos in range(len(leaf_ranks)):
+            groups.setdefault(leaf_masks[pos].tobytes(), []).append(pos)
+        winners = np.empty(len(points), dtype=np.intp)
+        for leaf_positions in groups.values():
+            cand = np.flatnonzero(leaf_masks[leaf_positions[0]])
+            rowpos = (
+                slice(offsets[leaf_positions[0]], offsets[leaf_positions[0] + 1])
+                if len(leaf_positions) == 1
+                else np.concatenate(
+                    [np.arange(offsets[i], offsets[i + 1]) for i in leaf_positions]
+                )
+            )
+            sq = chunked_sq_distances(points[rowpos], self._centroids[cand])
+            winners[rowpos] = cand[np.argmin(sq, axis=1)]
+        return points, idx, winners, offsets
+
+
 #: registry of vectorized implementations, keyed by algorithm name
 VECTORIZED_ALGORITHMS: Dict[str, Type[KMeansAlgorithm]] = {
+    "lloyd": VectorizedLloydKMeans,
     "elkan": VectorizedElkanKMeans,
     "hamerly": VectorizedHamerlyKMeans,
     "yinyang": VectorizedYinyangKMeans,
+    "index": VectorizedIndexKMeans,
 }
 
 __all__ = [
     "VECTORIZED_ALGORITHMS",
     "VectorizedElkanKMeans",
     "VectorizedHamerlyKMeans",
+    "VectorizedIndexKMeans",
+    "VectorizedLloydKMeans",
     "VectorizedYinyangKMeans",
 ]

@@ -150,8 +150,12 @@ def run_algorithm(
     if initial_centroids is None:
         if repeats < 1:
             raise ValidationError(f"repeats must be >= 1, got {repeats}")
+        # Seeding runs on the selected backend too; the parity contract of
+        # repro.core.initialization makes the picks bit-identical either
+        # way, so cross-backend comparability is preserved.
         initial_centroids = [
-            initialize_centroids(X, k, "k-means++", seed=seed + r) for r in range(repeats)
+            initialize_centroids(X, k, "k-means++", seed=seed + r, backend=backend)
+            for r in range(repeats)
         ]
     elif len(initial_centroids) < 1:
         raise ValidationError("initial_centroids must contain at least one seeding")
@@ -210,7 +214,8 @@ def compare_algorithms(
     if repeats < 1:
         raise ValidationError(f"repeats must be >= 1, got {repeats}")
     initial_centroids = [
-        initialize_centroids(X, k, "k-means++", seed=seed + r) for r in range(repeats)
+        initialize_centroids(X, k, "k-means++", seed=seed + r, backend=backend)
+        for r in range(repeats)
     ]
     return [
         run_algorithm(

@@ -149,6 +149,57 @@ class TestR001:
         src = "def f(a):\n    return (a ** 2).sum(axis=1)\n"
         assert analyze_source(src, CORE_PATH) == []
 
+    # -- frontier / scatter-add batching idioms (ISSUE 5) --------------
+
+    def test_np_square_diff_sum_fires(self):
+        src = (
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    return np.square(a - b).sum(axis=-1)\n"
+        )
+        assert rule_ids(analyze_source(src, CORE_PATH)) == ["R001"]
+
+    def test_np_sum_of_np_square_diff_fires(self):
+        src = (
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    return np.sum(np.square(a - b), axis=1)\n"
+        )
+        assert rule_ids(analyze_source(src, CORE_PATH)) == ["R001"]
+
+    def test_same_operand_product_diff_sum_fires(self):
+        src = "def f(a, b):\n    return ((a - b) * (a - b)).sum(axis=1)\n"
+        assert rule_ids(analyze_source(src, CORE_PATH)) == ["R001"]
+
+    def test_distinct_operand_product_sum_clean(self):
+        src = "def f(a, b, w):\n    return ((a - b) * w).sum(axis=1)\n"
+        assert analyze_source(src, CORE_PATH) == []
+
+    def test_np_square_without_difference_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(a):\n"
+            "    return np.square(a).sum(axis=1)\n"
+        )
+        assert analyze_source(src, CORE_PATH) == []
+
+    def test_same_operand_np_dot_fires(self):
+        src = (
+            "import numpy as np\n"
+            "def f(x, y):\n"
+            "    diff = x - y\n"
+            "    return np.dot(diff, diff)\n"
+        )
+        assert rule_ids(analyze_source(src, CORE_PATH)) == ["R001"]
+
+    def test_distinct_operand_np_dot_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    return np.dot(a, b)\n"
+        )
+        assert analyze_source(src, CORE_PATH) == []
+
     def test_sq_diff_sum_suppressible(self):
         src = (
             "import numpy as np\n"

@@ -89,10 +89,20 @@ class TestCompareCommand:
 
     def test_vectorized_backend_rejects_unsupported_algorithm(self, capsys):
         code = main(["compare", "--dataset", "Skin", "--n", "200", "--k", "3",
-                     "--algorithms", "lloyd,elkan", "--backend", "vectorized"])
+                     "--algorithms", "drake,elkan", "--backend", "vectorized"])
         assert code == 2
         err = capsys.readouterr().err
-        assert "no 'vectorized' implementation" in err and "lloyd" in err
+        assert "no 'vectorized' implementation" in err and "drake" in err
+
+    def test_vectorized_backend_runs_lloyd_baseline(self, capsys):
+        # Lloyd is vectorized now: the implicit baseline runs on the
+        # selected backend, and the header names that backend.
+        code = main(["compare", "--dataset", "Skin", "--n", "200", "--k", "3",
+                     "--algorithms", "elkan", "--backend", "vectorized",
+                     "--max-iter", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend=vectorized" in out and "lloyd" in out
 
 
 class TestTuneCommand:

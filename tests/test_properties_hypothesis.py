@@ -202,6 +202,48 @@ def test_block_sq_distances_entrywise_equals_scalar(X, seed):
 
 
 @settings(**SETTINGS)
+@given(
+    dists=arrays(
+        np.float64,
+        st.tuples(st.integers(1, 25), st.integers(1, 8)),
+        # A tiny value alphabet forces many exact duplicates per row — the
+        # tie-heavy regime where argmin conventions actually matter.
+        elements=st.sampled_from([0.0, 1.0, 2.0]),
+    ),
+    seed=st.integers(0, 10_000),
+)
+def test_batched_argmin_breaks_ties_toward_lowest_index(dists, seed):
+    """np.argmin == the reference backends' strict-< first-wins scan.
+
+    Every vectorized assignment pass funnels through a row-wise ``argmin``
+    (Lloyd's full scan, the frontier's pivot test, the leaf scan), while
+    the reference loops candidates in ascending order keeping the first
+    strictly smaller distance.  Both resolve duplicated distances to the
+    *lowest* index; this pins that convention, including through the
+    masked-inf and candidate-subset formulations the index traversal uses.
+    """
+    best = np.argmin(dists, axis=1)
+    for row, winner in zip(dists, best):
+        scan = 0
+        for j in range(1, len(row)):
+            if row[j] < row[scan]:  # strict <: ties keep the earlier index
+                scan = j
+        assert winner == scan
+    # Candidate-subset invariance: masking non-candidates to inf and taking
+    # the full-width argmin equals the subset argmin mapped back through
+    # the ascending candidate list (empty masks excluded — a frontier row
+    # always keeps its best candidate).
+    rng = np.random.default_rng(seed)
+    k = dists.shape[1]
+    cand = np.flatnonzero(rng.random(k) < 0.5)
+    if len(cand) == 0:
+        cand = np.array([int(rng.integers(k))])
+    masked = np.full_like(dists, np.inf)
+    masked[:, cand] = dists[:, cand]
+    assert (np.argmin(masked, axis=1) == cand[np.argmin(dists[:, cand], axis=1)]).all()
+
+
+@settings(**SETTINGS)
 @given(X=datasets(min_n=4, max_n=40, min_d=1), chunk=st.integers(1, 7))
 def test_bulk_kernels_match_scalar_loop_tightly(X, chunk):
     """The expansion/einsum bulk kernels agree with the scalar loop to a

@@ -26,8 +26,8 @@ from repro.core.base import KMeansAlgorithm
 from repro.core.initialization import init_kmeans_plus_plus
 from repro.datasets import make_uniform
 
-#: the algorithms with golden traces (= the vectorized trio of ISSUE 3)
-GOLDEN_ALGORITHMS = ("elkan", "hamerly", "yinyang")
+#: the algorithms with golden traces (= everything with a vectorized backend)
+GOLDEN_ALGORITHMS = ("elkan", "hamerly", "yinyang", "lloyd", "index")
 #: the two fixed seeds each algorithm is traced on
 GOLDEN_SEEDS = (0, 1)
 
