@@ -2,10 +2,20 @@
 
 The baseline is a committed JSON file (``analysis_baseline.json`` at the
 repo root) listing findings that predate a rule and are tolerated until
-someone cleans them up.  Matching is by ``(path, rule, snippet)`` — not line
-number — so unrelated edits above an offender do not resurrect it; each
-entry carries a ``count`` so a file with three identical offending lines
-cannot silently grow a fourth.
+someone cleans them up.
+
+Format version 2 keys every entry by ``(rule, path, hash)`` where ``hash``
+is the whitespace-insensitive content hash of the flagged statement
+(:func:`repro.analysis.findings.statement_content_hash`) — line numbers
+never appear, so unrelated edits above an offender do not resurrect it and
+re-indenting the offender does not orphan its entry.  The human-readable
+``snippet`` is stored alongside purely for review; matching ignores it.
+Each entry carries a ``count`` so a file with three identical offending
+statements cannot silently grow a fourth.
+
+Version 1 files (which keyed by the raw snippet text) are migrated
+transparently on load — the snippet is hashed into the v2 key — and
+:func:`migrate_baseline` rewrites the file in place.
 """
 
 from __future__ import annotations
@@ -16,12 +26,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Tuple
 
-from repro.analysis.findings import Finding
+from repro.analysis.findings import Finding, statement_content_hash
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 DEFAULT_BASELINE_NAME = "analysis_baseline.json"
 
-_Key = Tuple[str, str, str]
+_Key = Tuple[str, str, str]  # (rule_id, path, content_hash)
 
 
 @dataclass
@@ -29,6 +39,8 @@ class Baseline:
     """Multiset of grandfathered finding identities."""
 
     entries: Counter = field(default_factory=Counter)
+    #: content_hash -> representative snippet, for human-readable writes
+    snippets: Dict[str, str] = field(default_factory=dict)
 
     def filter(self, findings: Iterable[Finding]) -> Tuple[List[Finding], int]:
         """Split ``findings`` into (fresh, number_baselined).
@@ -52,27 +64,85 @@ class Baseline:
         return sum(self.entries.values())
 
 
+def _entry_key(item: Dict[str, object]) -> _Key:
+    """Key for one stored entry, migrating v1 snippet-keyed items."""
+    content_hash = item.get("hash")
+    if not content_hash:
+        content_hash = statement_content_hash(str(item.get("snippet", "")))
+    return (str(item["rule"]), str(item["path"]), str(content_hash))
+
+
 def load_baseline(path: Path) -> Baseline:
-    """Read a baseline file; a missing file is an empty baseline."""
+    """Read a baseline file; a missing file is an empty baseline.
+
+    Accepts both format versions; v1 entries are keyed by hashing their
+    stored snippet (see :func:`migrate_baseline` to rewrite the file).
+    """
     path = Path(path)
     if not path.exists():
         return Baseline()
     payload = json.loads(path.read_text())
-    entries: Counter = Counter()
+    baseline = Baseline()
     for item in payload.get("findings", []):
-        key: _Key = (item["path"], item["rule"], item.get("snippet", ""))
-        entries[key] += int(item.get("count", 1))
-    return Baseline(entries)
+        key = _entry_key(item)
+        baseline.entries[key] += int(item.get("count", 1))
+        snippet = str(item.get("snippet", ""))
+        if snippet:
+            baseline.snippets.setdefault(key[2], snippet)
+    return baseline
 
 
 def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
-    """Write ``findings`` as the new baseline (sorted, deduplicated)."""
-    entries: Counter = Counter(f.baseline_key() for f in findings)
+    """Write ``findings`` as the new baseline (v2 format, sorted)."""
+    entries: Counter = Counter()
+    snippets: Dict[str, str] = {}
+    for finding in findings:
+        key = finding.baseline_key()
+        entries[key] += 1
+        snippets.setdefault(key[2], finding.snippet)
     items: List[Dict[str, object]] = []
-    for (file_path, rule_id, snippet), count in sorted(entries.items()):
-        item: Dict[str, object] = {"path": file_path, "rule": rule_id, "snippet": snippet}
+    for (rule_id, file_path, content_hash), count in sorted(entries.items()):
+        item: Dict[str, object] = {
+            "rule": rule_id,
+            "path": file_path,
+            "hash": content_hash,
+            "snippet": snippets.get(content_hash, ""),
+        }
         if count > 1:
             item["count"] = count
         items.append(item)
     payload = {"version": BASELINE_VERSION, "findings": items}
     Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def migrate_baseline(path: Path) -> bool:
+    """Rewrite a v1 baseline file in the v2 hash-keyed format, in place.
+
+    Returns True when the file was rewritten, False when it was already
+    current (or absent).  Counts and snippets are preserved; only the
+    matching key changes.
+    """
+    path = Path(path)
+    if not path.exists():
+        return False
+    payload = json.loads(path.read_text())
+    if payload.get("version") == BASELINE_VERSION:
+        return False
+    items: List[Dict[str, object]] = []
+    for item in payload.get("findings", []):
+        rule_id, file_path, content_hash = _entry_key(item)
+        migrated: Dict[str, object] = {
+            "rule": rule_id,
+            "path": file_path,
+            "hash": content_hash,
+            "snippet": str(item.get("snippet", "")),
+        }
+        count = int(item.get("count", 1))
+        if count > 1:
+            migrated["count"] = count
+        items.append(migrated)
+    items.sort(key=lambda entry: (entry["rule"], entry["path"], entry["hash"]))
+    path.write_text(
+        json.dumps({"version": BASELINE_VERSION, "findings": items}, indent=2) + "\n"
+    )
+    return True

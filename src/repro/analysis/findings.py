@@ -2,8 +2,21 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Tuple
+
+
+def statement_content_hash(snippet: str) -> str:
+    """Whitespace-insensitive content hash of a flagged statement.
+
+    The baseline (and SARIF's ``partialFingerprints``) key findings by
+    ``(rule, path, hash-of-statement)`` rather than line numbers, so
+    unrelated edits above an offender — or a re-indent of the offender
+    itself — neither resurrect nor orphan its entry.
+    """
+    normalized = "".join(snippet.split())
+    return hashlib.sha256(normalized.encode()).hexdigest()[:16]
 
 
 @dataclass(frozen=True, order=True)
@@ -11,10 +24,10 @@ class Finding:
     """One rule violation at one source location.
 
     ``path`` is stored repo-relative (posix separators) so findings are
-    stable across machines; ``snippet`` is the stripped source line, which
-    doubles as the location-insensitive identity used by the baseline (line
-    numbers drift under unrelated edits, the offending code itself rarely
-    does).
+    stable across machines; ``snippet`` is the stripped source line whose
+    content hash is the location-insensitive identity used by the baseline
+    (line numbers drift under unrelated edits, the offending code itself
+    rarely does).
     """
 
     path: str
@@ -24,9 +37,14 @@ class Finding:
     message: str
     snippet: str = ""
 
+    @property
+    def content_hash(self) -> str:
+        return statement_content_hash(self.snippet)
+
     def baseline_key(self) -> Tuple[str, str, str]:
-        """Identity used to match this finding against baseline entries."""
-        return (self.path, self.rule_id, self.snippet)
+        """Identity used to match this finding against baseline entries:
+        ``(rule_id, path, content-hash of the flagged statement)``."""
+        return (self.rule_id, self.path, self.content_hash)
 
     def as_dict(self) -> Dict[str, object]:
         return {

@@ -1,0 +1,480 @@
+"""Whole-project model: import graph, symbol table, conservative call graph.
+
+The per-file rules (R001–R006) see one module at a time; the
+interprocedural rules (R007–R011, :mod:`repro.analysis.interprocedural`)
+need to reason about *reachability* — an uncounted kernel three frames
+below a pool-dispatched worker is invisible per-file.  This module builds
+the shared substrate:
+
+* :func:`load_project` parses a source tree into a :class:`Project` —
+  every module keyed by its dotted import name, every function and method
+  keyed by its dotted qualname (``repro.core.base.KMeansAlgorithm.fit``).
+* :func:`build_call_graph` derives a conservative static call graph.
+  Edges carry a confidence tier:
+
+  - **direct** — the callee is resolved through imports, module-level
+    names, ``self``-method dispatch (own class, then project base
+    classes, then same module), or an explicit ``Class.method`` /
+    ``Class(...)`` constructor reference;
+  - **fuzzy** — an attribute call ``obj.m(...)`` on an object of unknown
+    type resolves to *every* project method named ``m``.  Sound for
+    may-reach questions (R007 must not miss a mutation behind duck-typed
+    dispatch), far too coarse for must-style rules (R008/R010/R011 stay
+    on the direct tier; see docs/static_analysis.md).
+
+* :meth:`CallGraph.condensation` condenses strongly connected components
+  (Tarjan) into the DAG that the effect fixpoint and the determinism
+  property test run over.
+* :func:`to_dot` renders the graph with effect annotations for
+  ``repro lint --graph``.
+
+Everything here is deterministic by construction: modules, functions and
+edges are kept in sorted containers so two builds over the same sources
+are equal object-for-object (pinned by ``tests/test_analysis_graph.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.rules import ParsedModule, resolve_name
+
+#: edge confidence tiers (see module docstring)
+DIRECT = "direct"
+FUZZY = "fuzzy"
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted import name for a repo-relative posix path.
+
+    ``src/repro/core/base.py`` -> ``repro.core.base``; a package
+    ``__init__.py`` maps to the package itself.  Leading ``src``/``lib``
+    segments and any segments before the last ``src`` are dropped so the
+    name matches what ``import`` sees under the repo's layout.
+    """
+    parts = path.split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("src"):][1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project symbol table."""
+
+    qualname: str  # dotted: <module>.<Class>.<name> or <module>.<name>
+    module: str  # dotted module name
+    path: str  # repo-relative posix path
+    name: str
+    node: ast.AST  # FunctionDef / AsyncFunctionDef
+    lineno: int
+    class_name: Optional[str] = None  # enclosing class, if a method
+    nested_in: Optional[str] = None  # enclosing function qualname, if nested
+    param_names: Tuple[str, ...] = ()
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def is_nested(self) -> bool:
+        return self.nested_in is not None
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods and (textual) base-class names."""
+
+    qualname: str
+    module: str
+    name: str
+    bases: Tuple[str, ...] = ()  # resolved dotted names where possible
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> qualname
+
+
+@dataclass
+class Project:
+    """A parsed source tree plus its symbol tables."""
+
+    modules: Dict[str, ParsedModule] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: module -> imported project modules (the import graph)
+    imports: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: bare method name -> sorted qualnames of every project method so named
+    methods_by_name: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def functions_in_module(self, module: str) -> List[FunctionInfo]:
+        return [
+            info for info in self.functions.values() if info.module == module
+        ]
+
+    def resolve_dotted(self, dotted: str) -> Optional[str]:
+        """Map a dotted reference to a project function qualname, following
+        one level of class-constructor indirection (``pkg.Cls`` ->
+        ``pkg.Cls.__init__``)."""
+        if dotted in self.functions:
+            return dotted
+        if dotted in self.classes:
+            init = self.classes[dotted].methods.get("__init__")
+            return init
+        return None
+
+
+def _param_names(node: ast.AST) -> Tuple[str, ...]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+    names += [a.arg for a in args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return tuple(names)
+
+
+def _index_module(project: Project, module_name: str, module: ParsedModule) -> None:
+    """Populate function/class tables for one parsed module."""
+
+    def visit(node: ast.AST, class_name: Optional[str], enclosing: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope = f"{module_name}.{class_name}" if class_name else module_name
+                qualname = f"{scope}.{child.name}"
+                if enclosing is not None:
+                    qualname = f"{enclosing}.<locals>.{child.name}"
+                project.functions[qualname] = FunctionInfo(
+                    qualname=qualname,
+                    module=module_name,
+                    path=module.path,
+                    name=child.name,
+                    node=child,
+                    lineno=child.lineno,
+                    class_name=class_name,
+                    nested_in=enclosing,
+                    param_names=_param_names(child),
+                )
+                if class_name is not None and enclosing is None:
+                    cls = project.classes[f"{module_name}.{class_name}"]
+                    cls.methods[child.name] = qualname
+                visit(child, None, qualname)
+            elif isinstance(child, ast.ClassDef) and enclosing is None and class_name is None:
+                bases = []
+                for base in child.bases:
+                    dotted = resolve_name(module.aliases, base)
+                    if dotted is None and isinstance(base, ast.Name):
+                        dotted = f"{module_name}.{base.id}"
+                    if dotted is not None:
+                        bases.append(dotted)
+                project.classes[f"{module_name}.{child.name}"] = ClassInfo(
+                    qualname=f"{module_name}.{child.name}",
+                    module=module_name,
+                    name=child.name,
+                    bases=tuple(bases),
+                )
+                visit(child, child.name, None)
+            else:
+                visit(child, class_name, enclosing)
+
+    visit(module.tree, None, None)
+
+
+def load_project(modules: Mapping[str, ParsedModule]) -> Project:
+    """Build a :class:`Project` from parsed modules keyed by repo path.
+
+    ``modules`` maps repo-relative posix paths to :class:`ParsedModule`;
+    dotted module names are derived with :func:`module_name_for_path`.
+    """
+    project = Project()
+    for path in sorted(modules):
+        module = modules[path]
+        project.modules[module_name_for_path(path)] = module
+    for module_name in sorted(project.modules):
+        _index_module(project, module_name, project.modules[module_name])
+    # Import graph: project-internal edges only.
+    module_names = set(project.modules)
+    for module_name in sorted(project.modules):
+        tree = project.modules[module_name].tree
+        imported: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    if item.name in module_names:
+                        imported.add(item.name)
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                if node.module in module_names:
+                    imported.add(node.module)
+                for item in node.names:
+                    candidate = f"{node.module}.{item.name}"
+                    if candidate in module_names:
+                        imported.add(candidate)
+        project.imports[module_name] = tuple(sorted(imported))
+    by_name: Dict[str, List[str]] = {}
+    for info in project.functions.values():
+        if info.is_method:
+            by_name.setdefault(info.name, []).append(info.qualname)
+    project.methods_by_name = {
+        name: tuple(sorted(quals)) for name, quals in sorted(by_name.items())
+    }
+    return project
+
+
+# ----------------------------------------------------------------------
+# Call graph construction.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CallGraph:
+    """Conservative static call graph over project functions.
+
+    ``edges`` maps caller qualname to ``(callee, tier)`` pairs, sorted.
+    """
+
+    edges: Dict[str, Tuple[Tuple[str, str], ...]] = field(default_factory=dict)
+
+    def callees(self, qualname: str, *, fuzzy: bool = False) -> List[str]:
+        return [
+            callee
+            for callee, tier in self.edges.get(qualname, ())
+            if fuzzy or tier == DIRECT
+        ]
+
+    def reachable(
+        self, roots: Iterable[str], *, fuzzy: bool = False
+    ) -> Dict[str, Optional[str]]:
+        """BFS closure from ``roots``; returns node -> predecessor (roots
+        map to None) so callers can reconstruct a witness call chain."""
+        parents: Dict[str, Optional[str]] = {}
+        frontier: List[str] = []
+        for root in sorted(set(roots)):
+            if root not in parents:
+                parents[root] = None
+                frontier.append(root)
+        while frontier:
+            next_frontier: List[str] = []
+            for node in frontier:
+                for callee in self.callees(node, fuzzy=fuzzy):
+                    if callee not in parents:
+                        parents[callee] = node
+                        next_frontier.append(callee)
+            frontier = next_frontier
+        return parents
+
+    def chain(self, parents: Mapping[str, Optional[str]], node: str) -> List[str]:
+        """Witness call chain root -> ... -> node from a BFS parent map."""
+        out = [node]
+        seen = {node}
+        current: Optional[str] = node
+        while current is not None:
+            current = parents.get(current)
+            if current is None or current in seen:
+                break
+            out.append(current)
+            seen.add(current)
+        return list(reversed(out))
+
+    def condensation(self) -> Tuple[Tuple[Tuple[str, ...], ...], Tuple[Tuple[int, int], ...]]:
+        """SCC condensation (direct + fuzzy edges): sorted component tuples
+        plus inter-component edges.  The result is a DAG — pinned by the
+        property test — which is what makes the effect fixpoint finite."""
+        nodes = sorted(
+            set(self.edges)
+            | {callee for pairs in self.edges.values() for callee, _ in pairs}
+        )
+        index_of: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        components: List[Tuple[str, ...]] = []
+        component_of: Dict[str, int] = {}
+        counter = [0]
+
+        def strongconnect(start: str) -> None:
+            # Iterative Tarjan (the project graph is deep enough to bust
+            # the recursion limit through fit -> assignment chains).
+            work: List[Tuple[str, int]] = [(start, 0)]
+            while work:
+                node, edge_index = work.pop()
+                if edge_index == 0:
+                    index_of[node] = lowlink[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                callees = self.callees(node, fuzzy=True)
+                for position in range(edge_index, len(callees)):
+                    callee = callees[position]
+                    if callee not in index_of:
+                        work.append((node, position + 1))
+                        work.append((callee, 0))
+                        recurse = True
+                        break
+                    if callee in on_stack:
+                        lowlink[node] = min(lowlink[node], index_of[callee])
+                if recurse:
+                    continue
+                if lowlink[node] == index_of[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        component_of[member] = len(components)
+                        if member == node:
+                            break
+                    components.append(tuple(sorted(component)))
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+        for node in nodes:
+            if node not in index_of:
+                strongconnect(node)
+        edge_set: Set[Tuple[int, int]] = set()
+        for caller, pairs in self.edges.items():
+            for callee, _tier in pairs:
+                a, b = component_of[caller], component_of[callee]
+                if a != b:
+                    edge_set.add((a, b))
+        return tuple(components), tuple(sorted(edge_set))
+
+
+def _mro_method(project: Project, class_qualname: str, method: str, depth: int = 0) -> Optional[str]:
+    """Resolve ``method`` on a class or its project-resolvable bases."""
+    if depth > 16 or class_qualname not in project.classes:
+        return None
+    cls = project.classes[class_qualname]
+    if method in cls.methods:
+        return cls.methods[method]
+    for base in cls.bases:
+        found = _mro_method(project, base, method, depth + 1)
+        if found is not None:
+            return found
+    return None
+
+
+def resolve_call(
+    project: Project,
+    module_name: str,
+    caller: FunctionInfo,
+    call: ast.Call,
+) -> List[Tuple[str, str]]:
+    """Resolve one call expression to ``(callee_qualname, tier)`` pairs."""
+    module = project.modules[module_name]
+    func = call.func
+    out: List[Tuple[str, str]] = []
+
+    dotted = resolve_name(module.aliases, func)
+    if dotted is not None:
+        resolved = project.resolve_dotted(dotted)
+        if resolved is not None:
+            return [(resolved, DIRECT)]
+
+    if isinstance(func, ast.Name):
+        # Same-module function or class (not routed through an import).
+        local = project.resolve_dotted(f"{module_name}.{func.id}")
+        if local is not None:
+            return [(local, DIRECT)]
+        return []
+
+    if isinstance(func, ast.Attribute):
+        receiver = func.value
+        method = func.attr
+        if isinstance(receiver, ast.Name):
+            if receiver.id == "self" and caller.class_name is not None:
+                own = _mro_method(
+                    project, f"{caller.module}.{caller.class_name}", method
+                )
+                if own is not None:
+                    return [(own, DIRECT)]
+            # Class-qualified call: Cls.method(...)
+            receiver_dotted = resolve_name(module.aliases, receiver)
+            candidates = [f"{module_name}.{receiver.id}"]
+            if receiver_dotted is not None:
+                candidates.append(receiver_dotted)
+            for candidate in candidates:
+                if candidate in project.classes:
+                    found = _mro_method(project, candidate, method)
+                    if found is not None:
+                        return [(found, DIRECT)]
+        # Unknown receiver: every project method of that name, fuzzily.
+        for qualname in project.methods_by_name.get(method, ()):
+            out.append((qualname, FUZZY))
+    return out
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    """Derive the conservative call graph for ``project``."""
+    edges: Dict[str, Set[Tuple[str, str]]] = {}
+    for qualname in sorted(project.functions):
+        info = project.functions[qualname]
+        collected: Set[Tuple[str, str]] = set()
+        for node in ast.walk(info.node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not info.node:
+                continue  # nested defs are their own graph nodes
+            if isinstance(node, ast.Call):
+                for callee, tier in resolve_call(project, info.module, info, node):
+                    if callee != qualname:
+                        collected.add((callee, tier))
+        # A direct edge subsumes a fuzzy edge to the same callee.
+        directs = {callee for callee, tier in collected if tier == DIRECT}
+        collected = {
+            (callee, tier)
+            for callee, tier in collected
+            if tier == DIRECT or callee not in directs
+        }
+        edges[qualname] = collected
+    return CallGraph(
+        edges={qual: tuple(sorted(pairs)) for qual, pairs in edges.items()}
+    )
+
+
+# ----------------------------------------------------------------------
+# DOT rendering.
+# ----------------------------------------------------------------------
+
+
+def to_dot(
+    project: Project,
+    graph: CallGraph,
+    effects: Optional[Mapping[str, FrozenSet[str]]] = None,
+    *,
+    include_fuzzy: bool = False,
+) -> str:
+    """Render the call graph as GraphViz DOT, one cluster per module.
+
+    Effect labels (from :mod:`repro.analysis.effects`) are appended to
+    node labels; fuzzy edges are dashed when included.
+    """
+    effects = effects or {}
+    lines = [
+        "digraph repro_calls {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontsize=10, fontname="monospace"];',
+    ]
+    by_module: Dict[str, List[str]] = {}
+    for qualname in sorted(project.functions):
+        by_module.setdefault(project.functions[qualname].module, []).append(qualname)
+    for cluster_index, module_name in enumerate(sorted(by_module)):
+        lines.append(f'  subgraph "cluster_{cluster_index}" {{')
+        lines.append(f'    label="{module_name}";')
+        for qualname in by_module[module_name]:
+            short = qualname[len(module_name) + 1:] if qualname.startswith(module_name + ".") else qualname
+            labels = sorted(effects.get(qualname, ()))
+            suffix = ("\\n[" + ", ".join(labels) + "]") if labels else ""
+            lines.append(f'    "{qualname}" [label="{short}{suffix}"];')
+        lines.append("  }")
+    for caller in sorted(graph.edges):
+        for callee, tier in graph.edges[caller]:
+            if tier == FUZZY and not include_fuzzy:
+                continue
+            style = ' [style=dashed, color=gray]' if tier == FUZZY else ""
+            lines.append(f'  "{caller}" -> "{callee}"{style};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

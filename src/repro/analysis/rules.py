@@ -18,7 +18,17 @@ from __future__ import annotations
 import abc
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Type
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from repro.analysis.findings import Finding
 
@@ -124,6 +134,25 @@ class Rule(abc.ABC):
     @abc.abstractmethod
     def check(self, module: ParsedModule) -> Iterator[Finding]:
         """Yield findings for ``module`` (already known to be in scope)."""
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole-project view (call graph + effects).
+
+    Per-module ``check`` is a no-op; the runner calls :meth:`check_project`
+    once with the loaded :class:`~repro.analysis.graph.Project`, its
+    :class:`~repro.analysis.graph.CallGraph`, and the
+    :class:`~repro.analysis.effects.DirectEffects` table.  Findings still
+    carry a (path, line) location, so inline suppressions and the baseline
+    apply exactly as they do for per-module rules.
+    """
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        return iter(())
+
+    @abc.abstractmethod
+    def check_project(self, project, graph, direct) -> Iterator[Finding]:
+        """Yield findings for the whole project."""
 
 
 RULES: Dict[str, Type[Rule]] = {}
@@ -398,11 +427,11 @@ class CounterDisciplineRule(Rule):
     def check(self, module: ParsedModule) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                if self._accepts_counters(node) or self._uses_self_counters(node):
+                if self.accepts_counters(node) or self.uses_self_counters(node):
                     yield from self._check_function(module, node)
 
     @staticmethod
-    def _accepts_counters(node: ast.AST) -> bool:
+    def accepts_counters(node: ast.AST) -> bool:
         args = node.args
         every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
         for arg in every:
@@ -413,7 +442,7 @@ class CounterDisciplineRule(Rule):
         return False
 
     @staticmethod
-    def _uses_self_counters(func: ast.AST) -> bool:
+    def uses_self_counters(func: ast.AST) -> bool:
         """A method touching ``self.counters`` claims its work is measured."""
         for node in ast.walk(func):
             if (
@@ -447,10 +476,17 @@ class CounterDisciplineRule(Rule):
                 aliases[target.id] = "bound"
         return aliases
 
-    def _check_function(
-        self, module: ParsedModule, func: ast.AST
-    ) -> Iterator[Finding]:
-        aliases = self._local_array_aliases(func)
+    @classmethod
+    def scan_reads(
+        cls, func: ast.AST
+    ) -> Tuple[List[ast.AST], List[ast.AST], bool, bool]:
+        """Scan one function for point/bound reads and access charges.
+
+        Returns ``(point_reads, bound_reads, charges_points,
+        charges_bounds)`` — shared with R010, which runs the same scan on
+        *callees* of counter-accepting functions.
+        """
+        aliases = cls._local_array_aliases(func)
         point_reads: List[ast.AST] = []
         bound_reads: List[ast.AST] = []
         charges_points = False
@@ -473,6 +509,12 @@ class CounterDisciplineRule(Rule):
                     charges_points = True
                 elif node.attr in ("add_bound_accesses", "bound_accesses"):
                     charges_bounds = True
+        return point_reads, bound_reads, charges_points, charges_bounds
+
+    def _check_function(
+        self, module: ParsedModule, func: ast.AST
+    ) -> Iterator[Finding]:
+        point_reads, bound_reads, charges_points, charges_bounds = self.scan_reads(func)
         if point_reads and not charges_points:
             yield module.finding(
                 self,
@@ -645,4 +687,9 @@ class SwallowedExceptionRule(Rule):
         return True
 
 
-ALL_RULE_IDS = tuple(sorted(RULES))
+def all_rule_ids() -> Tuple[str, ...]:
+    """Every registered rule id, sorted.  The interprocedural rules
+    (R007–R011) register when :mod:`repro.analysis.interprocedural` is
+    imported, so the package ``__init__`` — which imports both modules —
+    exposes the completed tuple as ``repro.analysis.ALL_RULE_IDS``."""
+    return tuple(sorted(RULES))

@@ -1,18 +1,60 @@
-"""Walk files, run rules, apply suppressions and the baseline."""
+"""Walk files, run rules (per-module and whole-project), apply
+suppressions and the baseline, and audit suppression usage.
+
+Per-module rules (R001–R006) run file by file.  When any
+:class:`~repro.analysis.rules.ProjectRule` (R007–R011) is active, the
+parsed modules are additionally assembled into a
+:class:`~repro.analysis.graph.Project`, the conservative call graph and
+effect tables are built once, and each project rule runs over them.
+Project-rule findings carry ordinary (path, line) locations, so the same
+inline suppressions and baseline apply.
+
+Because the graph/effects build dominates the cost on large trees, it can
+be cached: ``cache_dir`` stores the project-phase findings keyed by a
+digest of every source file plus the active rule ids, so an unchanged
+tree re-lints at per-module speed (the CI job wires this up).
+"""
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.findings import Finding
-from repro.analysis.rules import ParsedModule, Rule, get_rules
-from repro.analysis.suppressions import is_suppressed, parse_suppressions
+from repro.analysis.rules import ParsedModule, ProjectRule, Rule, get_rules
+from repro.analysis.suppressions import (
+    ALL_RULES,
+    is_suppressed,
+    parse_suppression_records,
+    parse_suppressions,
+)
 
 #: directory names never descended into
 _SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "build", "dist", ".eggs"}
+
+#: bump when the cached project-phase payload shape changes
+_CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class UnusedSuppression:
+    """A ``# repro: ignore[...]`` comment that silenced nothing."""
+
+    path: str
+    comment_line: int
+    target_line: int
+    rule_ids: Tuple[str, ...]  # ("*",) for a bare ignore
+
+    def format(self) -> str:
+        listed = ", ".join(self.rule_ids)
+        return (
+            f"{self.path}:{self.comment_line}: unused suppression [{listed}] "
+            f"(no such finding on line {self.target_line})"
+        )
 
 
 @dataclass
@@ -24,10 +66,15 @@ class AnalysisReport:
     suppressed: int = 0
     baselined: int = 0
     parse_errors: List[str] = field(default_factory=list)
+    unused_suppressions: List[UnusedSuppression] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.findings and not self.parse_errors
+
+    def strict_ok(self) -> bool:
+        """`ok` plus the suppression audit: no unused suppressions."""
+        return self.ok and not self.unused_suppressions
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -53,6 +100,31 @@ def _relative_posix(path: Path, root: Optional[Path]) -> str:
     return path.as_posix()
 
 
+def _split_rules(
+    rules: Optional[Sequence[Rule]],
+) -> Tuple[List[Rule], List[ProjectRule]]:
+    active = list(rules) if rules is not None else get_rules()
+    per_module = [rule for rule in active if not isinstance(rule, ProjectRule)]
+    project = [rule for rule in active if isinstance(rule, ProjectRule)]
+    return per_module, project
+
+
+def _run_project_rules(
+    rules: Sequence[ProjectRule],
+    modules: Dict[str, ParsedModule],
+):
+    """Build the project substrate and run every project rule over it."""
+    from repro.analysis.effects import compute_direct_effects
+    from repro.analysis.graph import build_call_graph, load_project
+
+    project = load_project(modules)
+    graph = build_call_graph(project)
+    direct = compute_direct_effects(project)
+    for rule in rules:
+        for finding in rule.check_project(project, graph, direct):
+            yield finding
+
+
 def analyze_source(
     source: str,
     path: str,
@@ -61,20 +133,89 @@ def analyze_source(
     """Analyze one in-memory module; ``path`` drives rule scoping.
 
     Inline suppressions are honored; baseline filtering is the caller's
-    concern.  Raises ``SyntaxError`` on unparsable source.
+    concern.  Project rules (R007–R011) run against a single-module
+    project, so only intra-module reachability is visible here — use
+    :func:`analyze_paths` for cross-module analysis.  Raises
+    ``SyntaxError`` on unparsable source.
     """
     module = ParsedModule.parse(path, source)
     suppressions = parse_suppressions(source)
-    active = list(rules) if rules is not None else get_rules()
+    per_module, project_rules = _split_rules(rules)
     findings: List[Finding] = []
-    for rule in active:
+    for rule in per_module:
         if not rule.applies_to(path):
             continue
         for finding in rule.check(module):
             if not is_suppressed(suppressions, finding.line, finding.rule_id):
                 findings.append(finding)
+    if project_rules:
+        for finding in _run_project_rules(project_rules, {path: module}):
+            if not is_suppressed(suppressions, finding.line, finding.rule_id):
+                findings.append(finding)
     findings.sort()
     return findings
+
+
+def _source_digest(
+    modules_source: Dict[str, str], project_rule_ids: Sequence[str]
+) -> str:
+    digest = hashlib.sha256()
+    digest.update(f"v{_CACHE_VERSION}".encode())
+    for rule_id in sorted(project_rule_ids):
+        digest.update(rule_id.encode())
+    for path in sorted(modules_source):
+        digest.update(path.encode())
+        digest.update(b"\0")
+        digest.update(modules_source[path].encode())
+        digest.update(b"\0")
+    return digest.hexdigest()[:32]
+
+
+def _cache_load(cache_dir: Path, digest: str) -> Optional[Dict]:
+    cache_file = Path(cache_dir) / f"project-{digest}.json"
+    if not cache_file.exists():
+        return None
+    try:
+        payload = json.loads(cache_file.read_text())
+    except (OSError, ValueError):
+        return None
+    if payload.get("version") != _CACHE_VERSION:
+        return None
+    return payload
+
+
+def _cache_store(
+    cache_dir: Path,
+    digest: str,
+    findings: Sequence[Finding],
+    suppressed: int,
+    used: Set[Tuple[str, int, str]],
+) -> None:
+    cache_dir = Path(cache_dir)
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": _CACHE_VERSION,
+            "findings": [finding.as_dict() for finding in findings],
+            "suppressed": suppressed,
+            "used": sorted(list(item) for item in used),
+        }
+        (cache_dir / f"project-{digest}.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+    except OSError:
+        pass  # caching is best-effort; the analysis result is unaffected
+
+
+def _finding_from_dict(item: Dict) -> Finding:
+    return Finding(
+        path=item["path"],
+        line=int(item["line"]),
+        col=int(item["col"]),
+        rule_id=item["rule"],
+        message=item["message"],
+        snippet=item.get("snippet", ""),
+    )
 
 
 def analyze_paths(
@@ -83,11 +224,25 @@ def analyze_paths(
     root: Optional[Path] = None,
     rules: Optional[Sequence[Rule]] = None,
     baseline: Optional[Baseline] = None,
+    cache_dir: Optional[Path] = None,
 ) -> AnalysisReport:
     """Analyze every python file under ``paths`` and aggregate a report."""
-    active = list(rules) if rules is not None else get_rules()
+    per_module, project_rules = _split_rules(rules)
     report = AnalysisReport()
     collected: List[Finding] = []
+    modules: Dict[str, ParsedModule] = {}
+    sources: Dict[str, str] = {}
+    suppression_maps: Dict[str, Dict[int, FrozenSet[str]]] = {}
+    #: (path, target_line, rule_id) triples that silenced a finding
+    used: Set[Tuple[str, int, str]] = set()
+
+    def mark_used(path: str, line: int, rule_id: str) -> None:
+        rules_on_line = suppression_maps.get(path, {}).get(line, frozenset())
+        if rules_on_line == ALL_RULES or "*" in rules_on_line:
+            used.add((path, line, "*"))
+        if rule_id.upper() in rules_on_line:
+            used.add((path, line, rule_id.upper()))
+
     for file_path in iter_python_files(paths):
         relpath = _relative_posix(file_path, root)
         try:
@@ -101,18 +256,107 @@ def analyze_paths(
         except SyntaxError as exc:
             report.parse_errors.append(f"{relpath}:{exc.lineno}: {exc.msg}")
             continue
-        suppressions = parse_suppressions(source)
-        for rule in active:
+        modules[relpath] = module
+        sources[relpath] = source
+        suppression_maps[relpath] = parse_suppressions(source)
+        for rule in per_module:
             if not rule.applies_to(relpath):
                 continue
             for finding in rule.check(module):
-                if is_suppressed(suppressions, finding.line, finding.rule_id):
+                if is_suppressed(
+                    suppression_maps[relpath], finding.line, finding.rule_id
+                ):
                     report.suppressed += 1
+                    mark_used(relpath, finding.line, finding.rule_id)
                 else:
                     collected.append(finding)
+
+    if project_rules and modules:
+        rule_ids = [rule.rule_id for rule in project_rules]
+        cached = None
+        digest = None
+        if cache_dir is not None:
+            digest = _source_digest(sources, rule_ids)
+            cached = _cache_load(Path(cache_dir), digest)
+        if cached is not None:
+            collected.extend(
+                _finding_from_dict(item) for item in cached["findings"]
+            )
+            report.suppressed += int(cached.get("suppressed", 0))
+            for path, line, rule_id in cached.get("used", []):
+                used.add((path, int(line), rule_id))
+        else:
+            project_findings: List[Finding] = []
+            project_suppressed = 0
+            project_used: Set[Tuple[str, int, str]] = set()
+            for finding in _run_project_rules(project_rules, modules):
+                suppressions = suppression_maps.get(finding.path, {})
+                if is_suppressed(suppressions, finding.line, finding.rule_id):
+                    project_suppressed += 1
+                    before = set(used)
+                    mark_used(finding.path, finding.line, finding.rule_id)
+                    project_used |= used - before
+                else:
+                    project_findings.append(finding)
+            collected.extend(project_findings)
+            report.suppressed += project_suppressed
+            if cache_dir is not None and digest is not None:
+                _cache_store(
+                    Path(cache_dir), digest,
+                    sorted(project_findings), project_suppressed, project_used,
+                )
+
+    # Suppression audit: comments that silenced nothing are stale.
+    for relpath in sorted(sources):
+        for record in parse_suppression_records(sources[relpath]):
+            if record.rules == ALL_RULES:
+                if (relpath, record.target_line, "*") not in used:
+                    report.unused_suppressions.append(
+                        UnusedSuppression(
+                            relpath, record.comment_line, record.target_line, ("*",)
+                        )
+                    )
+                continue
+            stale = tuple(
+                sorted(
+                    rule_id
+                    for rule_id in record.rules
+                    if (relpath, record.target_line, rule_id) not in used
+                )
+            )
+            if stale:
+                report.unused_suppressions.append(
+                    UnusedSuppression(
+                        relpath, record.comment_line, record.target_line, stale
+                    )
+                )
+
     collected.sort()
     if baseline is not None:
         collected, absorbed = baseline.filter(collected)
         report.baselined = absorbed
     report.findings = collected
     return report
+
+
+def load_project_from_paths(
+    paths: Sequence[Path], *, root: Optional[Path] = None
+):
+    """Parse ``paths`` into (Project, CallGraph, DirectEffects,
+    transitive-effects) — the substrate behind ``repro lint --graph``."""
+    from repro.analysis.effects import compute_direct_effects, propagate_effects
+    from repro.analysis.graph import build_call_graph, load_project
+
+    modules: Dict[str, ParsedModule] = {}
+    for file_path in iter_python_files(paths):
+        relpath = _relative_posix(file_path, root)
+        try:
+            source = file_path.read_text()
+            modules[relpath] = ParsedModule.parse(relpath, source)
+        except (OSError, UnicodeDecodeError, SyntaxError):
+            continue
+    project = load_project(modules)
+    graph = build_call_graph(project)
+    direct = compute_direct_effects(project)
+    transitive = propagate_effects(direct, graph)
+    return project, graph, direct, transitive

@@ -252,13 +252,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
         analyze_paths,
         format_findings_json,
+        format_findings_sarif,
         format_findings_text,
         get_rules,
         load_baseline,
+        migrate_baseline,
         write_baseline,
     )
     from repro.analysis.baseline import DEFAULT_BASELINE_NAME
 
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+    if args.migrate_baseline:
+        if migrate_baseline(baseline_path):
+            print(f"migrated {baseline_path} to the hash-keyed v2 format")
+        else:
+            print(f"{baseline_path} already current (or absent); nothing to do")
+        return 0
     paths = [Path(p) for p in (args.paths or ["src"])]
     missing = [str(p) for p in paths if not p.exists()]
     if missing:
@@ -271,15 +280,32 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             return 2
-    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+    if args.graph:
+        from repro.analysis import load_project_from_paths
+        from repro.analysis.graph import to_dot
+
+        project, graph, direct, transitive = load_project_from_paths(
+            paths, root=Path.cwd()
+        )
+        print(to_dot(project, graph, transitive))
+        return 0
     baseline = None if args.no_baseline else load_baseline(baseline_path)
-    report = analyze_paths(paths, root=Path.cwd(), rules=rules, baseline=baseline)
+    cache_dir = Path(args.cache_dir) if args.cache_dir else None
+    report = analyze_paths(
+        paths, root=Path.cwd(), rules=rules, baseline=baseline, cache_dir=cache_dir
+    )
     if args.write_baseline:
         write_baseline(baseline_path, report.findings)
         print(f"wrote {len(report.findings)} finding(s) to {baseline_path}")
         return 0
-    print(format_findings_json(report) if args.json else format_findings_text(report))
-    return 0 if report.ok else 1
+    if args.format == "sarif":
+        print(format_findings_sarif(report))
+    elif args.format == "json" or args.json:
+        print(format_findings_json(report))
+    else:
+        print(format_findings_text(report))
+    ok = report.strict_ok() if args.strict_suppressions else report.ok
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -354,11 +380,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "failures recorded)")
 
     lint = sub.add_parser(
-        "lint", help="run the repo-contract static analyzer (R001–R006)"
+        "lint", help="run the repo-contract static analyzer (R001–R011)"
     )
     lint.add_argument("paths", nargs="*", default=None,
                       help="files or directories to analyze (default: src)")
-    lint.add_argument("--json", action="store_true", help="JSON output")
+    lint.add_argument("--json", action="store_true",
+                      help="JSON output (alias for --format json)")
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json", "sarif"],
+                      help="report format (sarif for GitHub code scanning)")
     lint.add_argument("--rules", default=None,
                       help="comma-separated rule ids to run (default: all)")
     lint.add_argument("--baseline", default=None,
@@ -367,6 +397,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="ignore the baseline and report every finding")
     lint.add_argument("--write-baseline", action="store_true",
                       help="write current findings as the new baseline and exit")
+    lint.add_argument("--migrate-baseline", action="store_true",
+                      help="rewrite a v1 baseline in the hash-keyed v2 format")
+    lint.add_argument("--strict-suppressions", action="store_true",
+                      help="also exit non-zero on unused suppression comments")
+    lint.add_argument("--graph", action="store_true",
+                      help="dump the call graph with inferred effects as DOT")
+    lint.add_argument("--cache-dir", default=None,
+                      help="cache whole-project analysis results here")
     return parser
 
 

@@ -138,9 +138,11 @@ class IndexKMeans(KMeansAlgorithm):
         self.counters.add_point_accesses(len(idx) * len(candidates))
         sq = chunked_sq_distances(points, self._centroids[candidates], self.counters)
         winners = candidates[np.argmin(sq, axis=1)]
-        self._apply_leaf_winners(node, winners)
+        self._apply_leaf_winners(node, winners, points)
 
-    def _apply_leaf_winners(self, node: TreeNode, winners: np.ndarray) -> None:
+    def _apply_leaf_winners(
+        self, node: TreeNode, winners: np.ndarray, points: np.ndarray
+    ) -> None:
         """Fold a leaf's per-point winners into labels and cluster sums.
 
         Accumulation is deliberately *per point, in leaf storage order*
@@ -154,7 +156,9 @@ class IndexKMeans(KMeansAlgorithm):
         """
         idx = node.point_indices
         self._labels[idx] = winners
-        np.add.at(self._sums, winners, self.X[idx])
+        # ``points`` is the block the caller already fetched (and charged)
+        # for the distance scan — reusing it avoids a second gather.
+        np.add.at(self._sums, winners, points)
         self._counts += np.bincount(winners, minlength=self.k)
 
     def _extras(self) -> dict:

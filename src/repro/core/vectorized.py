@@ -79,6 +79,10 @@ from repro.core.pruning import centroid_separations
 from repro.core.refinement import accumulate_cluster_sums
 from repro.core.yinyang import YinyangKMeans
 
+#: Opts this module into R008 (backend-purity): any distance arithmetic
+#: here must go through the counted kernels in ``repro.common.distance``.
+BACKEND_ROUTED = True
+
 
 class VectorizedElkanKMeans(ElkanKMeans):
     """Elkan's algorithm with batched bound tests (candidate-major order).

@@ -24,6 +24,8 @@ class BallTree(MetricTree):
         indices = np.arange(len(self.X), dtype=np.intp)
         return self._build_node(indices)
 
+    # repro: ignore[R010] — index construction; `_split` only gathers build-time
+    # working sets, and every distance it computes is charged through `_dists`
     def _build_node(self, indices: np.ndarray) -> TreeNode:
         if len(indices) <= self.capacity:
             return make_leaf(self.X, indices, height=0, counters=self.counters)

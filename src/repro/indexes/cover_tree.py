@@ -48,6 +48,8 @@ class CoverTree(MetricTree):
         scale = float(spread.max())
         return self._build_level(indices, scale)
 
+    # repro: ignore[R010] — index construction; `_greedy_cover` only gathers
+    # build-time working sets, its distances are charged through `_dists`
     def _build_level(self, indices: np.ndarray, scale: float) -> TreeNode:
         if len(indices) <= self.capacity or scale <= 1e-12:
             return make_leaf(self.X, indices, height=0, counters=self.counters)

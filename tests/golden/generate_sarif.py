@@ -1,0 +1,24 @@
+"""Regenerate the golden SARIF document for tests/test_analysis_sarif.py.
+
+Run from the repo root after a deliberate SARIF format change:
+
+    PYTHONPATH=src python tests/golden/generate_sarif.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.analysis import format_findings_sarif  # noqa: E402
+
+from test_analysis_sarif import GOLDEN, fixed_report  # noqa: E402
+
+
+def main() -> None:
+    GOLDEN.write_text(format_findings_sarif(fixed_report()) + "\n")
+    print(f"wrote {GOLDEN}")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,15 @@ def test_src_tree_has_no_unbaselined_findings():
     assert not report.findings, f"non-baselined findings:\n{details}"
 
 
+def test_src_tree_has_no_unused_suppressions():
+    # Every ``# repro: ignore[...]`` in the tree must still silence a
+    # live finding — the --strict-suppressions contract CI enforces.
+    report = analyze_paths([SRC], root=REPO_ROOT)
+    stale = "\n".join(u.format() for u in report.unused_suppressions)
+    assert report.unused_suppressions == [], f"stale suppressions:\n{stale}"
+    assert report.suppressed > 0  # justified suppressions exist and are used
+
+
 def test_shipped_baseline_is_empty():
     # The tentpole's triage requirement: everything real was fixed or
     # suppressed with justification, so the committed baseline carries

@@ -1,0 +1,383 @@
+"""Fixture-package tests for the interprocedural rules R007–R011.
+
+Each fixture is a tiny source tree written to ``tmp_path`` in the repo's
+``src/repro/...`` layout (the rules scope by path), run through the real
+:func:`repro.analysis.analyze_paths` with just the rule under test active
+— one positive fixture that must fire and one negative that must not.
+"""
+
+import textwrap
+
+from repro.analysis import analyze_paths, get_rules
+from repro.cli import main
+
+
+def run_fixture(tmp_path, files, rule_ids):
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return analyze_paths(
+        [tmp_path / "src"], root=tmp_path, rules=get_rules(rule_ids)
+    )
+
+
+# ----------------------------------------------------------------------
+# R007 — parallel-safety
+# ----------------------------------------------------------------------
+
+
+class TestParallelSafety:
+    def test_transitive_global_mutation_flagged(self, tmp_path):
+        report = run_fixture(tmp_path, {
+            "src/repro/eval/work.py": """\
+                TOTALS = {}
+
+                def mutate():
+                    TOTALS["x"] = 1
+
+                def worker(item):
+                    mutate()
+                    return item
+
+                def run(items):
+                    return supervised_map(worker, items)
+                """,
+        }, ["R007"])
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.rule_id == "R007"
+        assert "'mutate'" in finding.message
+        assert "chain:" in finding.message
+        # Reported at the offender's definition, with the dispatch site named.
+        assert finding.line == 3
+        assert "work.py:11" in finding.message
+
+    def test_lambda_and_nested_dispatch_flagged(self, tmp_path):
+        report = run_fixture(tmp_path, {
+            "src/repro/eval/work.py": """\
+                def run(items):
+                    def inner(x):
+                        return x
+                    supervised_map(lambda x: x, items)
+                    return supervised_map(inner, items)
+                """,
+        }, ["R007"])
+        messages = [f.message for f in report.findings]
+        assert any("lambda" in m for m in messages)
+        assert any("unpicklable closure" in m for m in messages)
+
+    def test_process_target_checked(self, tmp_path):
+        report = run_fixture(tmp_path, {
+            "src/repro/eval/work.py": """\
+                STATE = []
+
+                def child():
+                    STATE.append(1)
+
+                def launch(ctx):
+                    proc = ctx.Process(target=child)
+                    proc.start()
+                """,
+        }, ["R007"])
+        assert len(report.findings) == 1
+        assert "'child'" in report.findings[0].message
+
+    def test_clean_worker_passes(self, tmp_path):
+        report = run_fixture(tmp_path, {
+            "src/repro/eval/work.py": """\
+                def helper(item):
+                    return item * 2
+
+                def worker(item):
+                    local = {}
+                    local["x"] = helper(item)
+                    return local
+
+                def run(items):
+                    return supervised_map(worker, items)
+                """,
+        }, ["R007"])
+        assert report.findings == []
+
+
+# ----------------------------------------------------------------------
+# R008 — backend-purity
+# ----------------------------------------------------------------------
+
+
+_R008_BAD = """\
+    import numpy as np
+
+    BACKEND_ROUTED = True
+
+    def raw_norm(a, b):
+        return np.linalg.norm(a - b, axis=1)
+
+    def routed(a, b):
+        return raw_norm(a, b)
+    """
+
+
+class TestBackendPurity:
+    def test_direct_and_inherited_flagged(self, tmp_path):
+        report = run_fixture(
+            tmp_path, {"src/repro/core/vec.py": _R008_BAD}, ["R008"]
+        )
+        assert len(report.findings) == 2
+        by_line = {f.line: f.message for f in report.findings}
+        # Direct offense at the arithmetic, inherited one at the def line.
+        assert 6 in by_line and "backend-routed module" in by_line[6]
+        assert 8 in by_line and "raw_norm" in by_line[8]
+        assert "vec.py:6" in by_line[8]
+
+    def test_undeclared_module_not_checked(self, tmp_path):
+        undeclared = _R008_BAD.replace("BACKEND_ROUTED = True", "")
+        report = run_fixture(
+            tmp_path, {"src/repro/core/vec.py": undeclared}, ["R008"]
+        )
+        assert report.findings == []
+
+    def test_justified_suppression_clears_effect(self, tmp_path):
+        suppressed = _R008_BAD.replace(
+            "return np.linalg.norm(a - b, axis=1)",
+            "return np.linalg.norm(a - b, axis=1)  # repro: ignore[R001, R008]",
+        )
+        report = run_fixture(
+            tmp_path, {"src/repro/core/vec.py": suppressed}, ["R008"]
+        )
+        # The suppressed line contributes no uncounted-distance effect, so
+        # the caller inherits nothing either.
+        assert report.findings == []
+
+
+# ----------------------------------------------------------------------
+# R009 — rng-provenance
+# ----------------------------------------------------------------------
+
+
+class TestRngProvenance:
+    def test_hardcoded_seed_flagged(self, tmp_path):
+        report = run_fixture(tmp_path, {
+            "src/repro/tuning/sel.py": """\
+                from repro.common.rng import ensure_rng
+
+                def pick():
+                    rng = ensure_rng(42)
+                    return rng
+                """,
+        }, ["R009"])
+        assert len(report.findings) == 1
+        assert "hard-codes the seed" in report.findings[0].message
+
+    def test_acquired_from_nothing_flagged(self, tmp_path):
+        report = run_fixture(tmp_path, {
+            "src/repro/tuning/sel.py": """\
+                from repro.common.rng import ensure_rng
+
+                def pick():
+                    rng = ensure_rng()
+                    return rng
+                """,
+        }, ["R009"])
+        assert len(report.findings) == 1
+        assert "from nothing" in report.findings[0].message
+
+    def test_module_level_generator_draw_flagged(self, tmp_path):
+        report = run_fixture(tmp_path, {
+            "src/repro/tuning/sel.py": """\
+                _SHARED_RNG = object()
+
+                def draw(n):
+                    return _SHARED_RNG.integers(n)
+                """,
+        }, ["R009"])
+        assert len(report.findings) == 1
+        assert "_SHARED_RNG" in report.findings[0].message
+
+    def test_parameter_derived_rng_passes(self, tmp_path):
+        report = run_fixture(tmp_path, {
+            "src/repro/tuning/sel.py": """\
+                from repro.common.rng import ensure_rng, spawn_rng
+
+                def pick(seed, k):
+                    rng = ensure_rng(seed)
+                    child_rng = spawn_rng(rng)
+                    return [child_rng.integers(10) for _ in range(k)]
+
+                class Model:
+                    def sample(self, n):
+                        rng = ensure_rng(self.seed)
+                        return rng.integers(n)
+                """,
+        }, ["R009"])
+        assert report.findings == []
+
+
+# ----------------------------------------------------------------------
+# R010 — transitive counter discipline
+# ----------------------------------------------------------------------
+
+
+_R010_BAD = """\
+    class Algo:
+        def __init__(self, X, counters):
+            self.X = X
+            self.counters = counters
+
+        def assign(self, counters):
+            return self._gather()
+
+        def _gather(self):
+            return self.X[0]
+    """
+
+
+class TestTransitiveCounterDiscipline:
+    def test_uncharged_helper_read_flagged(self, tmp_path):
+        report = run_fixture(
+            tmp_path, {"src/repro/core/algo.py": _R010_BAD}, ["R010"]
+        )
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        # Lands on the counter-accepting function's def, naming the helper.
+        assert finding.line == 6
+        assert "_gather" in finding.message
+        assert "algo.py:10" in finding.message
+
+    def test_charging_helper_passes(self, tmp_path):
+        charged = _R010_BAD.replace(
+            "            return self.X[0]",
+            "            self.counters.add_point_accesses(1)\n"
+            "            return self.X[0]",
+        )
+        report = run_fixture(
+            tmp_path, {"src/repro/core/algo.py": charged}, ["R010"]
+        )
+        assert report.findings == []
+
+    def test_suppressed_read_passes(self, tmp_path):
+        suppressed = _R010_BAD.replace(
+            "return self.X[0]",
+            "return self.X[0]  # repro: ignore[R010] -- build-time gather",
+        )
+        report = run_fixture(
+            tmp_path, {"src/repro/core/algo.py": suppressed}, ["R010"]
+        )
+        assert report.findings == []
+
+    def test_outside_instrumented_scope_ignored(self, tmp_path):
+        report = run_fixture(
+            tmp_path, {"src/repro/tuning/algo.py": _R010_BAD}, ["R010"]
+        )
+        assert report.findings == []
+
+
+# ----------------------------------------------------------------------
+# R011 — accumulation-order stability
+# ----------------------------------------------------------------------
+
+
+_R011_BAD = """\
+    def accumulate_cluster_sums(X, labels, k):
+        return X
+
+    def combine(parts):
+        total = 0.0
+        for value in set(parts):
+            total += value
+        return accumulate_cluster_sums(total, None, 1)
+    """
+
+
+class TestAccumulationOrder:
+    def test_set_loop_on_merge_path_flagged(self, tmp_path):
+        report = run_fixture(
+            tmp_path, {"src/repro/core/shard.py": _R011_BAD}, ["R011"]
+        )
+        assert len(report.findings) == 1
+        assert "hash order" in report.findings[0].message
+        assert "'combine'" in report.findings[0].message
+
+    def test_sum_over_set_comprehension_flagged(self, tmp_path):
+        report = run_fixture(tmp_path, {
+            "src/repro/core/shard.py": """\
+                def merge_partials(parts):
+                    return sum(p * 2 for p in set(parts))
+                """,
+        }, ["R011"])
+        assert len(report.findings) == 1
+        assert "comprehension" in report.findings[0].message
+
+    def test_sorted_iteration_passes(self, tmp_path):
+        ordered = _R011_BAD.replace("set(parts)", "sorted(set(parts))")
+        report = run_fixture(
+            tmp_path, {"src/repro/core/shard.py": ordered}, ["R011"]
+        )
+        assert report.findings == []
+
+    def test_off_merge_path_not_flagged(self, tmp_path):
+        report = run_fixture(tmp_path, {
+            "src/repro/core/shard.py": """\
+                def accumulate_cluster_sums(X, labels, k):
+                    return X
+
+                def unrelated(parts):
+                    total = 0.0
+                    for value in set(parts):
+                        total += value
+                    return total
+                """,
+        }, ["R011"])
+        assert report.findings == []
+
+
+# ----------------------------------------------------------------------
+# Suppression audit / --strict-suppressions (satellite 1)
+# ----------------------------------------------------------------------
+
+
+class TestStrictSuppressions:
+    def _write_stale(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1  # repro: ignore[R004]\n")
+        return target
+
+    def test_unused_suppression_reported(self, tmp_path):
+        self._write_stale(tmp_path)
+        report = analyze_paths([tmp_path], root=tmp_path)
+        assert report.ok  # no findings ...
+        assert not report.strict_ok()  # ... but a stale suppression
+        assert len(report.unused_suppressions) == 1
+        unused = report.unused_suppressions[0]
+        assert unused.rule_ids == ("R004",)
+        assert "unused suppression" in unused.format()
+
+    def test_cli_exits_nonzero_only_with_flag(self, tmp_path, capsys):
+        self._write_stale(tmp_path)
+        argv = ["lint", str(tmp_path), "--no-baseline"]
+        assert main(argv) == 0
+        assert main(argv + ["--strict-suppressions"]) == 1
+        assert "unused suppression" in capsys.readouterr().out
+
+    def test_used_suppression_not_reported(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "core" / "kern.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "import numpy as np\n"
+            "def d(a, b):\n"
+            "    return np.linalg.norm(a - b)  # repro: ignore[R001]\n"
+        )
+        report = analyze_paths([tmp_path / "src"], root=tmp_path)
+        assert report.findings == []
+        assert report.suppressed == 1
+        assert report.unused_suppressions == []
+
+    def test_docstring_mention_is_not_a_suppression(self, tmp_path):
+        target = tmp_path / "doc.py"
+        target.write_text(
+            '"""Use ``# repro: ignore[R001]`` to silence a finding."""\n'
+            "x = 1\n"
+        )
+        report = analyze_paths([tmp_path], root=tmp_path)
+        assert report.unused_suppressions == []

@@ -551,10 +551,13 @@ class TestBaseline:
         baseline = load_baseline(path)
         assert len(baseline) == 3
         payload = json.loads(path.read_text())
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         counts = {(i["path"], i["rule"]): i.get("count", 1)
                   for i in payload["findings"]}
         assert counts[("src/repro/core/a.py", "R001")] == 2
+        # v2 entries are keyed by content hash; the snippet rides along
+        # for human review only.
+        assert all(i["hash"] for i in payload["findings"])
 
     def test_missing_file_is_empty(self, tmp_path):
         assert len(load_baseline(tmp_path / "absent.json")) == 0
@@ -576,8 +579,11 @@ class TestBaseline:
 
 
 class TestRegistryAndReporters:
-    def test_all_six_rules_registered(self):
-        assert ALL_RULE_IDS == ("R001", "R002", "R003", "R004", "R005", "R006")
+    def test_all_rules_registered(self):
+        assert ALL_RULE_IDS == (
+            "R001", "R002", "R003", "R004", "R005", "R006",
+            "R007", "R008", "R009", "R010", "R011",
+        )
 
     def test_get_rules_subset_and_unknown(self):
         assert [r.rule_id for r in get_rules(["r004"])] == ["R004"]
