@@ -48,6 +48,36 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
                              "(see docs/backends.md)")
 
 
+def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shards", type=int, default=1,
+                        help="split the assignment phase across this many "
+                             "supervised worker processes; requires "
+                             "--backend vectorized and results stay "
+                             "bit-identical (see docs/sharding.md)")
+    parser.add_argument("--shard-policy", default="strict",
+                        choices=["strict", "recompute", "degrade"],
+                        help="what to do when a shard fails terminally: "
+                             "raise, re-run it inline (bit-identical), or "
+                             "finish from survivors with a DegradedIteration "
+                             "record")
+
+
+def _check_shard_arguments(args: argparse.Namespace, names) -> Optional[str]:
+    """Validate --shards/--shard-policy against backend + algorithms."""
+    if args.shards <= 1:
+        return None
+    if args.backend != "vectorized":
+        return ("--shards requires --backend vectorized (the shard kernels "
+                "are the vectorized kernels)")
+    from repro.exec.sharded import SHARDED_ALGORITHMS
+
+    unsupported = [name for name in names if name not in SHARDED_ALGORITHMS]
+    if unsupported:
+        return (f"no sharded implementation for: {unsupported}; sharded "
+                f"execution supports: {sorted(SHARDED_ALGORITHMS)}")
+    return None
+
+
 def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset", default="BigCross",
                         help="registry dataset name, or a CSV path with --csv")
@@ -78,8 +108,15 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
+    error = _check_shard_arguments(args, [args.algorithm])
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     X = _load(args)
-    algorithm = make_algorithm(args.algorithm, backend=args.backend)
+    algorithm = make_algorithm(
+        args.algorithm, backend=args.backend,
+        shards=args.shards, shard_policy=args.shard_policy if args.shards > 1 else None,
+    )
     result = algorithm.fit(X, args.k, max_iter=args.max_iter, seed=args.seed)
     summary = result.summary()
     if args.json:
@@ -115,10 +152,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         # backend like everything else, so vectorized comparisons measure
         # speedups against vectorized Lloyd, not the scalar reference.
         names.insert(0, "lloyd")
+    error = _check_shard_arguments(args, names)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     records = compare_algorithms(
         names, X, args.k,
         repeats=args.repeats, max_iter=args.max_iter,
         seed=args.seed, backend=args.backend,
+        shards=args.shards,
+        shard_policy=args.shard_policy if args.shards > 1 else None,
     )
     table = speedup_table(records)
     rows = format_speedup_rows(table, order=names)
@@ -193,6 +236,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("--resume requires --log (the checkpoint to resume from)",
               file=sys.stderr)
         return 2
+    error = _check_shard_arguments(args, names)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     try:
         plan = FaultPlan.parse(args.inject_faults) if args.inject_faults else None
         datasets = [d.strip() for d in args.datasets.split(",") if d.strip()]
@@ -212,6 +259,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 max_workers=args.max_workers, timeout=args.timeout,
                 retries=args.retries, dataset=dataset, log=log,
                 resume=args.resume, fault_plan=plan, backend=args.backend,
+                shards=args.shards,
+                shard_policy=args.shard_policy if args.shards > 1 else None,
             )
             for record in records:
                 if is_failed_record(record):
@@ -321,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_data_arguments(cluster)
     cluster.add_argument("--algorithm", default="unik", choices=sorted(ALGORITHMS))
     _add_backend_argument(cluster)
+    _add_shard_arguments(cluster)
     cluster.add_argument("--k", type=int, default=10)
     cluster.add_argument("--max-iter", type=int, default=10)
     cluster.add_argument("--json", action="store_true", help="JSON output")
@@ -330,6 +380,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_data_arguments(compare)
     compare.add_argument("--algorithms", default="lloyd,yinyang,index,unik")
     _add_backend_argument(compare)
+    _add_shard_arguments(compare)
     compare.add_argument("--k", type=int, default=10)
     compare.add_argument("--max-iter", type=int, default=10)
     compare.add_argument("--repeats", type=int, default=2)
@@ -357,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated registry dataset names")
     bench.add_argument("--algorithms", default="lloyd,hamerly,yinyang")
     _add_backend_argument(bench)
+    _add_shard_arguments(bench)
     bench.add_argument("--ks", default="4", help="comma-separated k values")
     bench.add_argument("--n", type=int, default=300,
                        help="surrogate point count per dataset")

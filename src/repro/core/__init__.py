@@ -97,7 +97,8 @@ BACKENDS = ("reference", "vectorized")
 
 
 def make_algorithm(
-    name: str, *, backend: str = "reference", **kwargs
+    name: str, *, backend: str = "reference", shards: int = 1,
+    shard_policy=None, **kwargs
 ) -> KMeansAlgorithm:
     """Instantiate an algorithm by registry name.
 
@@ -108,12 +109,37 @@ def make_algorithm(
     arguments go to the algorithm constructor, e.g.
     ``make_algorithm("index", index="kd-tree")`` or
     ``make_algorithm("elkan", backend="vectorized", use_inter=False)``.
+
+    ``shards > 1`` selects the fault-tolerant sharded execution engine
+    (``repro.exec.sharded``): the assignment phase fans out across
+    supervised worker processes with deterministic rank-order merging —
+    bit-identical to the single-process vectorized backend.  Requires
+    ``backend="vectorized"`` (the shard kernels *are* the vectorized
+    kernels) and an algorithm with a sharded implementation;
+    ``shard_policy`` picks the failure policy (``strict`` / ``recompute``
+    / ``degrade``), and engine knobs (``execution``, ``fault_plan``,
+    ``checkpoint``, ``runner``) pass through ``kwargs``.
     """
     key = name.lower()
     if key not in ALGORITHMS:
         known = ", ".join(sorted(ALGORITHMS))
         raise ConfigurationError(
             f"unknown algorithm {name!r}; known algorithms: {known}"
+        )
+    if int(shards) > 1 or shard_policy is not None:
+        if backend != "vectorized":
+            raise ConfigurationError(
+                "sharded execution requires backend='vectorized' (the shard "
+                f"kernels are the vectorized kernels); got backend={backend!r}"
+            )
+        # Imported lazily: repro.exec.sharded itself imports this package's
+        # vectorized module, and most callers never shard.
+        from repro.exec.sharded import make_sharded_algorithm
+
+        return make_sharded_algorithm(
+            key, shards=max(1, int(shards)),
+            shard_policy=shard_policy if shard_policy is not None else "strict",
+            **kwargs,
         )
     if backend == "reference":
         cls = ALGORITHMS[key]
@@ -149,6 +175,8 @@ class KMeans:
         *,
         algorithm: str = "unik",
         backend: str = "reference",
+        shards: int = 1,
+        shard_policy=None,
         init: str = "k-means++",
         max_iter: int = DEFAULT_MAX_ITER,
         tol: float = 0.0,
@@ -158,6 +186,8 @@ class KMeans:
         self.k = int(k)
         self.algorithm_name = algorithm
         self.backend = backend
+        self.shards = int(shards)
+        self.shard_policy = shard_policy
         self.init = init
         self.max_iter = int(max_iter)
         self.tol = float(tol)
@@ -168,7 +198,11 @@ class KMeans:
     def fit(self, X: np.ndarray, initial_centroids: Optional[np.ndarray] = None) -> KMeansResult:
         """Cluster ``X``; returns (and stores in ``result_``) the result."""
         algorithm = make_algorithm(
-            self.algorithm_name, backend=self.backend, **self.algorithm_kwargs
+            self.algorithm_name,
+            backend=self.backend,
+            shards=self.shards,
+            shard_policy=self.shard_policy,
+            **self.algorithm_kwargs,
         )
         self.result_ = algorithm.fit(
             X,

@@ -84,6 +84,241 @@ from repro.core.yinyang import YinyangKMeans
 BACKEND_ROUTED = True
 
 
+# ----------------------------------------------------------------------
+# Row-subset assignment kernels.
+#
+# The per-point assignment logic of Lloyd/Elkan/Hamerly is independent
+# across points (points never interact within an assignment pass — the
+# module-docstring invariant), so each pass is exposed as a module-level
+# function over an arbitrary contiguous *row slice*: running it on
+# ``X[lo:hi]`` produces exactly the rows ``[lo, hi)`` of the full-matrix
+# pass, bitwise.  The classes below call them on the full matrix; the
+# sharded engine (``repro.exec.sharded``) ships them to supervised worker
+# processes per shard.  They are deliberately plain module functions —
+# picklable, no module-global mutation — because they are pool-dispatch
+# roots under the R007 parallel-safety rule.
+#
+# Each kernel charges the slice's share of the per-iteration counters;
+# centroid-level work (``centroid_separations``) is *not* charged here —
+# it happens once per iteration in the caller, so sharded counter totals
+# equal single-process totals.
+# ----------------------------------------------------------------------
+
+
+def lloyd_assign_rows(
+    X_rows: np.ndarray,
+    centroids: np.ndarray,
+    x_sq_rows: np.ndarray,
+    c_sq: np.ndarray,
+    counters,
+    *,
+    margin_factor: float = 16.0,
+) -> np.ndarray:
+    """Lloyd assignment for one row slice; returns the slice's labels.
+
+    Speculative expansion scan + exact near-tie fallback (see
+    :class:`VectorizedLloydKMeans`).  ``x_sq_rows`` are the slice's cached
+    row norms and ``c_sq``/``c_sq.max()`` are global, so the margin test is
+    row-subset invariant and the fallback's :func:`chunked_sq_distances`
+    entries are too — the slice result equals the full-scan rows bitwise.
+    """
+    n, d = X_rows.shape
+    k = len(centroids)
+    # The paper's Lloyd cost: n*k distances, each touching its point.
+    counters.add_distances(n * k)
+    counters.add_point_accesses(n * k)
+    # Uncounted kernel calls — the n*k charge above covers this scan.
+    fast = pairwise_sq_distances(X_rows, centroids, a_sq=x_sq_rows, b_sq=c_sq)
+    labels = np.argmin(fast, axis=1).astype(np.intp)
+    if k > 1:
+        two = np.partition(fast, 1, axis=1)
+        eps = np.finfo(np.float64).eps
+        margin = margin_factor * (d + 4) * eps * (x_sq_rows + float(c_sq.max()))
+        suspects = np.flatnonzero(two[:, 1] - two[:, 0] <= 2.0 * margin)
+        if len(suspects):
+            exact = chunked_sq_distances(X_rows[suspects], centroids)
+            labels[suspects] = np.argmin(exact, axis=1)
+    return labels
+
+
+def elkan_seed_rows(
+    X_rows: np.ndarray, centroids: np.ndarray, counters
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Elkan iteration-0 full scan for one row slice.
+
+    Returns ``(labels, ub, lb)`` for the slice — the per-row restriction
+    of :meth:`repro.core.elkan.ElkanKMeans._initial_scan`
+    (:func:`chunked_sq_distances` is row-subset invariant), with the same
+    charges: ``n*k`` distances + point accesses, ``n*k + n`` bound writes.
+    """
+    sq = chunked_sq_distances(X_rows, centroids, counters)
+    counters.add_point_accesses(sq.size)
+    labels = np.argmin(sq, axis=1).astype(np.intp)
+    dists = np.sqrt(sq)
+    ub = dists[np.arange(len(X_rows)), labels].copy()
+    counters.add_bound_updates(dists.size + len(X_rows))
+    return labels, ub, dists
+
+
+def elkan_assign_rows(
+    X_rows: np.ndarray,
+    centroids: np.ndarray,
+    labels: np.ndarray,
+    ub: np.ndarray,
+    lb: np.ndarray,
+    half_cc,
+    s: np.ndarray,
+    counters,
+    *,
+    cand_buf=None,
+) -> None:
+    """Elkan assignment pass over one row slice, in place.
+
+    ``labels``/``ub``/``lb`` are the slice's bound state and are updated in
+    place.  ``half_cc`` (``0.5 * cc``, or None when inter-bounds are off)
+    and ``s`` are centroid-level context computed — and charged — once per
+    iteration by the caller.  ``cand_buf`` optionally supplies the
+    ``(n, k)`` candidate scratch; a fresh allocation is value-identical.
+    """
+    n = len(X_rows)
+    k = len(centroids)
+    # Global test (n bound reads), identical to the reference.
+    counters.add_bound_accesses(n)
+    active = np.flatnonzero(ub > s[labels])
+    if len(active) == 0:
+        return
+    # Candidate filter: both Elkan conditions over all j != a, one
+    # masked block instead of a per-point loop (k bound reads each).
+    a0 = labels[active]
+    u0 = ub[active]
+    counters.add_bound_accesses(len(active) * k)
+    if cand_buf is not None:
+        cand = np.less(lb[active], u0[:, None], out=cand_buf[: len(active)])
+    else:
+        cand = np.less(lb[active], u0[:, None])
+    if half_cc is not None:
+        cand &= half_cc[a0] < u0[:, None]
+    cand[np.arange(len(active)), a0] = False
+    has = cand.any(axis=1)
+    pts = active[has]
+    if len(pts) == 0:
+        return
+    cand = cand[has]
+    # Tighten ub to the exact distance for every surviving point.
+    a = labels[pts]
+    counters.add_point_accesses(len(pts))
+    d_a = paired_distances(X_rows[pts], centroids[a], counters)
+    ub[pts] = d_a
+    lb[pts, a] = d_a
+    counters.add_bound_updates(2 * len(pts))
+    u = d_a.copy()
+    # Candidate scan, column-major: ascending j preserves each point's
+    # reference scan order; u/labels update per column, so the running
+    # best a point carries into column j+1 matches the reference's
+    # sequential inner loop.
+    for j in range(k):
+        rows = np.flatnonzero(cand[:, j])
+        if len(rows) == 0:
+            continue
+        p = pts[rows]
+        counters.add_bound_accesses(2 * len(rows))
+        skip = lb[p, j] >= u[rows]
+        if half_cc is not None:
+            skip |= half_cc[labels[p], j] >= u[rows]
+        todo = rows[~skip]
+        if len(todo) == 0:
+            continue
+        q = pts[todo]
+        counters.add_point_accesses(len(q))
+        d_j = paired_distances(X_rows[q], centroids[j], counters)
+        lb[q, j] = d_j
+        counters.add_bound_updates(len(q))
+        better = d_j < u[todo]
+        if better.any():
+            moved = todo[better]
+            labels[pts[moved]] = j
+            ub[pts[moved]] = d_j[better]
+            u[moved] = d_j[better]
+            counters.add_bound_updates(int(better.sum()))
+
+
+def hamerly_seed_rows(
+    X_rows: np.ndarray, centroids: np.ndarray, counters
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Hamerly iteration-0 full scan for one row slice.
+
+    Returns ``(labels, ub, lb)`` — the per-row restriction of
+    :meth:`repro.core.hamerly.HamerlyKMeans._initial_scan` with the same
+    charges (``n*k`` distances + point accesses, ``2n`` bound writes).
+    """
+    sq = chunked_sq_distances(X_rows, centroids, counters)
+    counters.add_point_accesses(sq.size)
+    labels = np.argmin(sq, axis=1).astype(np.intp)
+    dists = np.sqrt(sq)
+    n = len(X_rows)
+    idx = np.arange(n)
+    ub = dists[idx, labels].copy()
+    if len(centroids) > 1:
+        masked = dists.copy()
+        masked[idx, labels] = np.inf
+        lb = masked.min(axis=1)
+    else:
+        lb = np.full(n, np.inf)
+    counters.add_bound_updates(2 * n)
+    return labels, ub, lb
+
+
+def hamerly_assign_rows(
+    X_rows: np.ndarray,
+    centroids: np.ndarray,
+    labels: np.ndarray,
+    ub: np.ndarray,
+    lb: np.ndarray,
+    s: np.ndarray,
+    counters,
+    *,
+    thresh_buf=None,
+) -> None:
+    """Hamerly assignment pass over one row slice, in place.
+
+    ``s`` is the half-separation vector computed — and charged — once per
+    iteration by the caller; ``thresh_buf`` optionally supplies the length
+    ``n`` threshold scratch (fresh allocation is value-identical).
+    """
+    k = len(centroids)
+    # Global test over all points (2n bound reads), as in the reference.
+    if thresh_buf is not None:
+        thresholds = np.maximum(lb, s[labels], out=thresh_buf[: len(X_rows)])
+    else:
+        thresholds = np.maximum(lb, s[labels])
+    counters.add_bound_accesses(2 * len(X_rows))
+    active = np.flatnonzero(ub > thresholds)
+    if len(active) == 0:
+        return
+    # Tighten the upper bound with one exact distance per survivor.
+    counters.add_point_accesses(len(active))
+    d_a = paired_distances(X_rows[active], centroids[labels[active]], counters)
+    ub[active] = d_a
+    counters.add_bound_updates(len(active))
+    rescan = active[d_a > thresholds[active]]
+    if len(rescan) == 0:
+        return
+    # Full rescan block: every entry bit-identical to the reference's
+    # one_to_many_distances row, so argmin tie-breaking is preserved.
+    counters.add_point_accesses(len(rescan) * k)
+    dists = block_distances(X_rows[rescan], centroids, counters)
+    best = np.argmin(dists, axis=1)
+    d1 = dists[np.arange(len(rescan)), best]
+    if k > 1:
+        d2 = np.partition(dists, 1, axis=1)[:, 1]
+    else:
+        d2 = np.full(len(rescan), np.inf)
+    labels[rescan] = best
+    ub[rescan] = d1
+    lb[rescan] = d2
+    counters.add_bound_updates(2 * len(rescan))
+
+
 class VectorizedElkanKMeans(ElkanKMeans):
     """Elkan's algorithm with batched bound tests (candidate-major order).
 
@@ -113,81 +348,38 @@ class VectorizedElkanKMeans(ElkanKMeans):
         if iteration == 0:
             self._initial_scan()
             return
+        half_cc, s = self._separation_context()
+        elkan_assign_rows(
+            self.X,
+            self._centroids,
+            self._labels,
+            self._ub,
+            self._lb,
+            half_cc,
+            s,
+            self.counters,
+            cand_buf=self._cand_buf,
+        )
 
-        if self.use_inter:
-            cc, s = centroid_separations(
-                self._centroids,
-                self.counters,
-                scratch=self._cc_scratch,
-                work=self._cc_work,
-            )
-            # One center-center pass per iteration: the candidate filter and
-            # the per-column scan both test against 0.5 * cc; halving once
-            # (exact scaling, bit-invisible) replaces two full passes.
-            half_cc = np.multiply(cc, 0.5, out=self._half_cc)
-        else:
-            half_cc = None
-            s = np.zeros(self.k)  # never prunes
-        n = len(self.X)
-        labels = self._labels
-        ub = self._ub
-        lb = self._lb
-        counters = self.counters
-        # Global test (n bound reads), identical to the reference.
-        counters.add_bound_accesses(n)
-        active = np.flatnonzero(ub > s[labels])
-        if len(active) == 0:
-            return
-        # Candidate filter: both Elkan conditions over all j != a, one
-        # masked block instead of a per-point loop (k bound reads each).
-        a0 = labels[active]
-        u0 = ub[active]
-        counters.add_bound_accesses(len(active) * self.k)
-        cand = np.less(lb[active], u0[:, None], out=self._cand_buf[: len(active)])
-        if half_cc is not None:
-            cand &= half_cc[a0] < u0[:, None]
-        cand[np.arange(len(active)), a0] = False
-        has = cand.any(axis=1)
-        pts = active[has]
-        if len(pts) == 0:
-            return
-        cand = cand[has]
-        # Tighten ub to the exact distance for every surviving point.
-        a = labels[pts]
-        counters.add_point_accesses(len(pts))
-        d_a = paired_distances(self.X[pts], self._centroids[a], counters)
-        ub[pts] = d_a
-        lb[pts, a] = d_a
-        counters.add_bound_updates(2 * len(pts))
-        u = d_a.copy()
-        # Candidate scan, column-major: ascending j preserves each point's
-        # reference scan order; u/labels update per column, so the running
-        # best a point carries into column j+1 matches the reference's
-        # sequential inner loop.
-        for j in range(self.k):
-            rows = np.flatnonzero(cand[:, j])
-            if len(rows) == 0:
-                continue
-            p = pts[rows]
-            counters.add_bound_accesses(2 * len(rows))
-            skip = lb[p, j] >= u[rows]
-            if half_cc is not None:
-                skip |= half_cc[labels[p], j] >= u[rows]
-            todo = rows[~skip]
-            if len(todo) == 0:
-                continue
-            q = pts[todo]
-            counters.add_point_accesses(len(q))
-            d_j = paired_distances(self.X[q], self._centroids[j], counters)
-            lb[q, j] = d_j
-            counters.add_bound_updates(len(q))
-            better = d_j < u[todo]
-            if better.any():
-                moved = todo[better]
-                labels[pts[moved]] = j
-                ub[pts[moved]] = d_j[better]
-                u[moved] = d_j[better]
-                counters.add_bound_updates(int(better.sum()))
+    def _separation_context(self):
+        """Per-iteration centroid-level context ``(half_cc, s)``.
+
+        Computed (and charged) once per iteration; the sharded engine calls
+        this in the supervisor and ships the result to every shard worker,
+        so counter totals match the single-process pass.
+        """
+        if not self.use_inter:
+            return None, np.zeros(self.k)  # never prunes
+        cc, s = centroid_separations(
+            self._centroids,
+            self.counters,
+            scratch=self._cc_scratch,
+            work=self._cc_work,
+        )
+        # One center-center pass per iteration: the candidate filter and
+        # the per-column scan both test against 0.5 * cc; halving once
+        # (exact scaling, bit-invisible) replaces two full passes.
+        return np.multiply(cc, 0.5, out=self._half_cc), s
 
 
 class VectorizedHamerlyKMeans(HamerlyKMeans):
@@ -211,44 +403,27 @@ class VectorizedHamerlyKMeans(HamerlyKMeans):
         if iteration == 0:
             self._initial_scan()
             return
+        s = self._separation_context()
+        hamerly_assign_rows(
+            self.X,
+            self._centroids,
+            self._labels,
+            self._ub,
+            self._lb,
+            s,
+            self.counters,
+            thresh_buf=self._thresh_buf,
+        )
+
+    def _separation_context(self) -> np.ndarray:
+        """Per-iteration half-separation vector ``s`` (charged once)."""
         _, s = centroid_separations(
             self._centroids,
             self.counters,
             scratch=self._cc_scratch,
             work=self._cc_work,
         )
-        labels = self._labels
-        ub = self._ub
-        lb = self._lb
-        counters = self.counters
-        # Global test over all points (2n bound reads), as in the reference.
-        thresholds = np.maximum(lb, s[labels], out=self._thresh_buf)
-        counters.add_bound_accesses(2 * len(self.X))
-        active = np.flatnonzero(ub > thresholds)
-        if len(active) == 0:
-            return
-        # Tighten the upper bound with one exact distance per survivor.
-        counters.add_point_accesses(len(active))
-        d_a = paired_distances(self.X[active], self._centroids[labels[active]], counters)
-        ub[active] = d_a
-        counters.add_bound_updates(len(active))
-        rescan = active[d_a > thresholds[active]]
-        if len(rescan) == 0:
-            return
-        # Full rescan block: every entry bit-identical to the reference's
-        # one_to_many_distances row, so argmin tie-breaking is preserved.
-        counters.add_point_accesses(len(rescan) * self.k)
-        dists = block_distances(self.X[rescan], self._centroids, counters)
-        best = np.argmin(dists, axis=1)
-        d1 = dists[np.arange(len(rescan)), best]
-        if self.k > 1:
-            d2 = np.partition(dists, 1, axis=1)[:, 1]
-        else:
-            d2 = np.full(len(rescan), np.inf)
-        labels[rescan] = best
-        ub[rescan] = d1
-        lb[rescan] = d2
-        counters.add_bound_updates(2 * len(rescan))
+        return s
 
 
 class VectorizedYinyangKMeans(YinyangKMeans):
@@ -462,28 +637,17 @@ class VectorizedLloydKMeans(LloydKMeans):
         )
 
     def _assign(self, iteration: int) -> None:
-        X = self.X
-        centroids = self._centroids
-        n, d = X.shape
-        k = self.k
-        counters = self.counters
-        # The paper's Lloyd cost: n*k distances, each touching its point.
-        counters.add_distances(n * k)
-        counters.add_point_accesses(n * k)
         if self._x_sq is None:
-            self._x_sq = sq_norms(X)
-        c_sq = sq_norms(centroids)
-        # Uncounted kernel calls — the n*k charge above covers this scan.
-        fast = pairwise_sq_distances(X, centroids, a_sq=self._x_sq, b_sq=c_sq)
-        labels = np.argmin(fast, axis=1).astype(np.intp)
-        if k > 1:
-            two = np.partition(fast, 1, axis=1)
-            margin = self._expansion_margin(c_sq)
-            suspects = np.flatnonzero(two[:, 1] - two[:, 0] <= 2.0 * margin)
-            if len(suspects):
-                exact = chunked_sq_distances(X[suspects], centroids)
-                labels[suspects] = np.argmin(exact, axis=1)
-        self._labels = labels
+            self._x_sq = sq_norms(self.X)
+        c_sq = sq_norms(self._centroids)
+        self._labels = lloyd_assign_rows(
+            self.X,
+            self._centroids,
+            self._x_sq,
+            c_sq,
+            self.counters,
+            margin_factor=self._MARGIN_FACTOR,
+        )
 
 
 class VectorizedIndexKMeans(IndexKMeans):
@@ -738,4 +902,9 @@ __all__ = [
     "VectorizedIndexKMeans",
     "VectorizedLloydKMeans",
     "VectorizedYinyangKMeans",
+    "elkan_assign_rows",
+    "elkan_seed_rows",
+    "hamerly_assign_rows",
+    "hamerly_seed_rows",
+    "lloyd_assign_rows",
 ]

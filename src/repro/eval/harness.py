@@ -103,9 +103,16 @@ class RunRecord:
         return cls(extras=extras, **kwargs)
 
 
-def _materialize(spec: AlgorithmSpec, backend: str = "reference") -> KMeansAlgorithm:
+def _materialize(
+    spec: AlgorithmSpec,
+    backend: str = "reference",
+    shards: int = 1,
+    shard_policy=None,
+) -> KMeansAlgorithm:
     if isinstance(spec, str):
-        return make_algorithm(spec, backend=backend)
+        return make_algorithm(
+            spec, backend=backend, shards=shards, shard_policy=shard_policy
+        )
     if isinstance(spec, KnobConfig):
         return build_algorithm(spec)
     return spec()
@@ -129,6 +136,8 @@ def run_algorithm(
     max_iter: int = PAPER_ITER_BUDGET,
     seed: int = 0,
     backend: str = "reference",
+    shards: int = 1,
+    shard_policy=None,
 ) -> RunRecord:
     """Run one algorithm ``repeats`` times and average the metrics.
 
@@ -138,8 +147,12 @@ def run_algorithm(
 
     ``backend`` selects the execution backend for string specs (see
     ``docs/backends.md``); counters and trajectories are backend-invariant,
-    so only wall-clock metrics change.  :class:`KnobConfig` and factory
-    specs carry their own construction and ignore it.
+    so only wall-clock metrics change.  ``shards > 1`` routes string specs
+    through the sharded engine (``repro.exec.sharded``; requires
+    ``backend="vectorized"``) with the given failure policy — results stay
+    bit-identical to the single-process vectorized run, so comparability
+    is preserved there too.  :class:`KnobConfig` and factory specs carry
+    their own construction and ignore backend, shards and shard_policy.
 
     Raises :class:`ValidationError` up front for ``repeats < 1``, ``k < 1``,
     ``k > n``, or non-finite ``X`` — the harness boundary is where bad
@@ -161,7 +174,7 @@ def run_algorithm(
         raise ValidationError("initial_centroids must contain at least one seeding")
     results: List[KMeansResult] = []
     for centroids in initial_centroids:
-        algorithm = _materialize(spec, backend)
+        algorithm = _materialize(spec, backend, shards, shard_policy)
         results.append(
             algorithm.fit(X, k, initial_centroids=centroids, max_iter=max_iter)
         )
@@ -207,6 +220,8 @@ def compare_algorithms(
     max_iter: int = PAPER_ITER_BUDGET,
     seed: int = 0,
     backend: str = "reference",
+    shards: int = 1,
+    shard_policy=None,
 ) -> List[RunRecord]:
     """Run several algorithms on the same task with shared initializations."""
     X = check_data_matrix(X)
@@ -222,6 +237,7 @@ def compare_algorithms(
             spec, X, k,
             initial_centroids=initial_centroids,
             repeats=repeats, max_iter=max_iter, seed=seed, backend=backend,
+            shards=shards, shard_policy=shard_policy,
         )
         for spec in specs
     ]

@@ -44,13 +44,17 @@ RunOutcome = Union[RunRecord, FailedRun]
 
 def _worker(item: Tuple, attempt: int) -> RunRecord:
     (spec, X, k, initial_centroids, repeats, max_iter, seed, key, fault_plan,
-     backend) = item
+     backend, shards, shard_policy) = item
     if fault_plan is not None:
         fault_plan.apply(key, attempt)
+    # Pool workers are daemonic and may not fork shard children; the
+    # sharded engine detects this and runs its shards inline (sequential,
+    # same rank-order merge — still bit-identical).
     return run_algorithm(
         spec, X, k,
         initial_centroids=initial_centroids,
         repeats=repeats, max_iter=max_iter, seed=seed, backend=backend,
+        shards=shards, shard_policy=shard_policy,
     )
 
 
@@ -72,6 +76,8 @@ def parallel_compare(
     resume: bool = False,
     fault_plan=None,
     backend: str = "reference",
+    shards: int = 1,
+    shard_policy=None,
 ) -> List[RunOutcome]:
     """Run several algorithm specs concurrently on the same task.
 
@@ -99,6 +105,12 @@ def parallel_compare(
       ``"vectorized"``; see ``docs/backends.md``).  Counters and
       trajectories are backend-invariant, so cells are resumable across
       backends; only wall-clock metrics differ.
+    * ``shards`` / ``shard_policy`` — with ``shards > 1`` (and
+      ``backend="vectorized"``), each worker runs its fit through the
+      sharded engine (``repro.exec.sharded``).  Because pool workers are
+      daemonic, shards execute inline inside the worker — the merge
+      discipline is identical, so results remain bit-identical and
+      resumable against single-process cells.
     """
     specs = list(specs)
     for spec in specs:
@@ -150,7 +162,7 @@ def parallel_compare(
         ]
         items = [
             (specs[i], X, k, initial_centroids, repeats, max_iter, seed, keys[i],
-             fault_plan, backend)
+             fault_plan, backend, shards, shard_policy)
             for i in todo
         ]
         outcomes = supervised_map(

@@ -58,6 +58,11 @@ FAILED_STATUS = "failed"
 #: how often the supervisor polls worker pipes and deadlines (seconds)
 _POLL_INTERVAL = 0.02
 
+#: placeholder for a result slot whose task has not finished; distinct from
+#: None so workers may legitimately return None (see supervised_map's
+#: no-None-placeholder invariant)
+_PENDING = object()
+
 
 @dataclass(frozen=True)
 class RunKey:
@@ -110,6 +115,14 @@ class ExecutionPolicy:
     ``min(cap, base * 2**(a-1)) * (1 + jitter * u)`` where ``u`` in [0, 1)
     is hashed deterministically from the run key and attempt — repeated
     campaigns sleep identically, and no global RNG state is touched.
+
+    ``max_total_time`` is a *batch-level* deadline: measured from the
+    moment :func:`supervised_map` starts, no new attempt (first run or
+    retry) is launched at or after the deadline, running workers are
+    killed when it passes, and every unfinished item degrades to a
+    ``RunTimeoutError`` :class:`FailedRun`.  This caps a retry storm
+    across many items (shards, cells) at the campaign budget regardless
+    of per-item ``timeout``/``retries`` settings.
     """
 
     timeout: Optional[float] = None
@@ -119,10 +132,15 @@ class ExecutionPolicy:
     jitter: float = 0.5
     retry_on_timeout: bool = False
     retry_on_crash: bool = False
+    max_total_time: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
             raise ValidationError(f"timeout must be > 0 (or None), got {self.timeout}")
+        if self.max_total_time is not None and self.max_total_time <= 0:
+            raise ValidationError(
+                f"max_total_time must be > 0 (or None), got {self.max_total_time}"
+            )
         if self.retries < 0:
             raise ValidationError(f"retries must be >= 0, got {self.retries}")
         if self.backoff_base < 0 or self.backoff_cap < 0 or self.jitter < 0:
@@ -254,7 +272,18 @@ def supervised_map(
     deadline, a crashed worker does not break the pool, and
     :class:`TransientError` failures are retried per ``policy`` — each
     retry re-runs the *same* item, so successful results are identical to
-    a failure-free run.
+    a failure-free run.  ``policy.max_total_time`` additionally bounds the
+    whole batch: when it expires, running workers are killed and every
+    unfinished item fails with ``RunTimeoutError``.
+
+    Invariant: every slot of the returned list is either ``fn``'s result
+    for that item or a :class:`FailedRun` — never an unfinished
+    placeholder.  If the supervisor loop itself dies (signal, bug,
+    ``KeyboardInterrupt``), the ``finally`` path reaps the workers and
+    converts every still-pending slot to
+    ``FailedRun(error_type="SupervisorAborted")`` before the exception
+    propagates, so callers that catch it still see a fully-settled list
+    (a worker returning ``None`` is a *result*, not a placeholder).
     """
     policy = policy or ExecutionPolicy()
     items = list(items)
@@ -265,34 +294,67 @@ def supervised_map(
         return []
     ctx = mp_context or _default_context()
     workers = max(1, max_workers or min(len(items), os.cpu_count() or 1))
-    results: List[Union[Any, FailedRun]] = [None] * len(items)
-    ready_queue = deque(
+    results: List[Union[Any, FailedRun]] = [_PENDING] * len(items)
+    tasks = [
         _Task(index=i, item=item, key=key)
         for i, (item, key) in enumerate(zip(items, keys))
-    )
+    ]
+    ready_queue = deque(tasks)
     backoff_wait: List[_Task] = []
     running: List[_Task] = []
+    batch_start = time.monotonic()
+    batch_deadline = (
+        None if policy.max_total_time is None else batch_start + policy.max_total_time
+    )
 
     def settle(task: _Task, error_type: str, message: str, retryable: bool) -> None:
         """Retry the task if the policy allows, else record a FailedRun."""
         if retryable and task.attempt <= policy.retries:
-            task.not_before = time.monotonic() + policy.backoff_delay(
+            not_before = time.monotonic() + policy.backoff_delay(
                 str(task.key), task.attempt
             )
-            task.attempt += 1
-            backoff_wait.append(task)
-            return
+            # A retry that could not start before the batch deadline is a
+            # failure now, not a zombie in the backoff queue.
+            if batch_deadline is None or not_before < batch_deadline:
+                task.not_before = not_before
+                task.attempt += 1
+                backoff_wait.append(task)
+                return
         results[task.index] = FailedRun(
             key=task.key,
             error_type=error_type,
             message=message,
             attempts=task.attempt,
-            elapsed=time.monotonic() - task.first_start,
+            elapsed=time.monotonic() - (task.first_start or batch_start),
         )
+
+    def expire_batch() -> None:
+        """Batch deadline passed: kill workers, fail all unfinished items."""
+        message = (
+            f"batch exceeded the {policy.max_total_time:.3g}s "
+            "max_total_time budget"
+        )
+        for task in list(running):
+            _reap(task)
+        running.clear()
+        ready_queue.clear()
+        backoff_wait.clear()
+        for task in tasks:
+            if results[task.index] is _PENDING:
+                results[task.index] = FailedRun(
+                    key=task.key,
+                    error_type="RunTimeoutError",
+                    message=message,
+                    attempts=task.attempt,
+                    elapsed=time.monotonic() - (task.first_start or batch_start),
+                )
 
     try:
         while ready_queue or backoff_wait or running:
             now = time.monotonic()
+            if batch_deadline is not None and now >= batch_deadline:
+                expire_batch()
+                break
             for task in [t for t in backoff_wait if t.not_before <= now]:
                 backoff_wait.remove(task)
                 ready_queue.append(task)
@@ -368,6 +430,18 @@ def supervised_map(
     finally:
         for task in running:
             _reap(task)
+        # The no-None-placeholder invariant (docstring): if the loop above
+        # died mid-batch, settle every still-pending slot so callers never
+        # see an unfinished placeholder.
+        for task in tasks:
+            if results[task.index] is _PENDING:
+                results[task.index] = FailedRun(
+                    key=task.key,
+                    error_type="SupervisorAborted",
+                    message="supervisor aborted before this item finished",
+                    attempts=task.attempt,
+                    elapsed=time.monotonic() - (task.first_start or batch_start),
+                )
     return results
 
 

@@ -1,0 +1,36 @@
+"""Execution engines layered above the core algorithms.
+
+``repro.exec.sharded`` runs the assignment phase of the vectorized
+algorithms across supervised worker processes with deterministic,
+bit-identical merging and configurable failure policies;
+``repro.exec.checkpoint`` persists per-iteration shard state so
+interrupted fits resume.  See docs/sharding.md.
+"""
+
+from repro.exec.checkpoint import ShardCheckpoint
+from repro.exec.sharded import (
+    SHARD_KERNELS,
+    SHARD_POLICY_MODES,
+    SHARDED_ALGORITHMS,
+    DegradedIteration,
+    ShardFailurePolicy,
+    ShardedElkanKMeans,
+    ShardedHamerlyKMeans,
+    ShardedLloydKMeans,
+    make_sharded_algorithm,
+    shard_bounds,
+)
+
+__all__ = [
+    "DegradedIteration",
+    "SHARD_KERNELS",
+    "SHARDED_ALGORITHMS",
+    "SHARD_POLICY_MODES",
+    "ShardCheckpoint",
+    "ShardFailurePolicy",
+    "ShardedElkanKMeans",
+    "ShardedHamerlyKMeans",
+    "ShardedLloydKMeans",
+    "make_sharded_algorithm",
+    "shard_bounds",
+]

@@ -1,0 +1,855 @@
+"""Fault-tolerant sharded data-parallel execution of the assignment phase.
+
+The paper's Table 3 premise — assignment dominates k-means cost — makes the
+assignment pass the one phase worth parallelizing.  This engine splits the
+point set into contiguous *shards*, runs the row-subset assignment kernels
+of :mod:`repro.core.vectorized` in supervised worker processes
+(:func:`repro.eval.runtime.supervised_map`), and merges per-shard results
+back in fixed shard-rank order, so the fitted model is **bit-identical** to
+the single-process vectorized backend regardless of worker completion
+order.
+
+Determinism contract
+--------------------
+Three disciplines carry the bit-identity guarantee:
+
+1. *Row-subset invariant kernels.*  Per-point assignment decisions of
+   Lloyd/Elkan/Hamerly are independent across points, so a kernel run on
+   ``X[lo:hi]`` produces exactly rows ``[lo, hi)`` of the full-matrix pass
+   (see the kernel section of :mod:`repro.core.vectorized`).
+2. *Rank-order merge.*  Label/bound slices are written back at their
+   shard's fixed offsets, and the ``rescan`` refinement fold goes through
+   :func:`repro.core.refinement.merge_shard_assignments` — one scatter-add
+   over the full matrix, never a sum of per-shard partial sums (float
+   addition is not associative; the docstring there holds a concrete
+   counterexample).
+3. *Supervisor-side centroid context.*  Centroid-level work
+   (``centroid_separations``) is computed — and charged — once in the
+   supervisor and shipped to every shard, so OpCounters totals also match
+   the single-process pass exactly.
+
+Failure handling
+----------------
+Shard workers inherit the full robustness runtime: per-shard wall-clock
+timeouts, :class:`~repro.common.exceptions.TransientError` retries with
+deterministic CRC32 backoff, and crash/hang containment.  What happens
+when a shard fails *terminally* is the :class:`ShardFailurePolicy`:
+
+``strict``
+    Raise :class:`~repro.common.exceptions.ShardFailedError` carrying the
+    shard rank, iteration, and classified error type.
+``recompute``
+    Re-run each lost shard's kernel inline in the supervisor on the exact
+    same inputs — the recovered fit is bit-identical to a fault-free run.
+``degrade``
+    Finish the iteration from the surviving shards; lost shards keep their
+    previous (stale) labels and bounds — still *sound* bounds, so the
+    bound-based algorithms self-correct on the next successful pass — and
+    the iteration is annotated with a structured :class:`DegradedIteration`
+    record naming the affected point ranges.
+
+Faults injected via :class:`~repro.eval.faults.FaultPlan` can target
+individual shard workers (``kill:lloyd:shard=1:iter=2``); see
+:meth:`FaultPlan.apply_shard`.
+
+Checkpointing: pass ``checkpoint=<path>`` to durably record each
+iteration's post-assignment state (:mod:`repro.exec.checkpoint`); an
+interrupted fit re-run with the same inputs replays the stored prefix and
+resumes live, reproducing the identical final model.
+
+See docs/sharding.md for the full lifecycle and policy decision table.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.distance import sq_norms
+from repro.common.exceptions import (
+    ConfigurationError,
+    ShardFailedError,
+    TransientError,
+    ValidationError,
+)
+from repro.core.refinement import merge_shard_assignments
+from repro.core.vectorized import (
+    VectorizedElkanKMeans,
+    VectorizedHamerlyKMeans,
+    VectorizedLloydKMeans,
+    elkan_assign_rows,
+    elkan_seed_rows,
+    hamerly_assign_rows,
+    hamerly_seed_rows,
+    lloyd_assign_rows,
+)
+from repro.exec.checkpoint import (
+    ShardCheckpoint,
+    array_crc,
+    encode_labels,
+    shard_state_from_record,
+    validate_record,
+)
+from repro.instrumentation.counters import OpCounters
+from repro.eval.runtime import ExecutionPolicy, FailedRun, RunKey, supervised_map
+
+SHARD_POLICY_MODES = ("strict", "recompute", "degrade")
+
+SHARD_RUNNERS = ("auto", "process", "inline")
+
+
+def shard_bounds(n: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous near-equal partition of ``[0, n)`` into ``shards`` ranges.
+
+    The first ``n % shards`` shards get one extra row; deterministic in
+    ``(n, shards)`` alone, so every fit of the same shape shards the same
+    way (the checkpoint/replay path depends on this).
+    """
+    if shards < 1:
+        raise ValidationError(f"shards must be >= 1, got {shards}")
+    base, extra = divmod(n, shards)
+    ranges: List[Tuple[int, int]] = []
+    lo = 0
+    for rank in range(shards):
+        hi = lo + base + (1 if rank < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+@dataclass(frozen=True)
+class ShardFailurePolicy:
+    """What the supervisor does when a shard fails terminally.
+
+    =============  ====================================================
+    mode           semantics
+    =============  ====================================================
+    ``strict``     raise :class:`ShardFailedError` (fail the fit loudly)
+    ``recompute``  re-run lost shards inline; bit-identical recovery
+    ``degrade``    finish from survivors + :class:`DegradedIteration`
+    =============  ====================================================
+    """
+
+    mode: str = "strict"
+
+    def __post_init__(self) -> None:
+        if self.mode not in SHARD_POLICY_MODES:
+            raise ConfigurationError(
+                f"unknown shard policy {self.mode!r}; known: {SHARD_POLICY_MODES}"
+            )
+
+    @classmethod
+    def parse(cls, value) -> "ShardFailurePolicy":
+        if isinstance(value, ShardFailurePolicy):
+            return value
+        if value is None:
+            return cls()
+        return cls(mode=str(value))
+
+
+@dataclass(frozen=True)
+class DegradedIteration:
+    """Structured record of one iteration finished without every shard.
+
+    Emitted under the ``degrade`` policy and surfaced through the fit
+    result's ``extras["degraded_iterations"]`` so campaign logs carry an
+    auditable account of exactly which points went stale when.
+    """
+
+    iteration: int
+    shards: Tuple[int, ...]
+    point_ranges: Tuple[Tuple[int, int], ...]
+    error_types: Tuple[str, ...]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "iteration": self.iteration,
+            "shards": list(self.shards),
+            "point_ranges": [list(r) for r in self.point_ranges],
+            "error_types": list(self.error_types),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "DegradedIteration":
+        return cls(
+            iteration=int(record["iteration"]),
+            shards=tuple(int(s) for s in record["shards"]),
+            point_ranges=tuple(
+                (int(lo), int(hi)) for lo, hi in record["point_ranges"]
+            ),
+            error_types=tuple(str(e) for e in record["error_types"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker side.
+#
+# Everything below runs inside supervised worker processes (or inline in
+# the supervisor when nested under a daemon pool worker).  The functions
+# are module-level and registered in SHARD_KERNELS so they are picklable
+# under every start method and discoverable as pool-dispatch roots by the
+# R007 parallel-safety rule.  Payloads are plain dicts of arrays/floats;
+# mutable state slices are *copies* made by the supervisor, so a kernel's
+# in-place updates never leak into supervisor state before the rank-order
+# merge, under any runner or start method.
+# ----------------------------------------------------------------------
+
+
+def lloyd_shard_kernel(payload: Dict[str, Any], counters: OpCounters) -> Dict[str, Any]:
+    labels = lloyd_assign_rows(
+        payload["X"],
+        payload["centroids"],
+        payload["x_sq"],
+        payload["c_sq"],
+        counters,
+        margin_factor=payload["margin_factor"],
+    )
+    return {"labels": labels}
+
+
+def elkan_seed_shard_kernel(
+    payload: Dict[str, Any], counters: OpCounters
+) -> Dict[str, Any]:
+    labels, ub, lb = elkan_seed_rows(payload["X"], payload["centroids"], counters)
+    return {"labels": labels, "ub": ub, "lb": lb}
+
+
+def elkan_shard_kernel(payload: Dict[str, Any], counters: OpCounters) -> Dict[str, Any]:
+    labels = payload["labels"]
+    ub = payload["ub"]
+    lb = payload["lb"]
+    elkan_assign_rows(
+        payload["X"],
+        payload["centroids"],
+        labels,
+        ub,
+        lb,
+        payload["half_cc"],
+        payload["s"],
+        counters,
+    )
+    return {"labels": labels, "ub": ub, "lb": lb}
+
+
+def hamerly_seed_shard_kernel(
+    payload: Dict[str, Any], counters: OpCounters
+) -> Dict[str, Any]:
+    labels, ub, lb = hamerly_seed_rows(payload["X"], payload["centroids"], counters)
+    return {"labels": labels, "ub": ub, "lb": lb}
+
+
+def hamerly_shard_kernel(
+    payload: Dict[str, Any], counters: OpCounters
+) -> Dict[str, Any]:
+    labels = payload["labels"]
+    ub = payload["ub"]
+    lb = payload["lb"]
+    hamerly_assign_rows(
+        payload["X"],
+        payload["centroids"],
+        labels,
+        ub,
+        lb,
+        payload["s"],
+        counters,
+    )
+    return {"labels": labels, "ub": ub, "lb": lb}
+
+
+#: Registry of shard assignment kernels.  Values are the worker-side entry
+#: points dispatched through the supervised pool; the R007 parallel-safety
+#: rule discovers them from this literal and lints them (and their callees)
+#: like any other pool-dispatch root.
+SHARD_KERNELS = {
+    "lloyd": lloyd_shard_kernel,
+    "elkan_seed": elkan_seed_shard_kernel,
+    "elkan": elkan_shard_kernel,
+    "hamerly_seed": hamerly_seed_shard_kernel,
+    "hamerly": hamerly_shard_kernel,
+}
+
+
+def _shard_worker(item: Tuple[Any, ...], attempt: int) -> Dict[str, Any]:
+    """Supervised-pool entry: apply targeted faults, run one shard kernel.
+
+    ``item`` is ``(kernel_name, payload, key, rank, iteration, fault_plan)``.
+    Counters start from zero in every worker; the supervisor merges them in
+    shard-rank order (integer accumulation, so totals equal the
+    single-process charge exactly).
+    """
+    kernel_name, payload, key, rank, iteration, fault_plan = item
+    if fault_plan is not None:
+        fault_plan.apply_shard(key, shard=rank, iteration=iteration, attempt=attempt)
+    counters = OpCounters()
+    out = SHARD_KERNELS[kernel_name](payload, counters)
+    out["shard"] = rank
+    out["counters"] = counters
+    return out
+
+
+def _inline_map(
+    fn, items: Sequence[Any], keys: Sequence[RunKey], *, policy: ExecutionPolicy
+) -> List[Any]:
+    """In-process fallback runner with supervised_map's settle semantics.
+
+    Used when the supervisor itself is a daemon pool worker (e.g. a
+    sharded fit inside ``parallel_compare``) and may not spawn children.
+    Transient failures retry with the same deterministic backoff; any
+    other exception degrades to a classified :class:`FailedRun` in place.
+    No timeout isolation: ``hang`` faults would hang (the *outer* pool's
+    deadline contains them), so chaos tests pin ``runner="process"``.
+    """
+    results: List[Any] = []
+    start = time.monotonic()
+    deadline = (
+        None if policy.max_total_time is None else start + policy.max_total_time
+    )
+    for item, key in zip(items, keys):
+        first = time.monotonic()
+        attempt = 1
+        while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                results.append(
+                    FailedRun(
+                        key=key,
+                        error_type="RunTimeoutError",
+                        message=(
+                            f"batch exceeded the {policy.max_total_time:.3g}s "
+                            "max_total_time budget"
+                        ),
+                        attempts=attempt,
+                        elapsed=time.monotonic() - first,
+                    )
+                )
+                break
+            try:
+                results.append(fn(item, attempt))
+                break
+            except TransientError as exc:
+                if attempt <= policy.retries:
+                    delay = policy.backoff_delay(str(key), attempt)
+                    if deadline is None or time.monotonic() + delay < deadline:
+                        time.sleep(delay)
+                        attempt += 1
+                        continue
+                results.append(
+                    FailedRun(
+                        key=key,
+                        error_type="TransientError",
+                        message=str(exc),
+                        attempts=attempt,
+                        elapsed=time.monotonic() - first,
+                    )
+                )
+                break
+            except Exception as exc:  # mirror _child_main's classification
+                results.append(
+                    FailedRun(
+                        key=key,
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        attempts=attempt,
+                        elapsed=time.monotonic() - first,
+                    )
+                )
+                break
+    return results
+
+
+# ----------------------------------------------------------------------
+# Supervisor side.
+# ----------------------------------------------------------------------
+
+
+class _ShardedAssignMixin:
+    """Replaces the assignment pass with supervised shard fan-out.
+
+    Mixed in *before* a vectorized algorithm class, it overrides
+    ``_assign`` (fan out / merge / recover), ``_refine`` (rank-order merge
+    fold for the ``rescan`` mode), ``_update_bounds`` (replay transition),
+    and ``_extras`` (degradation/resume reporting).  Everything else —
+    setup, initialization, convergence, drift correction — is the
+    inherited single-process implementation, which is exactly why the
+    result is bit-identical.
+    """
+
+    #: registry key of the steady-state assignment kernel
+    shard_kernel: str = ""
+    #: registry key of the iteration-0 (seeding) kernel; None when the
+    #: steady-state kernel is already a full scan (Lloyd)
+    shard_seed_kernel: Optional[str] = None
+
+    def __init__(
+        self,
+        *,
+        shards: int = 2,
+        shard_policy="strict",
+        execution: Optional[ExecutionPolicy] = None,
+        fault_plan=None,
+        checkpoint=None,
+        runner: str = "auto",
+        mp_context=None,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        if int(shards) < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if runner not in SHARD_RUNNERS:
+            raise ConfigurationError(
+                f"unknown shard runner {runner!r}; known: {SHARD_RUNNERS}"
+            )
+        self.shards = int(shards)
+        self.shard_policy = ShardFailurePolicy.parse(shard_policy)
+        self.shard_execution = execution if execution is not None else ExecutionPolicy()
+        self.shard_fault_plan = fault_plan
+        self.shard_runner = runner
+        self._mp_context = mp_context
+        self._checkpoint = (
+            ShardCheckpoint(checkpoint) if checkpoint is not None else None
+        )
+        self._ranges: List[Tuple[int, int]] = []
+        self._shard_has_state: List[bool] = []
+        self._degraded: List[DegradedIteration] = []
+        self._replay: Dict[int, Dict[str, Any]] = {}
+        self._fit_key: Optional[str] = None
+        self._current_iteration = -1
+        self._last_was_replay = False
+        self._resumed_iterations = 0
+
+    # ------------------------------------------------------------------
+    # Fit-loop hooks.
+    # ------------------------------------------------------------------
+
+    def _setup(self) -> None:
+        super()._setup()
+        n = len(self.X)
+        # Degenerate shards are clamped away rather than erroring: a tiny
+        # smoke fit with shards > n still runs, one row per shard.
+        effective = max(1, min(self.shards, n))
+        self._ranges = shard_bounds(n, effective)
+        self._shard_has_state = [False] * effective
+        self._degraded = []
+        self._replay = {}
+        self._fit_key = None
+        self._current_iteration = -1
+        self._last_was_replay = False
+        self._resumed_iterations = 0
+
+    def _assign(self, iteration: int) -> None:
+        self._current_iteration = iteration
+        entry_crc = (
+            array_crc(self._centroids) if self._checkpoint is not None else 0
+        )
+        if self._maybe_replay(iteration, entry_crc):
+            return
+        self._last_was_replay = False
+        kernels, payloads = self._shard_tasks(iteration)
+        keys = self._shard_keys(iteration)
+        items = [
+            (kernels[rank], payloads[rank], keys[rank], rank, iteration,
+             self.shard_fault_plan)
+            for rank in range(len(self._ranges))
+        ]
+        outcomes = list(self._dispatch(items, keys))
+        losses: Dict[int, FailedRun] = {
+            rank: out
+            for rank, out in enumerate(outcomes)
+            if isinstance(out, FailedRun)
+        }
+        if losses:
+            losses = self._recover(iteration, items, outcomes, losses)
+        for rank, out in enumerate(outcomes):
+            if isinstance(out, FailedRun):
+                continue
+            lo, hi = self._ranges[rank]
+            self._apply_shard_result(rank, lo, hi, out)
+            self.counters.merge(out["counters"])
+            self._shard_has_state[rank] = True
+        degraded = None
+        if losses:
+            ranks = tuple(sorted(losses))
+            degraded = DegradedIteration(
+                iteration=iteration,
+                shards=ranks,
+                point_ranges=tuple(self._ranges[r] for r in ranks),
+                error_types=tuple(losses[r].error_type for r in ranks),
+            )
+            self._degraded.append(degraded)
+        self._write_checkpoint(iteration, entry_crc, degraded)
+
+    def _refine(self, iteration: int, previous_labels: np.ndarray) -> np.ndarray:
+        if self.refinement != "rescan":
+            # ``delta`` handles degraded shards natively: a lost shard's
+            # labels did not move, and a late-seeded row's old label is -1,
+            # which the mover filter already excludes from subtraction.
+            return super()._refine(iteration, previous_labels)
+        # Rank-order merge fold: one scatter-add over the concatenated
+        # survivor rows — bit-identical to the unsharded rescan when every
+        # shard is present (see merge_shard_assignments).
+        slices = [self._labels[lo:hi] for lo, hi in self._ranges]
+        lost = [
+            rank for rank, ok in enumerate(self._shard_has_state) if not ok
+        ]
+        _, sums, counts = merge_shard_assignments(
+            self.X, self.k, slices, self._ranges, lost=lost
+        )
+        self._sums[:] = sums
+        self._counts = counts
+        folded = len(self.X) - sum(
+            self._ranges[rank][1] - self._ranges[rank][0] for rank in lost
+        )
+        self.counters.add_point_accesses(folded)
+        new_centroids = self._centroids.copy()
+        nonempty = self._counts > 0
+        new_centroids[nonempty] = self._sums[nonempty] / self._counts[nonempty, None]
+        return new_centroids
+
+    def _update_bounds(self, drifts: np.ndarray) -> None:
+        if self._last_was_replay:
+            # While the next iteration will also replay, bound arrays may
+            # not even exist — skip maintenance entirely.  On the last
+            # replayed iteration, transition to live execution by seeding
+            # sound conservative bounds (exactness does not depend on
+            # tightness; see docs/sharding.md on resume semantics).
+            if (self._current_iteration + 1) not in self._replay:
+                self._reseed_bounds()
+                self._last_was_replay = False
+            return
+        super()._update_bounds(drifts)
+
+    def _extras(self) -> Dict[str, Any]:
+        extras = dict(super()._extras())
+        extras["shards"] = len(self._ranges)
+        extras["shard_policy"] = self.shard_policy.mode
+        if self._degraded:
+            extras["degraded_iterations"] = [d.as_dict() for d in self._degraded]
+        if self._resumed_iterations:
+            extras["resumed_iterations"] = self._resumed_iterations
+        return extras
+
+    # ------------------------------------------------------------------
+    # Dispatch and recovery.
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, items, keys):
+        runner = self.shard_runner
+        if runner == "auto":
+            # A daemon pool worker (harness parallel_compare) may not
+            # spawn children; run shards sequentially in-process there.
+            runner = (
+                "inline"
+                if multiprocessing.current_process().daemon
+                else "process"
+            )
+        if runner == "process":
+            return supervised_map(
+                _shard_worker,
+                items,
+                keys,
+                policy=self.shard_execution,
+                max_workers=len(items),
+                mp_context=self._mp_context,
+            )
+        return _inline_map(
+            _shard_worker, items, keys, policy=self.shard_execution
+        )
+
+    def _recover(
+        self,
+        iteration: int,
+        items: List[Tuple[Any, ...]],
+        outcomes: List[Any],
+        losses: Dict[int, FailedRun],
+    ) -> Dict[int, FailedRun]:
+        """Apply the failure policy to terminally-failed shards.
+
+        Returns the ranks still lost after recovery (empty for
+        ``recompute``); mutates ``outcomes`` in place for recovered ranks.
+        """
+        mode = self.shard_policy.mode
+        if mode == "strict":
+            rank = min(losses)
+            failure = losses[rank]
+            raise ShardFailedError(
+                f"shard {rank} of {self.name} failed terminally at iteration "
+                f"{iteration}: {failure.error_type}: {failure.message}",
+                shard=rank,
+                iteration=iteration,
+                error_type=failure.error_type,
+            )
+        if mode == "recompute":
+            # Deterministic recovery: the payload still holds the exact
+            # pre-iteration inputs (workers mutate their own copies, and
+            # the fault paths fire before any kernel touches state), so an
+            # inline re-run is bit-identical to a fault-free worker.  The
+            # recovery path itself is deliberately fault-free — injected
+            # faults target workers, not the supervisor.
+            for rank in sorted(losses):
+                kernel_name, payload = items[rank][0], items[rank][1]
+                counters = OpCounters()
+                out = SHARD_KERNELS[kernel_name](payload, counters)
+                out["shard"] = rank
+                out["counters"] = counters
+                outcomes[rank] = out
+            return {}
+        return losses  # degrade
+
+    def _shard_keys(self, iteration: int) -> List[RunKey]:
+        d = self.X.shape[1]
+        return [
+            RunKey(
+                algorithm=self.name,
+                dataset=f"shard[{lo}:{hi})",
+                n=hi - lo,
+                d=d,
+                k=self.k,
+                seed=rank,
+                max_iter=iteration,
+            )
+            for rank, (lo, hi) in enumerate(self._ranges)
+        ]
+
+    # ------------------------------------------------------------------
+    # Checkpoint replay.
+    # ------------------------------------------------------------------
+
+    def _maybe_replay(self, iteration: int, entry_crc: int) -> bool:
+        if self._checkpoint is None:
+            return False
+        if iteration == 0:
+            self._fit_key = self._checkpoint.fit_key(
+                self.name,
+                len(self._ranges),
+                self.shard_policy.mode,
+                self.X,
+                self._centroids,
+            )
+            self._replay = self._checkpoint.load(self._fit_key)
+        record = self._replay.get(iteration)
+        if record is None:
+            return False
+        labels = validate_record(
+            record, n=len(self.X), centroid_digest=entry_crc
+        )
+        self._labels[:] = labels
+        # Counters restore *absolutely* from the post-assignment snapshot:
+        # the supervisor charged nothing this iteration (no context, no
+        # dispatch), and skipped bound maintenance heals itself because the
+        # next record's snapshot already includes it.
+        for name, value in record.get("counters", {}).items():
+            if hasattr(self.counters, name):
+                setattr(self.counters, name, int(value))
+        restored = shard_state_from_record(record)
+        if restored is not None and len(restored) == len(self._shard_has_state):
+            self._shard_has_state = restored
+        if record.get("degraded"):
+            self._degraded.append(DegradedIteration.from_dict(record["degraded"]))
+        self._last_was_replay = True
+        self._resumed_iterations += 1
+        return True
+
+    def _write_checkpoint(
+        self,
+        iteration: int,
+        entry_crc: int,
+        degraded: Optional[DegradedIteration],
+    ) -> None:
+        if self._checkpoint is None:
+            return
+        self._checkpoint.append(
+            {
+                "fit_key": self._fit_key,
+                "iteration": iteration,
+                "labels": encode_labels(self._labels),
+                "counters": self.counters.snapshot().as_dict(),
+                "centroid_crc": entry_crc,
+                "has_state": [int(flag) for flag in self._shard_has_state],
+                "degraded": degraded.as_dict() if degraded is not None else None,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Per-algorithm hooks.
+    # ------------------------------------------------------------------
+
+    def _shard_tasks(
+        self, iteration: int
+    ) -> Tuple[List[str], List[Dict[str, Any]]]:
+        """Kernel name + payload per shard for this iteration."""
+        raise NotImplementedError
+
+    def _apply_shard_result(
+        self, rank: int, lo: int, hi: int, out: Dict[str, Any]
+    ) -> None:
+        """Write one shard's outputs back at its fixed row offsets."""
+        raise NotImplementedError
+
+    def _reseed_bounds(self) -> None:
+        """Seed sound conservative bounds at the replay→live transition."""
+
+
+class ShardedLloydKMeans(_ShardedAssignMixin, VectorizedLloydKMeans):
+    """Sharded vectorized Lloyd: every iteration is a full scan."""
+
+    shard_kernel = "lloyd"
+
+    def _shard_tasks(self, iteration: int):
+        if self._x_sq is None:
+            self._x_sq = sq_norms(self.X)
+        c_sq = sq_norms(self._centroids)
+        kernels: List[str] = []
+        payloads: List[Dict[str, Any]] = []
+        for lo, hi in self._ranges:
+            kernels.append(self.shard_kernel)
+            payloads.append(
+                {
+                    "X": self.X[lo:hi],
+                    "x_sq": self._x_sq[lo:hi],
+                    "centroids": self._centroids,
+                    "c_sq": c_sq,
+                    "margin_factor": self._MARGIN_FACTOR,
+                }
+            )
+        return kernels, payloads
+
+    def _apply_shard_result(self, rank, lo, hi, out):
+        self._labels[lo:hi] = out["labels"]
+
+
+class _BoundedShardMixin(_ShardedAssignMixin):
+    """Shared fan-out logic for the bound-maintaining pair (Elkan/Hamerly).
+
+    A shard runs the *seed* kernel until its first successful pass (always
+    iteration 0 in a fault-free fit; later under ``degrade`` when the
+    iteration-0 worker was lost), then the steady-state assignment kernel
+    on its slice of the bound state.  Mutable slices are copied into the
+    payload so worker/inline mutation never bypasses the rank-order merge.
+    """
+
+    def _shard_tasks(self, iteration: int):
+        kernels: List[str] = []
+        payloads: List[Dict[str, Any]] = []
+        context: Optional[Dict[str, Any]] = None
+        if any(self._shard_has_state):
+            context = self._steady_context()
+        self._ensure_bound_arrays()
+        for rank, (lo, hi) in enumerate(self._ranges):
+            if not self._shard_has_state[rank]:
+                kernels.append(self.shard_seed_kernel)
+                payloads.append({"X": self.X[lo:hi], "centroids": self._centroids})
+                continue
+            payload = {
+                "X": self.X[lo:hi],
+                "centroids": self._centroids,
+                "labels": self._labels[lo:hi].copy(),
+                "ub": self._ub[lo:hi].copy(),
+                "lb": self._lb[lo:hi].copy(),
+            }
+            payload.update(context)
+            kernels.append(self.shard_kernel)
+            payloads.append(payload)
+        return kernels, payloads
+
+    def _apply_shard_result(self, rank, lo, hi, out):
+        self._ensure_bound_arrays()
+        self._labels[lo:hi] = out["labels"]
+        self._ub[lo:hi] = out["ub"]
+        self._lb[lo:hi] = out["lb"]
+
+    def _steady_context(self) -> Dict[str, Any]:
+        """Centroid-level payload context, charged once in the supervisor."""
+        raise NotImplementedError
+
+    def _ensure_bound_arrays(self) -> None:
+        raise NotImplementedError
+
+
+class ShardedElkanKMeans(_BoundedShardMixin, VectorizedElkanKMeans):
+    """Sharded vectorized Elkan with supervisor-computed separations."""
+
+    shard_kernel = "elkan"
+    shard_seed_kernel = "elkan_seed"
+
+    def _steady_context(self):
+        half_cc, s = self._separation_context()
+        return {"half_cc": half_cc, "s": s}
+
+    def _ensure_bound_arrays(self):
+        if self._ub is None:
+            n = len(self.X)
+            self._ub = np.zeros(n)
+            self._lb = np.zeros((n, self.k))
+
+    def _reseed_bounds(self):
+        n = len(self.X)
+        self._ub = np.full(n, np.inf)
+        self._lb = np.zeros((n, self.k))
+
+
+class ShardedHamerlyKMeans(_BoundedShardMixin, VectorizedHamerlyKMeans):
+    """Sharded vectorized Hamerly with supervisor-computed separations."""
+
+    shard_kernel = "hamerly"
+    shard_seed_kernel = "hamerly_seed"
+
+    def _steady_context(self):
+        return {"s": self._separation_context()}
+
+    def _ensure_bound_arrays(self):
+        if self._ub is None:
+            n = len(self.X)
+            self._ub = np.zeros(n)
+            self._lb = np.zeros(n)
+
+    def _reseed_bounds(self):
+        n = len(self.X)
+        self._ub = np.full(n, np.inf)
+        self._lb = np.zeros(n)
+
+
+#: Algorithms with a sharded implementation.  Yinyang and index k-means
+#: keep per-iteration *global* group/tree state inside the assignment pass
+#: and are not row-subset decomposable without changing their decision
+#: procedure, so they are deliberately absent.
+SHARDED_ALGORITHMS: Dict[str, type] = {
+    "lloyd": ShardedLloydKMeans,
+    "elkan": ShardedElkanKMeans,
+    "hamerly": ShardedHamerlyKMeans,
+}
+
+
+def make_sharded_algorithm(name: str, **kwargs):
+    """Instantiate a sharded algorithm by registry name.
+
+    Raises :class:`ConfigurationError` for algorithms without a sharded
+    implementation; accepts the mixin's engine knobs (``shards``,
+    ``shard_policy``, ``execution``, ``fault_plan``, ``checkpoint``,
+    ``runner``) plus the wrapped algorithm's own keyword arguments.
+    """
+    try:
+        cls = SHARDED_ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(SHARDED_ALGORITHMS))
+        raise ConfigurationError(
+            f"algorithm {name!r} has no sharded implementation; "
+            f"sharded execution supports: {known}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "DegradedIteration",
+    "SHARD_KERNELS",
+    "SHARDED_ALGORITHMS",
+    "SHARD_POLICY_MODES",
+    "ShardFailurePolicy",
+    "ShardedElkanKMeans",
+    "ShardedHamerlyKMeans",
+    "ShardedLloydKMeans",
+    "make_sharded_algorithm",
+    "shard_bounds",
+]

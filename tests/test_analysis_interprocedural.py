@@ -100,6 +100,54 @@ class TestParallelSafety:
         }, ["R007"])
         assert report.findings == []
 
+    def test_shard_kernel_registry_entries_checked(self, tmp_path):
+        # SHARD_KERNELS values are dispatched by name *inside* the worker,
+        # so no call site ever names them — the registry literal itself is
+        # the dispatch surface and every entry gets the reachability walk.
+        report = run_fixture(tmp_path, {
+            "src/repro/exec/work.py": """\
+                CACHE = {}
+
+                def dirty_kernel(payload, counters):
+                    CACHE["hit"] = payload
+                    return {}
+
+                def clean_kernel(payload, counters):
+                    return {"labels": payload}
+
+                SHARD_KERNELS = {
+                    "dirty": dirty_kernel,
+                    "clean": clean_kernel,
+                }
+                """,
+        }, ["R007"])
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert "'dirty_kernel'" in finding.message
+        assert "pool-kernel registry" in finding.message
+
+    def test_shard_kernel_registry_lambda_flagged(self, tmp_path):
+        report = run_fixture(tmp_path, {
+            "src/repro/exec/work.py": """\
+                SHARD_KERNELS = {
+                    "bad": lambda payload, counters: {},
+                }
+                """,
+        }, ["R007"])
+        assert len(report.findings) == 1
+        assert "lambda" in report.findings[0].message
+
+    def test_clean_shard_kernel_registry_passes(self, tmp_path):
+        report = run_fixture(tmp_path, {
+            "src/repro/exec/work.py": """\
+                def kernel(payload, counters):
+                    return {"labels": payload}
+
+                SHARD_KERNELS = {"k": kernel}
+                """,
+        }, ["R007"])
+        assert report.findings == []
+
 
 # ----------------------------------------------------------------------
 # R008 — backend-purity

@@ -227,3 +227,104 @@ class TestRunWithRetries:
         with pytest.raises(TransientError):
             run_with_retries(always, policy=ExecutionPolicy(retries=1),
                              sleep=lambda _: None)
+
+
+def _sleep_quarter(item, attempt):
+    time.sleep(0.25)
+    return item
+
+
+def _return_none(item, attempt):
+    return None
+
+
+class TestMaxTotalTime:
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValidationError):
+            ExecutionPolicy(max_total_time=0.0)
+        with pytest.raises(ValidationError):
+            ExecutionPolicy(max_total_time=-1.0)
+
+    def test_batch_deadline_fails_unfinished_items(self):
+        # One worker at a time, each sleeping 0.25s, a 0.4s batch budget:
+        # the first item lands, later ones must fail with RunTimeoutError —
+        # and the policy guarantees a fully-settled list either way.
+        policy = ExecutionPolicy(max_total_time=0.4)
+        results = supervised_map(
+            _sleep_quarter, [1, 2, 3, 4], _keys(4), policy=policy, max_workers=1
+        )
+        assert len(results) == 4
+        failed = [r for r in results if isinstance(r, FailedRun)]
+        assert failed, "batch budget must expire before 4 x 0.25s on one worker"
+        assert all(f.error_type == "RunTimeoutError" for f in failed)
+        assert all("max_total_time" in f.message for f in failed)
+        ok = [r for r in results if not isinstance(r, FailedRun)]
+        assert ok, "first item should finish within the budget"
+
+    def test_generous_budget_changes_nothing(self):
+        policy = ExecutionPolicy(max_total_time=120.0)
+        assert supervised_map(_double, [1, 2, 3], _keys(3), policy=policy) == [2, 4, 6]
+
+    def test_no_retry_grant_past_deadline(self):
+        # A transient failure whose backoff would land beyond the batch
+        # deadline is not retried: the item fails instead of overshooting.
+        policy = ExecutionPolicy(
+            retries=5, backoff_base=10.0, max_total_time=1.0
+        )
+        (failed,) = supervised_map(
+            _fail_transiently_forever, [0], _keys(1), policy=policy
+        )
+        assert isinstance(failed, FailedRun)
+        assert failed.error_type == "TransientError"
+        assert failed.attempts == 1
+
+
+class TestNoNonePlaceholders:
+    def test_worker_returning_none_is_a_result(self):
+        # None is a legitimate worker result, not an unfinished marker.
+        results = supervised_map(_return_none, [1], _keys(1))
+        assert results == [None]
+
+    def test_supervisor_abort_converts_pending_slots(self, monkeypatch):
+        # Kill the supervisor loop itself mid-batch: the finally path must
+        # settle every unfinished slot as SupervisorAborted, never leave a
+        # placeholder.  The list never reaches the caller (the exception
+        # propagates), so observe the conversion via the FailedRun records
+        # the finally path constructs.
+        import repro.eval.runtime as runtime
+
+        created = []
+        real_failed_run = runtime.FailedRun
+
+        class RecordingFailedRun(real_failed_run):
+            def __init__(self, **kwargs):
+                super().__init__(**kwargs)
+                created.append(self)
+
+        class ExplodingContext:
+            def __init__(self, ctx):
+                self._ctx = ctx
+                self._calls = 0
+
+            def Pipe(self, *args, **kwargs):
+                self._calls += 1
+                if self._calls > 1:
+                    raise KeyboardInterrupt("supervisor dies mid-dispatch")
+                return self._ctx.Pipe(*args, **kwargs)
+
+            def __getattr__(self, name):
+                return getattr(self._ctx, name)
+
+        real_default = runtime._default_context
+        monkeypatch.setattr(runtime, "FailedRun", RecordingFailedRun)
+        monkeypatch.setattr(
+            runtime, "_default_context",
+            lambda: ExplodingContext(real_default()),
+        )
+        with pytest.raises(KeyboardInterrupt):
+            runtime.supervised_map(
+                _sleep_quarter, [1, 2, 3], _keys(3), max_workers=1
+            )
+        aborted = [f for f in created if f.error_type == "SupervisorAborted"]
+        assert len(aborted) == 2  # items 2 and 3 never got to run
+        assert all("supervisor aborted" in f.message for f in aborted)
