@@ -1,0 +1,62 @@
+"""Pluggable array backends for the managed math of the hot kernels.
+
+Usage (the fealpy ``backend_manager`` idiom)::
+
+    from repro.backend import backend_manager as bm
+
+    labels = bm.argmin(distances, axis=1)          # active backend decides
+    with bm.use("torch"):                          # raises if unavailable
+        ...                                        # ops run through torch
+
+``numpy`` is always registered and is the default; ``torch`` /
+``torch-cuda`` / ``cupy`` register themselves only when importable and
+usable, otherwise :func:`unavailable_reason` explains why and
+``bm.get(name)`` raises :class:`BackendUnavailableError`.  The two-tier
+correctness contract (bit-identical for numpy, tolerance-banded for
+accelerators) is documented in docs/array_backends.md and enforced by
+``tests/test_backend_manager.py`` plus the backend-parameterized cells of
+the conformance suite.
+"""
+
+from repro.backend.manager import (
+    MANAGED_OPS,
+    OPTIONAL_BACKENDS,
+    TOLERANCE_RTOL,
+    BackendManager,
+    backend_manager,
+)
+from repro.common.exceptions import BackendUnavailableError
+
+
+def available_backends():
+    """Names of every array backend usable in this process."""
+    return backend_manager.available_backends()
+
+
+def active_backend() -> str:
+    """Name of the currently active array backend."""
+    return backend_manager.active_name()
+
+
+def unavailable_reason(name: str):
+    """Why ``name`` cannot run here (None when it can, or is unknown)."""
+    return backend_manager.unavailable_reason(name)
+
+
+def register_backend(name: str, backend) -> None:
+    """Register a custom backend object (see docs/array_backends.md)."""
+    backend_manager.register(name, backend)
+
+
+__all__ = [
+    "MANAGED_OPS",
+    "OPTIONAL_BACKENDS",
+    "TOLERANCE_RTOL",
+    "BackendManager",
+    "BackendUnavailableError",
+    "active_backend",
+    "available_backends",
+    "backend_manager",
+    "register_backend",
+    "unavailable_reason",
+]

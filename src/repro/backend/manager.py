@@ -1,0 +1,200 @@
+"""The array-backend manager: one switchable namespace for managed math.
+
+Modules that participate in backend routing never import ``torch`` or
+``cupy`` — they call ``bm.<op>(...)`` on the singleton
+:data:`backend_manager` (the fealpy ``backend_manager`` idiom) and the
+active backend supplies the implementation.  Every op takes and returns
+**NumPy arrays**: the adapter owns the native-array round-trip at the op
+boundary, which keeps the kernel code in :mod:`repro.common.distance` /
+:mod:`repro.core` backend-agnostic and keeps all control flow (masking,
+pruning tests, counter charges) in float64 NumPy on the host.
+
+Correctness tiers (docs/array_backends.md):
+
+* ``numpy`` — the default and the ground truth.  Its ops delegate to the
+  *same* NumPy calls the kernels used before routing, so golden traces,
+  counter totals and every pruning branch are **bit-identical**.
+* accelerator backends (``torch``, ``torch-cuda``, ``cupy``) — registered
+  only when importable and usable; held to the tolerance tier (labels
+  identical, centroids within a per-dtype rtol, SSE gap bounded) by the
+  backend-parameterized conformance suite.
+
+The manager is deliberately process-local, like NumPy's error state: the
+sharded engine's worker processes each start with the default ``numpy``
+backend, which is exactly what the merge contract requires
+(``array_backend="numpy"`` is the only backend sharding accepts).
+
+Implementation notes for the static analyzer: all mutable state lives on
+the singleton instance (never module globals, so the R007 parallel-safety
+rule sees no ``MUTATES_GLOBAL`` effect anywhere reachable from the shard
+kernels), and :meth:`BackendManager.use` returns a plain context object
+instead of a ``@contextmanager`` generator (no closures to flag).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.exceptions import BackendUnavailableError, ConfigurationError
+
+#: Names probed by :meth:`BackendManager._discover`, in registration order.
+OPTIONAL_BACKENDS = ("torch", "torch-cuda", "cupy")
+
+#: The accelerator tolerance tier (docs/array_backends.md): final labels
+#: must equal the numpy backend's exactly; final centroids must match
+#: within this per-dtype relative tolerance; the relative SSE gap is
+#: bounded by the float64 band.  The conformance suite and the hypothesis
+#: tolerance properties assert against these exact constants so code,
+#: tests, and the docs tolerance table cannot drift apart.
+TOLERANCE_RTOL = {"float64": 1e-9, "float32": 1e-4}
+
+#: Ops every backend must provide (the managed-math surface; the R008
+#: array-math check enforces that routed modules reach these *names* only
+#: through the manager).
+MANAGED_OPS = (
+    "asarray",
+    "to_numpy",
+    "zeros",
+    "arange",
+    "matmul",
+    "einsum",
+    "argmin",
+    "partition",
+    "bincount",
+    "sq_norms",
+    "take",
+    "where",
+)
+
+
+class _BackendContext:
+    """Plain enter/exit object returned by :meth:`BackendManager.use`."""
+
+    def __init__(self, manager: "BackendManager", name: str) -> None:
+        self._manager = manager
+        self._name = name
+        self._previous: Optional[str] = None
+
+    def __enter__(self):
+        self._previous = self._manager._active_name
+        self._manager._activate(self._name)
+        return self._manager
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._manager._activate(self._previous)
+        return None
+
+
+class BackendManager:
+    """Registry + active-backend switch for the managed array ops.
+
+    Attribute access for any name in :data:`MANAGED_OPS` forwards to the
+    active backend, so call sites read ``bm.argmin(...)`` regardless of
+    which backend is active.  ``numpy`` is registered eagerly and is
+    always available; optional adapters register themselves on first
+    discovery only if their library imports and passes a usability probe.
+    """
+
+    def __init__(self) -> None:
+        self._backends: Dict[str, object] = {}
+        self._unavailable: Dict[str, str] = {}
+        self._active_name = "numpy"
+        self._discovered = False
+        from repro.backend.numpy_backend import NumpyBackend
+
+        self.register("numpy", NumpyBackend())
+
+    # -- registry -------------------------------------------------------
+
+    def register(self, name: str, backend: object) -> None:
+        """Register ``backend`` under ``name`` (last registration wins)."""
+        self._backends[name] = backend
+        self._unavailable.pop(name, None)
+
+    def mark_unavailable(self, name: str, reason: str) -> None:
+        """Record why an optional backend could not register."""
+        if name not in self._backends:
+            self._unavailable[name] = reason
+
+    def _discover(self) -> None:
+        """Probe the optional adapters once; absence is recorded, not raised."""
+        if self._discovered:
+            return
+        self._discovered = True
+        from repro.backend import cupy_backend, torch_backend
+
+        torch_backend.register(self)
+        cupy_backend.register(self)
+
+    def available_backends(self) -> List[str]:
+        """Names of every backend usable in this process, ``numpy`` first."""
+        self._discover()
+        names = sorted(self._backends)
+        names.remove("numpy")
+        return ["numpy"] + names
+
+    def unavailable_reason(self, name: str) -> Optional[str]:
+        """Why ``name`` is not usable here (None if it is, or is unknown)."""
+        self._discover()
+        return self._unavailable.get(name)
+
+    def get(self, name: str) -> object:
+        """Resolve a backend by name, with a classified error otherwise.
+
+        Unknown names raise :class:`ConfigurationError`; names that exist
+        as adapters but cannot run in this process (library missing, no
+        device) raise :class:`BackendUnavailableError` carrying the reason
+        — the conformance suite turns that reason into a pytest skip.
+        """
+        self._discover()
+        backend = self._backends.get(name)
+        if backend is not None:
+            return backend
+        if name in self._unavailable or name in OPTIONAL_BACKENDS:
+            reason = self._unavailable.get(name, "not importable")
+            raise BackendUnavailableError(
+                f"array backend {name!r} is not available: {reason}",
+                backend=name,
+                reason=reason,
+            )
+        known = ", ".join(self.available_backends())
+        raise ConfigurationError(
+            f"unknown array backend {name!r}; registered backends: {known}"
+        )
+
+    # -- active backend -------------------------------------------------
+
+    def _activate(self, name: str) -> None:
+        self.get(name)
+        self._active_name = name
+
+    def use(self, name: str) -> _BackendContext:
+        """Context manager activating ``name`` for the enclosed block.
+
+        Validates eagerly (so a fit fails at entry, not mid-iteration) and
+        restores the previous backend on exit, even on error.
+        """
+        self.get(name)
+        return _BackendContext(self, name)
+
+    def active_name(self) -> str:
+        """Name of the currently active backend."""
+        return self._active_name
+
+    def active(self) -> object:
+        """The currently active backend object."""
+        return self._backends[self._active_name]
+
+    def __getattr__(self, op: str):
+        # Only reached for attributes not found normally: forward managed
+        # ops to the active backend, keep everything else an error.
+        if op in MANAGED_OPS:
+            return getattr(self._backends[self._active_name], op)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {op!r}"
+        )
+
+
+#: The process-wide singleton; import as
+#: ``from repro.backend import backend_manager as bm``.
+backend_manager = BackendManager()

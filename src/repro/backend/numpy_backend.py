@@ -1,0 +1,72 @@
+"""NumPy array backend: the default, and the bit-identity ground truth.
+
+Every op delegates to the *exact* NumPy call the routed kernels made
+before the manager existed — same function, same arguments — so routing
+through the manager is bit-invisible: golden traces, per-iteration
+counter totals and every pruning branch replay unchanged
+(``tests/test_golden_traces.py`` / ``tests/test_backend_conformance.py``
+enforce this, and the two-tier contract in docs/array_backends.md
+documents it).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+
+class NumpyBackend:
+    """Managed ops implemented by direct delegation to NumPy."""
+
+    name = "numpy"
+    device = "cpu"
+
+    # -- creation / conversion -----------------------------------------
+
+    def asarray(self, x, dtype=None) -> np.ndarray:
+        return np.asarray(x, dtype=dtype)
+
+    def to_numpy(self, x) -> np.ndarray:
+        return np.asarray(x)
+
+    def zeros(self, shape: Union[int, Tuple[int, ...]], dtype=np.float64) -> np.ndarray:
+        return np.zeros(shape, dtype=dtype)
+
+    def arange(self, n: int) -> np.ndarray:
+        return np.arange(n)
+
+    # -- managed math ---------------------------------------------------
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.matmul(a, b)
+
+    def einsum(self, subscripts: str, *operands: np.ndarray) -> np.ndarray:
+        return np.einsum(subscripts, *operands)
+
+    def argmin(self, x: np.ndarray, axis: Optional[int] = None) -> np.ndarray:
+        # np.argmin documents first-index tie-breaking; the batch kernels'
+        # exactness contract leans on it (docs/backends.md).
+        return np.argmin(x, axis=axis)
+
+    def partition(self, x: np.ndarray, kth: int, axis: int = -1) -> np.ndarray:
+        return np.partition(x, kth, axis=axis)
+
+    def bincount(
+        self,
+        idx: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        minlength: int = 0,
+    ) -> np.ndarray:
+        # Sequential element-order accumulation — the scatter-add whose
+        # rounding sequence the sharded merge replays (repro.core.refinement).
+        return np.bincount(idx, weights=weights, minlength=minlength)
+
+    def sq_norms(self, X: np.ndarray) -> np.ndarray:
+        return np.einsum("ij,ij->i", X, X)
+
+    def take(self, x: np.ndarray, idx: np.ndarray, axis: int = 0) -> np.ndarray:
+        return np.take(x, idx, axis=axis)
+
+    def where(self, cond: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.where(cond, a, b)

@@ -1,0 +1,148 @@
+"""Torch array backend (CPU, plus ``torch-cuda`` when a device exists).
+
+Registers itself with the manager only if ``torch`` imports and passes a
+small usability probe; on hosts without Torch the module records the
+reason instead, so ``backend_manager.get("torch")`` raises a classified
+:class:`~repro.common.exceptions.BackendUnavailableError` and the
+conformance suite skips with that reason (never silently passes).
+
+Ops take and return NumPy arrays (the manager's op-boundary contract).
+On CPU, ``torch.from_numpy`` / ``Tensor.numpy()`` share memory with the
+float64 source, so the round-trip adds no copies; the ``torch-cuda``
+variant pays one host↔device transfer per op, which is the conventional
+price for kernel-boundary offload.  This backend is held to the
+*tolerance* tier: Torch's reduction order differs from NumPy's dot
+kernel, so results are close (labels identical, centroids within rtol)
+but not bitwise — see docs/array_backends.md for the contract and bands.
+
+Determinism note: ``argmin`` implements first-index tie-breaking
+explicitly (smallest index among positions equal to the row minimum)
+rather than relying on ``torch.argmin``, whose tie behavior is not
+guaranteed across devices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where torch is installed
+    import torch
+except Exception as _exc:
+    torch = None
+    _IMPORT_REASON = f"torch is not importable ({type(_exc).__name__})"
+else:
+    _IMPORT_REASON = ""
+
+
+def register(manager) -> None:
+    """Register ``torch`` (and ``torch-cuda``) or record why not."""
+    if torch is None:
+        manager.mark_unavailable("torch", _IMPORT_REASON)
+        manager.mark_unavailable("torch-cuda", _IMPORT_REASON)
+        return
+    try:
+        probe = torch.zeros(1, dtype=torch.float64)
+        float(probe.sum())
+    except Exception as exc:  # pragma: no cover - defensive
+        reason = f"torch import succeeded but is unusable ({exc})"
+        manager.mark_unavailable("torch", reason)
+        manager.mark_unavailable("torch-cuda", reason)
+        return
+    manager.register("torch", TorchBackend(device="cpu"))
+    try:
+        has_cuda = bool(torch.cuda.is_available())
+    except Exception:  # pragma: no cover - defensive
+        has_cuda = False
+    if has_cuda:  # pragma: no cover - CI runners are CPU-only
+        manager.register("torch-cuda", TorchBackend(device="cuda"))
+    else:
+        manager.mark_unavailable("torch-cuda", "no CUDA device visible to torch")
+
+
+class TorchBackend:
+    """Managed ops over ``torch`` tensors, NumPy in / NumPy out."""
+
+    name = "torch"
+
+    def __init__(self, device: str = "cpu") -> None:
+        self.device = device
+        if device != "cpu":
+            self.name = f"torch-{device}"
+
+    # -- creation / conversion -----------------------------------------
+
+    def _tensor(self, x) -> "torch.Tensor":
+        if isinstance(x, torch.Tensor):
+            return x.to(self.device)
+        arr = np.ascontiguousarray(x)
+        return torch.from_numpy(arr).to(self.device)
+
+    def asarray(self, x, dtype=None):
+        if dtype is not None:
+            x = np.asarray(x, dtype=dtype)
+        return self._tensor(x)
+
+    def to_numpy(self, x) -> np.ndarray:
+        if isinstance(x, torch.Tensor):
+            return x.cpu().numpy()
+        return np.asarray(x)
+
+    def zeros(self, shape: Union[int, Tuple[int, ...]], dtype=np.float64) -> np.ndarray:
+        t = torch.zeros(shape, dtype=torch.from_numpy(np.empty(0, dtype=dtype)).dtype)
+        return t.cpu().numpy()
+
+    def arange(self, n: int) -> np.ndarray:
+        return torch.arange(n, device=self.device).cpu().numpy()
+
+    # -- managed math ---------------------------------------------------
+
+    def matmul(self, a, b) -> np.ndarray:
+        return self.to_numpy(torch.matmul(self._tensor(a), self._tensor(b)))
+
+    def einsum(self, subscripts: str, *operands) -> np.ndarray:
+        tensors = [self._tensor(op) for op in operands]
+        return self.to_numpy(torch.einsum(subscripts, *tensors))
+
+    def argmin(self, x, axis: Optional[int] = None) -> np.ndarray:
+        t = self._tensor(x)
+        if axis is None:
+            t = t.reshape(-1)
+            axis = 0
+        # Explicit first-index tie-break: positions not equal to the row
+        # minimum get sentinel index `size`, then the min index wins.
+        size = t.shape[axis]
+        mins = t.min(dim=axis, keepdim=True).values
+        shape = [1] * t.dim()
+        shape[axis] = size
+        idx = torch.arange(size, device=t.device).reshape(shape)
+        masked = torch.where(t == mins, idx, torch.full_like(idx, size))
+        out = masked.min(dim=axis).values
+        return self.to_numpy(out).astype(np.intp)
+
+    def partition(self, x, kth: int, axis: int = -1) -> np.ndarray:
+        # torch has no partial sort; a full sort satisfies the partition
+        # postcondition (positions 0..kth hold the kth+1 smallest, ordered).
+        values, _ = torch.sort(self._tensor(x), dim=axis)
+        return self.to_numpy(values)
+
+    def bincount(self, idx, weights=None, minlength: int = 0) -> np.ndarray:
+        t_idx = self._tensor(np.asarray(idx, dtype=np.int64))
+        t_w = None if weights is None else self._tensor(np.asarray(weights))
+        out = torch.bincount(t_idx, weights=t_w, minlength=minlength)
+        return self.to_numpy(out)
+
+    def sq_norms(self, X) -> np.ndarray:
+        t = self._tensor(X)
+        return self.to_numpy((t * t).sum(dim=1))
+
+    def take(self, x, idx, axis: int = 0) -> np.ndarray:
+        t = self._tensor(x)
+        t_idx = self._tensor(np.asarray(idx, dtype=np.int64))
+        return self.to_numpy(torch.index_select(t, axis, t_idx))
+
+    def where(self, cond, a, b) -> np.ndarray:
+        return self.to_numpy(
+            torch.where(self._tensor(np.asarray(cond)), self._tensor(a), self._tensor(b))
+        )

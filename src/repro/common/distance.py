@@ -32,6 +32,22 @@ enforce it.  The expansion-based bulk kernels
 (:func:`pairwise_sq_distances`, :func:`centroid_pairwise_distances`) trade
 that identity for speed and are only used where both backends share the
 same call site.
+
+Array backends
+--------------
+The managed reductions of the bulk kernels — the expansion GEMM, the
+row-wise dot matmul, the chunked einsum — go through the array-backend
+manager (:mod:`repro.backend`): ``bm.<op>`` delegates to the active
+backend, NumPy in / NumPy out.  Under the default ``numpy`` backend every
+``bm`` call is the identical ``np`` call this module made before routing,
+so the bit-identity contract above is untouched; accelerator backends
+(Torch/CuPy) replace only these reductions and are held to the tolerance
+tier of docs/array_backends.md.  Control flow, clamping, differencing and
+the scalar helpers stay host-side NumPy, and
+:func:`centroid_pairwise_distances` is deliberately *not* routed: the
+``(k, k)`` centroid matrix is tiny, its buffered ``out=`` path needs
+NumPy semantics, and keeping bound thresholds in host float64 means
+pruning decisions never depend on the accelerator.
 """
 
 from __future__ import annotations
@@ -41,6 +57,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend import backend_manager as bm
 from repro.instrumentation.counters import OpCounters
 
 
@@ -67,7 +84,7 @@ def sq_norms(X: np.ndarray) -> np.ndarray:
     precomputation, not a distance evaluation.
     """
     X = np.atleast_2d(X)
-    return np.einsum("ij,ij->i", X, X)
+    return bm.sq_norms(X)
 
 
 def pairwise_sq_distances(
@@ -94,7 +111,9 @@ def pairwise_sq_distances(
         counters.distance_computations += A.shape[0] * B.shape[0]
     aa = sq_norms(A) if a_sq is None else a_sq
     bb = sq_norms(B) if b_sq is None else b_sq
-    sq = aa[:, None] + bb[None, :] - 2.0 * (A @ B.T)
+    # The GEMM is the managed (offloadable) part; the rank-one expansion
+    # assembly and the cancellation clamp stay host-side.
+    sq = aa[:, None] + bb[None, :] - 2.0 * bm.matmul(A, B.T)
     np.maximum(sq, 0.0, out=sq)
     return sq
 
@@ -116,7 +135,7 @@ def _rowwise_sq_norms(diff: np.ndarray) -> np.ndarray:
     pairwise summation order differs from the dot kernel's.
     """
     diff = np.ascontiguousarray(diff)
-    return np.matmul(diff[:, None, :], diff[:, :, None])[:, 0, 0]
+    return bm.matmul(diff[:, None, :], diff[:, :, None])[:, 0, 0]
 
 
 def one_to_many_distances(
@@ -213,7 +232,10 @@ def centroid_pairwise_distances(
     k = centroids.shape[0]
     if counters is not None:
         counters.distance_computations += k * (k - 1) // 2
-    aa = sq_norms(centroids)
+    # Unrouted on purpose (see module docstring): the whole centroid-level
+    # computation stays host NumPy so bound thresholds never depend on the
+    # active array backend.
+    aa = np.einsum("ij,ij->i", centroids, centroids)
     if scratch is None:
         sq = aa[:, None] + aa[None, :] - 2.0 * (centroids @ centroids.T)
     else:
@@ -254,10 +276,10 @@ def chunked_sq_distances(
     for start in range(0, A.shape[0], chunk):
         stop = min(start + chunk, A.shape[0])
         diff = A[start:stop, None, :] - B[None, :, :]
-        out[start:stop] = np.einsum("ijk,ijk->ij", diff, diff)
+        out[start:stop] = bm.einsum("ijk,ijk->ij", diff, diff)
     return out
 
 
 def norms(X: np.ndarray) -> np.ndarray:
     """Row-wise L2 norms (used by the norm-based bounds of Section 4.3)."""
-    return np.sqrt(np.einsum("ij,ij->i", np.atleast_2d(X), np.atleast_2d(X)))
+    return np.sqrt(sq_norms(X))

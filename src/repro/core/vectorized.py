@@ -63,6 +63,7 @@ from typing import Dict, List, Tuple, Type
 
 import numpy as np
 
+from repro.backend import backend_manager as bm
 from repro.common.distance import (
     block_distances,
     chunked_sq_distances,
@@ -129,15 +130,15 @@ def lloyd_assign_rows(
     counters.add_point_accesses(n * k)
     # Uncounted kernel calls — the n*k charge above covers this scan.
     fast = pairwise_sq_distances(X_rows, centroids, a_sq=x_sq_rows, b_sq=c_sq)
-    labels = np.argmin(fast, axis=1).astype(np.intp)
+    labels = bm.argmin(fast, axis=1).astype(np.intp)
     if k > 1:
-        two = np.partition(fast, 1, axis=1)
+        two = bm.partition(fast, 1, axis=1)
         eps = np.finfo(np.float64).eps
         margin = margin_factor * (d + 4) * eps * (x_sq_rows + float(c_sq.max()))
         suspects = np.flatnonzero(two[:, 1] - two[:, 0] <= 2.0 * margin)
         if len(suspects):
             exact = chunked_sq_distances(X_rows[suspects], centroids)
-            labels[suspects] = np.argmin(exact, axis=1)
+            labels[suspects] = bm.argmin(exact, axis=1)
     return labels
 
 
@@ -153,7 +154,7 @@ def elkan_seed_rows(
     """
     sq = chunked_sq_distances(X_rows, centroids, counters)
     counters.add_point_accesses(sq.size)
-    labels = np.argmin(sq, axis=1).astype(np.intp)
+    labels = bm.argmin(sq, axis=1).astype(np.intp)
     dists = np.sqrt(sq)
     ub = dists[np.arange(len(X_rows)), labels].copy()
     counters.add_bound_updates(dists.size + len(X_rows))
@@ -253,7 +254,7 @@ def hamerly_seed_rows(
     """
     sq = chunked_sq_distances(X_rows, centroids, counters)
     counters.add_point_accesses(sq.size)
-    labels = np.argmin(sq, axis=1).astype(np.intp)
+    labels = bm.argmin(sq, axis=1).astype(np.intp)
     dists = np.sqrt(sq)
     n = len(X_rows)
     idx = np.arange(n)
@@ -307,10 +308,10 @@ def hamerly_assign_rows(
     # one_to_many_distances row, so argmin tie-breaking is preserved.
     counters.add_point_accesses(len(rescan) * k)
     dists = block_distances(X_rows[rescan], centroids, counters)
-    best = np.argmin(dists, axis=1)
+    best = bm.argmin(dists, axis=1)
     d1 = dists[np.arange(len(rescan)), best]
     if k > 1:
-        d2 = np.partition(dists, 1, axis=1)[:, 1]
+        d2 = bm.partition(dists, 1, axis=1)[:, 1]
     else:
         d2 = np.full(len(rescan), np.inf)
     labels[rescan] = best
@@ -547,11 +548,11 @@ class VectorizedYinyangKMeans(YinyangKMeans):
             dists = np.full((len(rows), len(members)), np.inf)
             dists[srow, scol] = d
             gmin = dists.min(axis=1)
-            garg = dists.argmin(axis=1)
+            garg = bm.argmin(dists, axis=1)
             # Two smallest computed distances feed the bound assembly.
             comp_min1[rows, g] = gmin
             if len(members) > 1:
-                comp_min2[rows, g] = np.partition(dists, 1, axis=1)[:, 1]
+                comp_min2[rows, g] = bm.partition(dists, 1, axis=1)[:, 1]
             # Running-best update: argmin's first-index tie-break over
             # ascending member order equals the reference's sequential
             # strict-< scan within the group.
@@ -736,10 +737,10 @@ class VectorizedIndexKMeans(IndexKMeans):
             counters.add_distances(int(frontier_masks.sum()))
             dists = block_distances(self._pivots[frontier_ranks], centroids)
             np.copyto(dists, np.inf, where=~frontier_masks)
-            best = np.argmin(dists, axis=1)
+            best = bm.argmin(dists, axis=1)
             d1 = dists[np.arange(m), best]
             d2 = (
-                np.partition(dists, 1, axis=1)[:, 1]
+                bm.partition(dists, 1, axis=1)[:, 1]
                 if k > 1
                 else np.full(m, np.inf)
             )
@@ -830,7 +831,7 @@ class VectorizedIndexKMeans(IndexKMeans):
             self._labels[self._perm[lo[pos] : hi[pos]]] = batch_best[pos]
         if len(leaf_winners):
             self._labels[leaf_idx] = leaf_winners
-            self._counts += np.bincount(leaf_winners, minlength=k)
+            self._counts += bm.bincount(leaf_winners, minlength=k)
 
     def _scan_leaves_batch(
         self, leaf_ranks: np.ndarray, leaf_masks: np.ndarray
@@ -882,7 +883,7 @@ class VectorizedIndexKMeans(IndexKMeans):
                 )
             )
             sq = chunked_sq_distances(points[rowpos], self._centroids[cand])
-            winners[rowpos] = cand[np.argmin(sq, axis=1)]
+            winners[rowpos] = cand[bm.argmin(sq, axis=1)]
         return points, idx, winners, offsets
 
 

@@ -108,10 +108,12 @@ def _materialize(
     backend: str = "reference",
     shards: int = 1,
     shard_policy=None,
+    array_backend: str = "numpy",
 ) -> KMeansAlgorithm:
     if isinstance(spec, str):
         return make_algorithm(
-            spec, backend=backend, shards=shards, shard_policy=shard_policy
+            spec, backend=backend, array_backend=array_backend,
+            shards=shards, shard_policy=shard_policy,
         )
     if isinstance(spec, KnobConfig):
         return build_algorithm(spec)
@@ -136,6 +138,7 @@ def run_algorithm(
     max_iter: int = PAPER_ITER_BUDGET,
     seed: int = 0,
     backend: str = "reference",
+    array_backend: str = "numpy",
     shards: int = 1,
     shard_policy=None,
 ) -> RunRecord:
@@ -153,6 +156,10 @@ def run_algorithm(
     bit-identical to the single-process vectorized run, so comparability
     is preserved there too.  :class:`KnobConfig` and factory specs carry
     their own construction and ignore backend, shards and shard_policy.
+    ``array_backend`` selects the array backend for string specs
+    (docs/array_backends.md): ``"numpy"`` keeps everything bit-identical;
+    accelerator backends (``"torch"``/...) are tolerance-tier and leave
+    counters untouched — the cost model is computed host-side either way.
 
     Raises :class:`ValidationError` up front for ``repeats < 1``, ``k < 1``,
     ``k > n``, or non-finite ``X`` — the harness boundary is where bad
@@ -174,7 +181,7 @@ def run_algorithm(
         raise ValidationError("initial_centroids must contain at least one seeding")
     results: List[KMeansResult] = []
     for centroids in initial_centroids:
-        algorithm = _materialize(spec, backend, shards, shard_policy)
+        algorithm = _materialize(spec, backend, shards, shard_policy, array_backend)
         results.append(
             algorithm.fit(X, k, initial_centroids=centroids, max_iter=max_iter)
         )
@@ -220,6 +227,7 @@ def compare_algorithms(
     max_iter: int = PAPER_ITER_BUDGET,
     seed: int = 0,
     backend: str = "reference",
+    array_backend: str = "numpy",
     shards: int = 1,
     shard_policy=None,
 ) -> List[RunRecord]:
@@ -237,7 +245,8 @@ def compare_algorithms(
             spec, X, k,
             initial_centroids=initial_centroids,
             repeats=repeats, max_iter=max_iter, seed=seed, backend=backend,
-            shards=shards, shard_policy=shard_policy,
+            array_backend=array_backend, shards=shards,
+            shard_policy=shard_policy,
         )
         for spec in specs
     ]

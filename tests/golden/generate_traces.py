@@ -28,6 +28,7 @@ from tests.trace_utils import (  # noqa: E402 (path bootstrap above)
     capture_trace,
     golden_path,
     golden_task,
+    traced_algorithm,
 )
 
 
@@ -35,7 +36,8 @@ def main() -> int:
     for seed in GOLDEN_SEEDS:
         X, k, C0, max_iter = golden_task(seed)
         for name in GOLDEN_ALGORITHMS:
-            trace = capture_trace(name, "reference", X, k, C0, max_iter)
+            algorithm = traced_algorithm(name, "reference")
+            trace = capture_trace(algorithm, X, k, C0, max_iter)
             path = golden_path(name, seed)
             path.write_text(json.dumps(trace, indent=1) + "\n")
             print(

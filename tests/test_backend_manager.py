@@ -1,0 +1,234 @@
+"""Unit tests for the array-backend manager (``repro.backend``).
+
+Three concerns, per docs/array_backends.md:
+
+* **Registration and fallback** — numpy is always registered and active
+  by default; unknown names raise a classified ``ConfigurationError``;
+  optional backends that cannot run here raise
+  ``BackendUnavailableError`` carrying a human-readable reason (which the
+  conformance suite turns into a pytest skip — never a silent pass).
+* **Op semantics every backend must honor** — deterministic first-index
+  argmin tie-break, float64-in/float64-out round-trips, the bincount
+  scatter-add contract.  These run on *every* backend registered in this
+  process, so a CI machine with torch installed exercises the torch cells
+  automatically.
+* **Context discipline** — ``use()`` restores the previous backend on
+  exit (even on error) and validates eagerly at entry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    MANAGED_OPS,
+    OPTIONAL_BACKENDS,
+    TOLERANCE_RTOL,
+    BackendUnavailableError,
+    available_backends,
+    backend_manager,
+    unavailable_reason,
+)
+from repro.common.exceptions import ConfigurationError
+
+
+def _registered_backends():
+    return available_backends()
+
+
+class TestRegistration:
+    def test_numpy_always_registered_and_default(self):
+        assert "numpy" in available_backends()
+        assert backend_manager.active_name() == "numpy"
+
+    def test_numpy_listed_first(self):
+        assert available_backends()[0] == "numpy"
+
+    def test_unknown_backend_is_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="unknown array backend"):
+            backend_manager.get("jax")
+
+    def test_unknown_backend_error_lists_registered(self):
+        with pytest.raises(ConfigurationError, match="numpy"):
+            backend_manager.get("not-a-backend")
+
+    @pytest.mark.parametrize("name", OPTIONAL_BACKENDS)
+    def test_absent_optional_backend_raises_with_reason(self, name):
+        if name in available_backends():
+            pytest.skip(f"array backend {name!r} is installed here")
+        reason = unavailable_reason(name)
+        assert reason, f"unavailable backend {name!r} must record a reason"
+        with pytest.raises(BackendUnavailableError) as excinfo:
+            backend_manager.get(name)
+        assert excinfo.value.backend == name
+        assert excinfo.value.reason == reason
+
+    def test_backend_unavailable_is_configuration_error(self):
+        # Callers catching the broad classified error see both cases.
+        assert issubclass(BackendUnavailableError, ConfigurationError)
+
+    def test_available_backend_has_no_unavailable_reason(self):
+        assert unavailable_reason("numpy") is None
+
+    @pytest.mark.parametrize("name", sorted(MANAGED_OPS))
+    def test_every_registered_backend_provides_managed_ops(self, name):
+        for backend_name in _registered_backends():
+            backend = backend_manager.get(backend_name)
+            assert callable(getattr(backend, name)), (
+                f"backend {backend_name!r} is missing managed op {name!r}"
+            )
+
+    def test_tolerance_table_covers_supported_dtypes(self):
+        assert set(TOLERANCE_RTOL) == {"float64", "float32"}
+        assert TOLERANCE_RTOL["float64"] < TOLERANCE_RTOL["float32"]
+
+
+class TestContext:
+    def test_use_restores_previous_backend(self):
+        assert backend_manager.active_name() == "numpy"
+        with backend_manager.use("numpy"):
+            assert backend_manager.active_name() == "numpy"
+        assert backend_manager.active_name() == "numpy"
+
+    def test_use_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with backend_manager.use("numpy"):
+                raise RuntimeError("boom")
+        assert backend_manager.active_name() == "numpy"
+
+    def test_use_validates_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            backend_manager.use("not-a-backend")
+
+    def test_nested_contexts_unwind_in_order(self):
+        names = _registered_backends()
+        inner = names[-1]
+        with backend_manager.use("numpy"):
+            with backend_manager.use(inner):
+                assert backend_manager.active_name() == inner
+            assert backend_manager.active_name() == "numpy"
+
+    def test_non_managed_attribute_is_attribute_error(self):
+        with pytest.raises(AttributeError):
+            backend_manager.not_an_op
+
+
+@pytest.mark.parametrize("backend_name", _registered_backends())
+class TestOpSemantics:
+    """Contracts every registered backend must satisfy bit-for-bit."""
+
+    def test_argmin_first_index_tie_break(self, backend_name):
+        # Duplicated minima: the winner must be the *lowest* index, the
+        # NumPy convention every pruning kernel assumes.  Accelerator
+        # argmin tie order is not trusted — adapters implement the
+        # tie-break explicitly, and this is the test that keeps them honest.
+        backend = backend_manager.get(backend_name)
+        rows = np.array(
+            [
+                [3.0, 1.0, 1.0, 2.0],
+                [5.0, 5.0, 5.0, 5.0],
+                [2.0, 4.0, 2.0, 2.0],
+            ]
+        )
+        got = backend.argmin(rows, axis=1)
+        expected = np.argmin(rows, axis=1)
+        assert np.array_equal(got, expected)
+        assert got.tolist() == [1, 0, 0]
+
+    def test_argmin_flat_and_axis0(self, backend_name):
+        backend = backend_manager.get(backend_name)
+        rows = np.array([[2.0, 1.0], [1.0, 3.0]])
+        assert int(backend.argmin(rows)) == int(np.argmin(rows))
+        assert np.array_equal(
+            backend.argmin(rows, axis=0), np.argmin(rows, axis=0)
+        )
+
+    def test_float64_round_trip(self, backend_name):
+        backend = backend_manager.get(backend_name)
+        rng = np.random.default_rng(7)
+        X = rng.standard_normal((40, 5))
+        for op_output in (
+            backend.sq_norms(X),
+            backend.matmul(X, X.T),
+            backend.einsum("ij,ij->i", X, X),
+            backend.partition(X, 1, axis=1),
+        ):
+            assert isinstance(op_output, np.ndarray)
+            assert op_output.dtype == np.float64
+
+    def test_argmin_returns_integer_numpy(self, backend_name):
+        backend = backend_manager.get(backend_name)
+        labels = backend.argmin(np.array([[1.0, 0.5], [0.2, 0.9]]), axis=1)
+        assert isinstance(labels, np.ndarray)
+        assert labels.dtype.kind in "iu"
+
+    def test_bincount_scatter_add(self, backend_name):
+        backend = backend_manager.get(backend_name)
+        labels = np.array([0, 2, 2, 1, 0, 2], dtype=np.intp)
+        weights = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        got = backend.bincount(labels, weights=weights, minlength=5)
+        expected = np.bincount(labels, weights=weights, minlength=5)
+        assert np.array_equal(got, expected)
+        assert got.shape == (5,)
+
+    def test_partition_postcondition(self, backend_name):
+        # Contract is the np.partition postcondition (element kth in its
+        # sorted place, smaller-or-equal values before it) — a full sort
+        # satisfies it, so we assert the postcondition, not np equality.
+        backend = backend_manager.get(backend_name)
+        rng = np.random.default_rng(11)
+        rows = rng.standard_normal((10, 7))
+        kth = 1
+        got = backend.partition(rows, kth, axis=1)
+        assert np.array_equal(
+            np.sort(got, axis=1), np.sort(rows, axis=1)
+        ), "partition must permute, not alter, each row"
+        expected_kth = np.partition(rows, kth, axis=1)[:, kth]
+        assert np.array_equal(got[:, kth], expected_kth)
+        assert (got[:, :kth] <= got[:, [kth]]).all()
+
+    def test_where_take_asarray(self, backend_name):
+        backend = backend_manager.get(backend_name)
+        values = np.array([10.0, 20.0, 30.0, 40.0])
+        mask = np.array([True, False, True, False])
+        assert np.array_equal(
+            backend.where(mask, values, -values),
+            np.where(mask, values, -values),
+        )
+        idx = np.array([3, 0, 2], dtype=np.intp)
+        assert np.array_equal(backend.take(values, idx), values[idx])
+        round_tripped = backend.to_numpy(backend.asarray(values))
+        assert isinstance(round_tripped, np.ndarray)
+        assert np.array_equal(round_tripped, values)
+
+    def test_zeros_and_arange(self, backend_name):
+        backend = backend_manager.get(backend_name)
+        z = backend.zeros((3, 2))
+        assert isinstance(z, np.ndarray)
+        assert z.shape == (3, 2) and not z.any()
+        assert np.array_equal(backend.arange(5), np.arange(5))
+
+
+class TestNumpyBitIdentity:
+    """The numpy backend must delegate to the exact same NumPy calls."""
+
+    def test_matmul_and_einsum_bitwise(self):
+        backend = backend_manager.get("numpy")
+        rng = np.random.default_rng(3)
+        A = rng.standard_normal((17, 6))
+        B = rng.standard_normal((6, 9))
+        assert np.array_equal(backend.matmul(A, B), np.matmul(A, B))
+        assert np.array_equal(
+            backend.sq_norms(A), np.einsum("ij,ij->i", A, A)
+        )
+
+    def test_scatter_add_float_order(self):
+        # The float non-associativity counterexample (see
+        # tests/test_exec_sharded.py): summation order is observable at
+        # 1e16, so the numpy backend must preserve np.bincount's order.
+        labels = np.zeros(3, dtype=np.intp)
+        weights = np.array([1.0, 1.0, 1e16])
+        backend = backend_manager.get("numpy")
+        got = backend.bincount(labels, weights=weights, minlength=1)
+        assert got[0] == np.bincount(labels, weights=weights, minlength=1)[0]

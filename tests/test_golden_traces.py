@@ -19,7 +19,8 @@ import json
 import numpy as np
 import pytest
 
-from repro.core import BACKENDS
+from repro.backend import OPTIONAL_BACKENDS, TOLERANCE_RTOL
+from repro.core import ACCELERATED_ALGORITHMS, BACKENDS
 
 from tests.trace_utils import (
     GOLDEN_ALGORITHMS,
@@ -27,6 +28,8 @@ from tests.trace_utils import (
     capture_trace,
     golden_path,
     golden_task,
+    require_array_backend,
+    traced_algorithm,
 )
 
 COUNTER_FIELDS = (
@@ -54,7 +57,7 @@ def _load_golden(name: str, seed: int) -> dict:
 def test_replay_matches_golden(name, seed, backend):
     golden = _load_golden(name, seed)
     X, k, C0, max_iter = golden_task(seed)
-    trace = capture_trace(name, backend, X, k, C0, max_iter)
+    trace = capture_trace(traced_algorithm(name, backend), X, k, C0, max_iter)
 
     assert trace["n_iter"] == golden["n_iter"], (
         f"{name}/{backend}: iteration count changed "
@@ -80,6 +83,48 @@ def test_replay_matches_golden(name, seed, backend):
                 f"{name}/{backend} iteration {t}: {field} changed "
                 f"({got[field]} vs golden {want[field]})"
             )
+
+
+@pytest.mark.parametrize("array_backend", OPTIONAL_BACKENDS)
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+@pytest.mark.parametrize("name", ACCELERATED_ALGORITHMS)
+def test_accelerator_replay_within_tolerance(name, seed, array_backend):
+    """Tolerance-tier replay: accelerators vs the committed golden traces.
+
+    Accelerator backends are not held to bit-identity (BLAS reduction
+    order differs), but they must land on the *same clustering*: identical
+    convergence path length, identical final labels, centroids within the
+    per-dtype rtol, and a bounded relative SSE gap.  Skips with the
+    recorded reason when the backend cannot run here — never a silent pass.
+    """
+    require_array_backend(array_backend)
+    golden = _load_golden(name, seed)
+    X, k, C0, max_iter = golden_task(seed)
+    algorithm = traced_algorithm(name, "vectorized", array_backend)
+    trace = capture_trace(algorithm, X, k, C0, max_iter)
+
+    rtol = TOLERANCE_RTOL["float64"]
+    assert trace["n_iter"] == golden["n_iter"], (
+        f"{name}/{array_backend}: iteration count changed "
+        f"({trace['n_iter']} vs golden {golden['n_iter']})"
+    )
+    assert trace["converged"] == golden["converged"]
+    final_got = np.array(trace["iterations"][-1]["labels"])
+    final_want = np.array(golden["iterations"][-1]["labels"])
+    assert np.array_equal(final_got, final_want), (
+        f"{name}/{array_backend}: final labels diverge from golden trace"
+    )
+    np.testing.assert_allclose(
+        np.array(trace["final_centroids"]),
+        np.array(golden["final_centroids"]),
+        rtol=rtol, atol=0.0,
+        err_msg=f"{name}/{array_backend}: centroids outside tolerance band",
+    )
+    sse_gap = abs(trace["sse"] - golden["sse"]) / golden["sse"]
+    assert sse_gap <= rtol, (
+        f"{name}/{array_backend}: relative SSE gap {sse_gap:.3e} exceeds "
+        f"the tolerance band {rtol:.1e}"
+    )
 
 
 @pytest.mark.parametrize("seed", GOLDEN_SEEDS)
