@@ -97,6 +97,12 @@ class ParallelSafetyRule(ProjectRule):
     This rule finds every dispatch site, resolves the dispatched
     callable, and walks the conservative call graph (direct **and**
     fuzzy edges) from it.
+
+    Dispatch sites are the pool entry points
+    (:data:`POOL_DISPATCH_SUFFIXES`), ``Process(target=...)`` /
+    ``Thread(target=...)`` constructions (the serving micro-batcher's
+    worker is a thread target — shared memory, same races), and the
+    entries of pool-kernel registries (:data:`POOL_REGISTRY_NAMES`).
     """
 
     rule_id = "R007"
@@ -292,7 +298,11 @@ def _dispatched_callable(module: ParsedModule, call: ast.Call) -> Optional[ast.A
             if keyword.arg == "fn":
                 return keyword.value
         return None
-    if name == "Process":
+    if name in ("Process", "Thread"):
+        # Both ship a callable into another execution context via
+        # target=; threads share memory, so a thread target that mutates
+        # module globals races exactly like a pool kernel would (the
+        # serving micro-batcher dispatches its worker this way).
         for keyword in call.keywords:
             if keyword.arg == "target":
                 return keyword.value

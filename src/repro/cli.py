@@ -25,6 +25,13 @@ Commands
 ``lint``
     Run the repo-contract static analyzer (R001–R006) over source trees
     and fail on any non-baselined finding (see docs/static_analysis.md).
+``registry``
+    Manage the on-disk model registry: ``save`` (fit + persist), ``list``,
+    ``show``, and ``verify`` (re-digest payloads; a flipped byte exits
+    non-zero with the classified error).  See docs/serving.md.
+``serve``
+    Serve batched nearest-centroid assignment from a saved model through
+    the micro-batching front end (docs/serving.md).
 """
 
 from __future__ import annotations
@@ -156,6 +163,17 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     )
     result = algorithm.fit(X, args.k, max_iter=args.max_iter, seed=args.seed)
     summary = result.summary()
+    if args.save_model:
+        from repro.serve import ModelRegistry
+
+        key = ModelRegistry(args.save_model).save_model(
+            result, dataset=args.dataset, backend=args.backend,
+            array_backend=args.array_backend, shards=args.shards,
+            seed=args.seed,
+        )
+        summary["model_key"] = key
+        summary["model_registry"] = args.save_model
+        print(f"saved model {key} to {args.save_model}", file=sys.stderr)
     if args.json:
         print(json.dumps(summary, indent=2))
     else:
@@ -239,6 +257,15 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     tuner = UTune(model=args.model).fit(records)
     learned = tuner.evaluate(records)
     rules = evaluate_bdt(records)
+    if args.save_selector:
+        from repro.serve import ModelRegistry
+
+        key = ModelRegistry(args.save_selector).save_selector(
+            tuner,
+            meta={"records": len(records), "metric": args.metric,
+                  "datasets": ",".join(names)},
+        )
+        print(f"saved selector {key} to {args.save_selector}", file=sys.stderr)
     print(format_table(
         ["selector", "Bound@MRR", "Index@MRR"],
         [
@@ -302,6 +329,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 array_backend=args.array_backend,
                 shards=args.shards,
                 shard_policy=args.shard_policy if args.shards > 1 else None,
+                save_model=args.save_model,
             )
             for record in records:
                 if is_failed_record(record):
@@ -398,6 +426,135 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_registry(args: argparse.Namespace) -> int:
+    from repro.common.exceptions import RegistryError
+    from repro.serve import ModelRegistry
+
+    registry = ModelRegistry(args.root)
+    if args.registry_command == "save":
+        error = (_check_shard_arguments(args, [args.algorithm])
+                 or _check_array_backend_argument(args, [args.algorithm]))
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+        X = _load(args)
+        algorithm = make_algorithm(
+            args.algorithm, backend=args.backend,
+            array_backend=args.array_backend, shards=args.shards,
+            shard_policy=args.shard_policy if args.shards > 1 else None,
+        )
+        result = algorithm.fit(X, args.k, max_iter=args.max_iter, seed=args.seed)
+        key = registry.save_model(
+            result, dataset=args.dataset, backend=args.backend,
+            array_backend=args.array_backend, shards=args.shards,
+            seed=args.seed,
+        )
+        print(key)
+        return 0
+    if args.registry_command == "list":
+        rows = []
+        for entry in registry.list_entries(
+                kind=args.kind if args.kind != "all" else None):
+            meta = entry.meta
+            rows.append([
+                entry.key, entry.kind,
+                meta.get("algorithm") or meta.get("class") or "?",
+                meta.get("k", ""), meta.get("dataset", ""),
+                round(meta["sse"], 4) if isinstance(meta.get("sse"), float) else "",
+            ])
+        print(format_table(
+            ["key", "kind", "algorithm", "k", "dataset", "sse"], rows,
+            title=f"registry {args.root}: {len(rows)} entr(ies)",
+        ))
+        return 0
+    if args.registry_command == "show":
+        try:
+            entry = registry.load(args.key)
+        except RegistryError as exc:
+            print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(entry.record, indent=2, sort_keys=True))
+        return 0
+    # verify: re-digest payloads; a tampered artifact exits non-zero with
+    # the classified error class on stderr (the serving-smoke contract).
+    try:
+        checked = registry.verify(args.key)
+    except RegistryError as exc:
+        print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    scope = f"entry {args.key}" if args.key else "all entries"
+    print(f"verified {scope}: {checked} payload(s) match their digests")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.common.exceptions import RegistryError
+    from repro.serve import MicroBatcher, ModelRegistry, Predictor
+
+    registry = ModelRegistry(args.root)
+    try:
+        predictor = Predictor(registry, args.key)
+    except RegistryError as exc:
+        print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    if args.points:
+        X = load_points_csv(args.points)
+    else:
+        X = _load(args)
+    if X.shape[1] != predictor.d:
+        print(f"query points have d={X.shape[1]}, model expects "
+              f"d={predictor.d}", file=sys.stderr)
+        return 2
+    begin = time.perf_counter()
+    failed = 0
+    outputs = []
+    with MicroBatcher(predictor, max_batch=args.batch,
+                      max_wait=args.max_wait) as batcher:
+        tickets = [
+            batcher.submit(X[start:start + args.request_size],
+                           deadline=args.deadline)
+            for start in range(0, X.shape[0], args.request_size)
+        ]
+        for ticket in tickets:
+            outcome = ticket.result(timeout=60.0)
+            if isinstance(outcome, np.ndarray):
+                outputs.append(outcome)
+            else:
+                failed += 1
+                print(f"request {outcome.request_id} failed: "
+                      f"{outcome.error_type}: {outcome.message}",
+                      file=sys.stderr)
+    elapsed = time.perf_counter() - begin
+    labels = np.concatenate(outputs) if outputs else np.empty(0, dtype=np.int64)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.writelines(f"{int(label)}\n" for label in labels)
+    summary = {
+        "model_key": predictor.entry.key,
+        "k": predictor.k,
+        "d": predictor.d,
+        "points": int(X.shape[0]),
+        "served": int(labels.shape[0]),
+        "requests": len(tickets),
+        "failed_requests": failed,
+        "batches": batcher.stats["batches"],
+        "elapsed_s": round(elapsed, 5),
+        "points_per_s": round(labels.shape[0] / elapsed, 1) if elapsed else 0.0,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(format_table(
+            ["metric", "value"], [[k, v] for k, v in summary.items()],
+            title=f"serve: model {predictor.entry.key} on {X.shape[0]} points",
+        ))
+    return 1 if (args.strict and failed) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -417,6 +574,9 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--max-iter", type=int, default=10)
     cluster.add_argument("--json", action="store_true", help="JSON output")
     cluster.add_argument("--log", default=None, help="append summary to a JSONL log")
+    cluster.add_argument("--save-model", default=None, metavar="DIR",
+                         help="persist the fitted model to this registry "
+                              "directory (see docs/serving.md)")
 
     compare = sub.add_parser("compare", help="compare algorithms on one dataset")
     _add_data_arguments(compare)
@@ -442,6 +602,9 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--full", action="store_true",
                       help="full running instead of selective (Algorithm 2)")
     tune.add_argument("--log", default=None)
+    tune.add_argument("--save-selector", default=None, metavar="DIR",
+                      help="persist the trained UTune selector to this "
+                           "registry directory (see docs/serving.md)")
 
     bench = sub.add_parser(
         "bench",
@@ -474,6 +637,67 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--strict", action="store_true",
                        help="exit 1 when any cell failed (default: exit 0, "
                             "failures recorded)")
+    bench.add_argument("--save-model", default=None, metavar="DIR",
+                       help="persist each cell's first-repeat fitted model "
+                            "to this registry directory")
+
+    registry = sub.add_parser(
+        "registry",
+        help="manage the on-disk model registry (see docs/serving.md)",
+    )
+    registry_sub = registry.add_subparsers(dest="registry_command",
+                                           required=True)
+    reg_save = registry_sub.add_parser(
+        "save", help="fit one algorithm and persist the model")
+    reg_save.add_argument("root", help="registry directory")
+    _add_data_arguments(reg_save)
+    reg_save.add_argument("--algorithm", default="lloyd",
+                          choices=sorted(ALGORITHMS))
+    _add_backend_argument(reg_save)
+    _add_array_backend_argument(reg_save)
+    _add_shard_arguments(reg_save)
+    reg_save.add_argument("--k", type=int, default=10)
+    reg_save.add_argument("--max-iter", type=int, default=50)
+    reg_list = registry_sub.add_parser("list", help="list stored entries")
+    reg_list.add_argument("root", help="registry directory")
+    reg_list.add_argument("--kind", default="all",
+                          choices=["all", "model", "selector"])
+    reg_show = registry_sub.add_parser(
+        "show", help="print one entry's manifest record as JSON")
+    reg_show.add_argument("root", help="registry directory")
+    reg_show.add_argument("key", help="entry key")
+    reg_verify = registry_sub.add_parser(
+        "verify",
+        help="re-digest stored payloads; tampering exits non-zero")
+    reg_verify.add_argument("root", help="registry directory")
+    reg_verify.add_argument("key", nargs="?", default=None,
+                            help="verify one entry (default: all)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve batched assignment from a saved model (docs/serving.md)",
+    )
+    serve.add_argument("root", help="registry directory")
+    serve.add_argument("--key", default=None,
+                       help="model entry key (default: latest model)")
+    _add_data_arguments(serve)
+    serve.add_argument("--points", default=None, metavar="CSV",
+                       help="CSV of query points (default: the --dataset "
+                            "surrogate)")
+    serve.add_argument("--request-size", type=int, default=64,
+                       help="points per simulated client request")
+    serve.add_argument("--batch", type=int, default=256,
+                       help="max requests coalesced into one kernel call")
+    serve.add_argument("--max-wait", type=float, default=0.002,
+                       help="seconds the batcher lingers for batchmates")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-request deadline in seconds (expired "
+                            "requests degrade to FailedRequest)")
+    serve.add_argument("--output", default=None, metavar="FILE",
+                       help="write served labels here, one per line")
+    serve.add_argument("--json", action="store_true", help="JSON summary")
+    serve.add_argument("--strict", action="store_true",
+                       help="exit 1 when any request failed")
 
     lint = sub.add_parser(
         "lint", help="run the repo-contract static analyzer (R001–R011)"
@@ -513,6 +737,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "tune": _cmd_tune,
         "bench": _cmd_bench,
         "lint": _cmd_lint,
+        "registry": _cmd_registry,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

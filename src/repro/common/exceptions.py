@@ -80,3 +80,43 @@ class CheckpointError(ReproError, RuntimeError):
     """A shard-state checkpoint could not be validated against the running
     fit (mismatched fit key, non-contiguous iteration records, or a
     centroid digest that disagrees with the replayed trajectory)."""
+
+
+class RegistryError(ReproError, RuntimeError):
+    """Base class for model-registry failures (``repro.serve.registry``):
+    unknown keys, malformed manifests, unusable payload files."""
+
+
+class RegistryVersionError(RegistryError):
+    """A registry record carries a schema version this reader does not
+    understand.  Version 1 records are migrated transparently on read
+    (mirroring the analysis baseline's v1 -> v2 pattern); anything newer
+    than the current writer raises this instead of misreading the
+    payload.  Carries the offending version for test assertions."""
+
+    def __init__(self, message: str, *, version: int = -1) -> None:
+        super().__init__(message)
+        self.version = version
+
+
+class RegistryCorruptionError(RegistryError):
+    """A registry artifact failed digest verification: the bytes on disk
+    disagree with the digest recorded in the manifest at save time
+    (a flipped bit, a hand-edited payload, a torn write).  ``repro
+    registry verify`` converts this into a classified non-zero exit."""
+
+    def __init__(self, message: str, *, key: str = "", artifact: str = "") -> None:
+        super().__init__(message)
+        self.key = key
+        self.artifact = artifact
+
+
+class ServeError(ReproError, RuntimeError):
+    """Base class for serving-path failures (``repro.serve``)."""
+
+
+class DeadlineExceededError(ServeError, TimeoutError):
+    """A serving request's deadline passed before (or while) its batch
+    executed; the micro-batcher degrades the request to a structured
+    :class:`~repro.serve.batching.FailedRequest` carrying this class
+    name as its ``error_type``."""

@@ -141,6 +141,8 @@ def run_algorithm(
     array_backend: str = "numpy",
     shards: int = 1,
     shard_policy=None,
+    save_model=None,
+    dataset: str = "",
 ) -> RunRecord:
     """Run one algorithm ``repeats`` times and average the metrics.
 
@@ -160,6 +162,13 @@ def run_algorithm(
     (docs/array_backends.md): ``"numpy"`` keeps everything bit-identical;
     accelerator backends (``"torch"``/...) are tolerance-tier and leave
     counters untouched — the cost model is computed host-side either way.
+
+    ``save_model`` optionally persists the *first* repeat's fitted model
+    to a :class:`repro.serve.ModelRegistry` (an instance or a directory
+    path); the entry key lands in ``extras["model_key"]`` so downstream
+    consumers (logs, the serving CLI) can find the artifact.  The first
+    repeat is the canonical one: its seed is exactly ``seed``, so the
+    saved model is reproducible from the run key alone.
 
     Raises :class:`ValidationError` up front for ``repeats < 1``, ``k < 1``,
     ``k > n``, or non-finite ``X`` — the harness boundary is where bad
@@ -185,7 +194,23 @@ def run_algorithm(
         results.append(
             algorithm.fit(X, k, initial_centroids=centroids, max_iter=max_iter)
         )
-    return _aggregate(_spec_label(spec), results)
+    record = _aggregate(_spec_label(spec), results)
+    if save_model is not None:
+        # Imported lazily: repro.serve is a consumer of eval's records, so
+        # the top-level import would be circular for no benefit.
+        from repro.serve.registry import ModelRegistry
+
+        registry = (
+            save_model if isinstance(save_model, ModelRegistry)
+            else ModelRegistry(save_model)
+        )
+        key = registry.save_model(
+            results[0], dataset=dataset, backend=backend,
+            array_backend=array_backend, shards=shards, seed=seed,
+        )
+        record.extras["model_key"] = key
+        record.extras["model_registry"] = str(registry.root)
+    return record
 
 
 def _aggregate(label: str, results: List[KMeansResult]) -> RunRecord:

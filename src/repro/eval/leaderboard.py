@@ -36,10 +36,18 @@ class Leaderboard:
 
         Returns the ranking (best first) — empty when every record in the
         task failed (the task is then not counted).
+
+        Records whose metric value is ``None`` (e.g. rebuilt from a log
+        whose writer never measured this metric) are excluded *explicitly*,
+        same as failed cells: an unmeasured record must not rank, and
+        silently comparing ``None`` against floats would raise mid-sort.
         """
         if not records:
             raise ValueError("cannot rank an empty record list")
-        records = [r for r in records if not is_failed_record(r)]
+        records = [
+            r for r in records
+            if not is_failed_record(r) and getattr(r, self.metric, None) is not None
+        ]
         if not records:
             return []
         key: Callable[[RunRecord], float] = lambda r: getattr(r, self.metric)

@@ -115,14 +115,25 @@ class EvaluationLog:
 
         Callable filter values act as predicates:
         ``log.query(k=lambda k: k >= 100)``.
+
+        Null vs. missing is explicit: a record *missing* a filtered field
+        never matches, while ``field=None`` matches records whose field is
+        present with an explicit null.  Predicates likewise see every
+        present value — including ``None`` — and never run on missing
+        fields.  (Historically both cases were conflated through
+        ``record.get``, so ``status=None`` silently matched every record
+        without a ``status`` field.)
         """
         out = []
         for record in self._records:
             ok = True
             for key, expected in filters.items():
-                actual = record.get(key)
+                if key not in record:
+                    ok = False
+                    break
+                actual = record[key]
                 if callable(expected):
-                    if actual is None or not expected(actual):
+                    if not expected(actual):
                         ok = False
                         break
                 elif actual != expected:

@@ -45,17 +45,20 @@ RunOutcome = Union[RunRecord, FailedRun]
 
 def _worker(item: Tuple, attempt: int) -> RunRecord:
     (spec, X, k, initial_centroids, repeats, max_iter, seed, key, fault_plan,
-     backend, array_backend, shards, shard_policy) = item
+     backend, array_backend, shards, shard_policy, save_model, dataset) = item
     if fault_plan is not None:
         fault_plan.apply(key, attempt)
     # Pool workers are daemonic and may not fork shard children; the
     # sharded engine detects this and runs its shards inline (sequential,
-    # same rank-order merge — still bit-identical).
+    # same rank-order merge — still bit-identical).  Registry saves from
+    # concurrent workers are safe: payload paths are content-keyed and
+    # manifest appends are flock-serialized (see repro.serve.registry).
     return run_algorithm(
         spec, X, k,
         initial_centroids=initial_centroids,
         repeats=repeats, max_iter=max_iter, seed=seed, backend=backend,
         array_backend=array_backend, shards=shards, shard_policy=shard_policy,
+        save_model=save_model, dataset=dataset,
     )
 
 
@@ -80,6 +83,7 @@ def parallel_compare(
     array_backend: str = "numpy",
     shards: int = 1,
     shard_policy=None,
+    save_model=None,
 ) -> List[RunOutcome]:
     """Run several algorithm specs concurrently on the same task.
 
@@ -117,6 +121,11 @@ def parallel_compare(
       daemonic, shards execute inline inside the worker — the merge
       discipline is identical, so results remain bit-identical and
       resumable against single-process cells.
+    * ``save_model`` — a :class:`repro.serve.ModelRegistry` (or directory
+      path) each worker persists its first-repeat fitted model to.  The
+      registry tolerates concurrent workers by design (content-keyed
+      payload paths, flock-serialized manifest appends); the entry key
+      comes back in each record's ``extras["model_key"]``.
     """
     specs = list(specs)
     for spec in specs:
@@ -171,7 +180,8 @@ def parallel_compare(
         ]
         items = [
             (specs[i], X, k, initial_centroids, repeats, max_iter, seed, keys[i],
-             fault_plan, backend, array_backend, shards, shard_policy)
+             fault_plan, backend, array_backend, shards, shard_policy,
+             save_model, dataset)
             for i in todo
         ]
         outcomes = supervised_map(

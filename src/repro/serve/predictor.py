@@ -1,0 +1,157 @@
+"""Serving hot path: batched nearest-centroid assignment from the registry.
+
+The :class:`Predictor` answers one-to-many assignment queries against a
+registry entry's centroids.  Its contract mirrors training assignment:
+
+* distances go through the *counted* exact kernel
+  (:func:`repro.common.distance.chunked_sq_distances` — bit-identical to
+  the scalar helpers, so serving reproduces the fit's tie-breaking), and
+  the argmin through the array-backend manager ``bm`` with its explicit
+  first-index tie-break;
+* under the default ``numpy`` array backend every served label is
+  therefore **bit-identical** to the label the fit itself would assign
+  against its final centroids — and for a *converged* fit the final
+  centroids are a fixed point of assignment, so served labels equal the
+  stored fit labels exactly (the round-trip identity the serving-smoke CI
+  job asserts);
+* accelerator array backends (torch / torch-cuda / cupy) are held to the
+  tolerance tier of docs/array_backends.md, same as training.
+
+Payloads are loaded memory-mapped from the registry (``np.load`` with
+``mmap_mode``): the label vector and any future large artifacts stay on
+disk until touched, while the centroids — small and hit on every request
+— are materialized once into a contiguous float64 *warm cache* at
+construction, so the steady-state request path never faults a page or
+re-reads the manifest.
+
+This module declares ``BACKEND_ROUTED = True``: the R008 backend-purity
+rule enforces that it reaches distance math only via the counted kernels
+and managed array ops only via ``bm``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.backend import backend_manager as bm
+from repro.common.distance import chunked_sq_distances
+from repro.common.exceptions import ValidationError
+from repro.instrumentation.counters import OpCounters
+from repro.serve.registry import MODEL_KIND, ModelRegistry, RegistryEntry
+
+#: R008 contract: managed array math in this module must route through bm
+BACKEND_ROUTED = True
+
+#: default chunk for the serving kernel; requests are small, so one chunk
+#: normally covers the whole batch
+DEFAULT_CHUNK = 2048
+
+
+class Predictor:
+    """Warm-cache nearest-centroid server over one registry entry."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        key: Optional[str] = None,
+        *,
+        chunk: int = DEFAULT_CHUNK,
+    ) -> None:
+        self.registry = registry
+        entry: RegistryEntry
+        if key is None:
+            entry = registry.latest(kind=MODEL_KIND)
+        else:
+            entry = registry.load(key)
+        if entry.kind != MODEL_KIND:
+            raise ValidationError(
+                f"registry entry {entry.key} is a {entry.kind!r}, not a model"
+            )
+        self.entry = entry
+        self.chunk = int(chunk)
+        if self.chunk <= 0:
+            raise ValidationError(f"chunk must be > 0, got {chunk}")
+        # Warm cache: the mmap'd payload is materialized into one
+        # contiguous float64 block so every request hits RAM, never the
+        # page cache, and the kernel sees the layout it was benchmarked on.
+        self._centroids = np.ascontiguousarray(
+            entry.array("centroids", mmap_mode="r"), dtype=np.float64
+        )
+        if self._centroids.ndim != 2:
+            raise ValidationError(
+                f"centroids payload of entry {entry.key} has "
+                f"{self._centroids.ndim} dimensions, expected 2"
+            )
+        #: serving-side counters, same cost model as training (one charge
+        #: per point-centroid pair); read/reset by the bench and stats
+        self.counters = OpCounters()
+        self._requests = 0
+        self._points = 0
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        return self._centroids.shape[0]
+
+    @property
+    def d(self) -> int:
+        return self._centroids.shape[1]
+
+    @property
+    def centroids(self) -> np.ndarray:
+        """The warm centroid cache (read-only view)."""
+        view = self._centroids.view()
+        view.setflags(write=False)
+        return view
+
+    def stats(self) -> Dict[str, Any]:
+        """Serving counters: requests answered, points assigned, distances."""
+        return {
+            "key": self.entry.key,
+            "k": self.k,
+            "d": self.d,
+            "requests": self._requests,
+            "points": self._points,
+            "distance_computations": self.counters.distance_computations,
+        }
+
+    # ------------------------------------------------------------------
+    # The hot path.
+    # ------------------------------------------------------------------
+
+    def predict(
+        self, X: np.ndarray, counters: Optional[OpCounters] = None
+    ) -> np.ndarray:
+        """Assign each row of ``X`` to its nearest centroid.
+
+        One vectorized one-to-many pass: the exact chunked kernel charges
+        ``len(X) * k`` distances to the predictor's counters (or the
+        caller's), and ``bm.argmin`` resolves ties to the first index —
+        the same tie-break as every training assignment path.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.ndim != 2 or X.shape[1] != self.d:
+            raise ValidationError(
+                f"query points have shape {X.shape}, expected (m, {self.d})"
+            )
+        sq = chunked_sq_distances(
+            X, self._centroids,
+            self.counters if counters is None else counters,
+            chunk=self.chunk,
+        )
+        labels = bm.argmin(sq, axis=1)
+        self._requests += 1
+        self._points += X.shape[0]
+        return labels
+
+    def predict_one(self, x: np.ndarray) -> int:
+        """Assign a single point (convenience over :meth:`predict`)."""
+        return int(self.predict(np.atleast_2d(x))[0])
+
+
+__all__ = ["BACKEND_ROUTED", "DEFAULT_CHUNK", "Predictor"]

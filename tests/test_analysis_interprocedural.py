@@ -83,6 +83,45 @@ class TestParallelSafety:
         assert len(report.findings) == 1
         assert "'child'" in report.findings[0].message
 
+    def test_thread_target_checked(self, tmp_path):
+        # The serving micro-batcher dispatches its worker via
+        # Thread(target=...); thread targets share memory, so a
+        # module-global mutation races exactly like a pool kernel's.
+        report = run_fixture(tmp_path, {
+            "src/repro/serve/work.py": """\
+                from threading import Thread
+
+                PENDING = []
+
+                def drain():
+                    PENDING.clear()
+
+                def start():
+                    worker = Thread(target=drain, daemon=True)
+                    worker.start()
+                """,
+        }, ["R007"])
+        assert len(report.findings) == 1
+        assert "'drain'" in report.findings[0].message
+
+    def test_instance_state_thread_target_passes(self, tmp_path):
+        # All mutable state on the instance handed to the worker (the
+        # MicroBatcher idiom) — nothing module-global, nothing to flag.
+        report = run_fixture(tmp_path, {
+            "src/repro/serve/work.py": """\
+                from threading import Thread
+
+                def drain(batcher):
+                    batcher.queue.clear()
+
+                class Batcher:
+                    def __init__(self):
+                        self.queue = []
+                        self.worker = Thread(target=drain, args=(self,))
+                """,
+        }, ["R007"])
+        assert report.findings == []
+
     def test_clean_worker_passes(self, tmp_path):
         report = run_fixture(tmp_path, {
             "src/repro/eval/work.py": """\

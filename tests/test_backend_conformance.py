@@ -628,3 +628,70 @@ class TestArrayBackendPerformance:
         report["array_backends"] = section
         BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
         assert "numpy" in section
+
+
+#: wall-clock advantage batched serving must demonstrate over a per-point
+#: assignment loop on the 20k x 16 workload (ISSUE 9)
+SERVE_MIN_SPEEDUP = 5.0
+
+
+class TestServingPerformance:
+    """Batched serving must beat a per-point assignment loop by >= 5x.
+
+    Runs after the perf tests above (file order), re-reads
+    ``BENCH_backends.json`` and adds a gated ``serve_predict`` entry under
+    ``algorithms``.  The baseline is the obvious serving loop — one
+    ``one_to_many_distances`` call plus argmin per query point — against
+    :meth:`Predictor.predict` answering the same 20k queries in chunked
+    one-to-many batches.  Both paths use counted exact kernels with
+    first-index argmin, so the labels are asserted identical, not just the
+    timing (docs/serving.md).
+    """
+
+    N, D, K, ITERS, COMPONENTS = 20_000, 16, 16, 5, 12
+
+    def test_batched_predict_beats_per_point(self, tmp_path):
+        from repro.common.distance import one_to_many_distances
+        from repro.serve import ModelRegistry, Predictor
+
+        X, _ = make_blobs(self.N, self.D, self.COMPONENTS, seed=5)
+        C0 = init_kmeans_plus_plus(X, self.K, seed=0)
+        result = make_algorithm("lloyd", backend="vectorized").fit(
+            X, self.K, initial_centroids=C0, max_iter=self.ITERS
+        )
+        registry = ModelRegistry(tmp_path / "registry")
+        predictor = Predictor(registry, registry.save_model(result))
+        centroids = np.asarray(predictor.centroids)
+
+        def per_point():
+            return np.array([
+                int(np.argmin(one_to_many_distances(x, centroids)))
+                for x in X
+            ])
+
+        per_point_s = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            loop_labels = per_point()
+            per_point_s = min(per_point_s, time.perf_counter() - t0)
+        batched_s = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            batched_labels = predictor.predict(X)
+            batched_s = min(batched_s, time.perf_counter() - t0)
+        np.testing.assert_array_equal(batched_labels, loop_labels)
+
+        speedup = per_point_s / batched_s
+        report = json.loads(BENCH_PATH.read_text())
+        report["algorithms"]["serve_predict"] = {
+            "per_point_s": round(per_point_s, 5),
+            "batched_s": round(batched_s, 5),
+            "speedup": round(speedup, 2),
+            "min_speedup": SERVE_MIN_SPEEDUP,
+            "gated": True,
+        }
+        BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        assert speedup >= SERVE_MIN_SPEEDUP, (
+            f"serve_predict: {speedup:.2f}x < {SERVE_MIN_SPEEDUP}x on the "
+            f"20k x 16 workload (see {BENCH_PATH.name})"
+        )

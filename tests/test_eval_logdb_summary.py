@@ -72,6 +72,65 @@ class TestEvaluationLog:
         assert all(r["dataset"] == "x" for r in log.query())
 
 
+class TestQueryNullSemantics:
+    """``field=None`` matches explicit null; missing fields never match.
+
+    Regression: both cases used to go through ``record.get`` and were
+    conflated — ``note=None`` matched every record without the field, and
+    predicates never saw present-but-null values."""
+
+    def _log(self):
+        log = EvaluationLog()
+        log.add({"algorithm": "a", "note": None})
+        log.add({"algorithm": "b", "note": "tuned"})
+        log.add({"algorithm": "c"})  # no note field at all
+        return log
+
+    def test_none_filter_matches_only_explicit_null(self):
+        matches = self._log().query(note=None)
+        assert [r["algorithm"] for r in matches] == ["a"]
+
+    def test_missing_field_never_matches_value_filter(self):
+        matches = self._log().query(note="tuned")
+        assert [r["algorithm"] for r in matches] == ["b"]
+
+    def test_predicate_sees_present_null_not_missing(self):
+        seen = []
+
+        def spy(value):
+            seen.append(value)
+            return value is None
+
+        matches = self._log().query(note=spy)
+        assert [r["algorithm"] for r in matches] == ["a"]
+        # The predicate ran on both present values (null included), and
+        # never on the record missing the field.
+        assert seen == [None, "tuned"]
+
+    def test_combined_filters_keep_null_semantics(self):
+        log = self._log()
+        assert log.query(algorithm="c", note=None) == []
+        assert [r["algorithm"] for r in log.query(algorithm="a", note=None)] == ["a"]
+
+
+class TestLeaderboardNoneMetric:
+    def test_none_metric_records_are_skipped(self):
+        board = Leaderboard(metric="modeled_cost")
+        complete = _record("a", cost=10.0)
+        unmeasured = _record("b", cost=1.0)
+        unmeasured.modeled_cost = None  # e.g. rebuilt from a legacy log
+        ranking = board.add_task([complete, unmeasured])
+        assert ranking == ["a"]
+        assert board.top1 == {"a": 1}
+
+    def test_all_none_task_contributes_nothing(self):
+        board = Leaderboard(metric="modeled_cost")
+        unmeasured = _record("b")
+        unmeasured.modeled_cost = None
+        assert board.add_task([unmeasured]) == []
+        assert board.tasks == 0
+
+
 class TestSummaryRatings:
     def test_requires_tasks(self):
         with pytest.raises(ValueError):
