@@ -77,6 +77,14 @@ def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
                              "raise, re-run it inline (bit-identical), or "
                              "finish from survivors with a DegradedIteration "
                              "record")
+    parser.add_argument("--shard-runner", default="auto",
+                        choices=["auto", "process", "inline"],
+                        help="how shard commands execute: 'process' uses the "
+                             "persistent worker pool over the shared-memory "
+                             "data plane, 'inline' runs them sequentially "
+                             "in-process, 'auto' (default) picks 'process' "
+                             "unless forking is unavailable "
+                             "(see docs/sharding.md)")
 
 
 def _check_array_backend_argument(
@@ -160,6 +168,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     algorithm = make_algorithm(
         args.algorithm, backend=args.backend, array_backend=args.array_backend,
         shards=args.shards, shard_policy=args.shard_policy if args.shards > 1 else None,
+        shard_runner=args.shard_runner,
     )
     result = algorithm.fit(X, args.k, max_iter=args.max_iter, seed=args.seed)
     summary = result.summary()
@@ -219,6 +228,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         array_backend=args.array_backend,
         shards=args.shards,
         shard_policy=args.shard_policy if args.shards > 1 else None,
+        shard_runner=args.shard_runner,
     )
     table = speedup_table(records)
     rows = format_speedup_rows(table, order=names)
@@ -329,6 +339,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 array_backend=args.array_backend,
                 shards=args.shards,
                 shard_policy=args.shard_policy if args.shards > 1 else None,
+                shard_runner=args.shard_runner,
                 save_model=args.save_model,
             )
             for record in records:
@@ -442,6 +453,7 @@ def _cmd_registry(args: argparse.Namespace) -> int:
             args.algorithm, backend=args.backend,
             array_backend=args.array_backend, shards=args.shards,
             shard_policy=args.shard_policy if args.shards > 1 else None,
+            shard_runner=args.shard_runner,
         )
         result = algorithm.fit(X, args.k, max_iter=args.max_iter, seed=args.seed)
         key = registry.save_model(

@@ -137,7 +137,7 @@ def _check_array_backend(
 
 def make_algorithm(
     name: str, *, backend: str = "reference", array_backend: str = "numpy",
-    shards: int = 1, shard_policy=None, **kwargs
+    shards: int = 1, shard_policy=None, shard_runner: str = "auto", **kwargs
 ) -> KMeansAlgorithm:
     """Instantiate an algorithm by registry name.
 
@@ -156,8 +156,10 @@ def make_algorithm(
     ``backend="vectorized"`` (the shard kernels *are* the vectorized
     kernels) and an algorithm with a sharded implementation;
     ``shard_policy`` picks the failure policy (``strict`` / ``recompute``
-    / ``degrade``), and engine knobs (``execution``, ``fault_plan``,
-    ``checkpoint``, ``runner``) pass through ``kwargs``.
+    / ``degrade``), ``shard_runner`` picks the execution data plane
+    (``auto`` / ``process`` / ``inline``; docs/sharding.md), and further
+    engine knobs (``execution``, ``fault_plan``, ``checkpoint``) pass
+    through ``kwargs``.
 
     ``array_backend`` selects the array backend for the managed math of
     the hot kernels (``repro.backend``; docs/array_backends.md):
@@ -183,6 +185,7 @@ def make_algorithm(
         # vectorized module, and most callers never shard.
         from repro.exec.sharded import make_sharded_algorithm
 
+        kwargs.setdefault("runner", shard_runner)
         return make_sharded_algorithm(
             key, shards=max(1, int(shards)),
             shard_policy=shard_policy if shard_policy is not None else "strict",

@@ -109,11 +109,13 @@ def _materialize(
     shards: int = 1,
     shard_policy=None,
     array_backend: str = "numpy",
+    shard_runner: str = "auto",
 ) -> KMeansAlgorithm:
     if isinstance(spec, str):
         return make_algorithm(
             spec, backend=backend, array_backend=array_backend,
             shards=shards, shard_policy=shard_policy,
+            shard_runner=shard_runner,
         )
     if isinstance(spec, KnobConfig):
         return build_algorithm(spec)
@@ -141,6 +143,7 @@ def run_algorithm(
     array_backend: str = "numpy",
     shards: int = 1,
     shard_policy=None,
+    shard_runner: str = "auto",
     save_model=None,
     dataset: str = "",
 ) -> RunRecord:
@@ -190,7 +193,9 @@ def run_algorithm(
         raise ValidationError("initial_centroids must contain at least one seeding")
     results: List[KMeansResult] = []
     for centroids in initial_centroids:
-        algorithm = _materialize(spec, backend, shards, shard_policy, array_backend)
+        algorithm = _materialize(
+            spec, backend, shards, shard_policy, array_backend, shard_runner
+        )
         results.append(
             algorithm.fit(X, k, initial_centroids=centroids, max_iter=max_iter)
         )
@@ -255,6 +260,7 @@ def compare_algorithms(
     array_backend: str = "numpy",
     shards: int = 1,
     shard_policy=None,
+    shard_runner: str = "auto",
 ) -> List[RunRecord]:
     """Run several algorithms on the same task with shared initializations."""
     X = check_data_matrix(X)
@@ -271,7 +277,7 @@ def compare_algorithms(
             initial_centroids=initial_centroids,
             repeats=repeats, max_iter=max_iter, seed=seed, backend=backend,
             array_backend=array_backend, shards=shards,
-            shard_policy=shard_policy,
+            shard_policy=shard_policy, shard_runner=shard_runner,
         )
         for spec in specs
     ]

@@ -45,7 +45,8 @@ RunOutcome = Union[RunRecord, FailedRun]
 
 def _worker(item: Tuple, attempt: int) -> RunRecord:
     (spec, X, k, initial_centroids, repeats, max_iter, seed, key, fault_plan,
-     backend, array_backend, shards, shard_policy, save_model, dataset) = item
+     backend, array_backend, shards, shard_policy, shard_runner,
+     save_model, dataset) = item
     if fault_plan is not None:
         fault_plan.apply(key, attempt)
     # Pool workers are daemonic and may not fork shard children; the
@@ -58,7 +59,7 @@ def _worker(item: Tuple, attempt: int) -> RunRecord:
         initial_centroids=initial_centroids,
         repeats=repeats, max_iter=max_iter, seed=seed, backend=backend,
         array_backend=array_backend, shards=shards, shard_policy=shard_policy,
-        save_model=save_model, dataset=dataset,
+        shard_runner=shard_runner, save_model=save_model, dataset=dataset,
     )
 
 
@@ -83,6 +84,7 @@ def parallel_compare(
     array_backend: str = "numpy",
     shards: int = 1,
     shard_policy=None,
+    shard_runner: str = "auto",
     save_model=None,
 ) -> List[RunOutcome]:
     """Run several algorithm specs concurrently on the same task.
@@ -181,7 +183,7 @@ def parallel_compare(
         items = [
             (specs[i], X, k, initial_centroids, repeats, max_iter, seed, keys[i],
              fault_plan, backend, array_backend, shards, shard_policy,
-             save_model, dataset)
+             shard_runner, save_model, dataset)
             for i in todo
         ]
         outcomes = supervised_map(

@@ -55,8 +55,11 @@ RUN_KEY_FIELDS = ("algorithm", "dataset", "n", "d", "k", "seed", "max_iter")
 #: status literal stored on failed records in the evaluation log
 FAILED_STATUS = "failed"
 
-#: how often the supervisor polls worker pipes and deadlines (seconds)
-_POLL_INTERVAL = 0.02
+#: how often a supervisor polls worker pipes and deadlines (seconds);
+#: shared by :func:`supervised_map` and the persistent worker pool
+#: (:mod:`repro.exec.pool`), which reuses this module as its substrate
+POLL_INTERVAL = 0.02
+_POLL_INTERVAL = POLL_INTERVAL
 
 #: placeholder for a result slot whose task has not finished; distinct from
 #: None so workers may legitimately return None (see supervised_map's
@@ -207,11 +210,17 @@ def is_failed_record(record: Any) -> bool:
 # ----------------------------------------------------------------------
 
 
-def _default_context():
-    # fork keeps the parent's loaded dataset pages shared and is the cheap,
-    # deterministic default on POSIX; spawn is the portable fallback.
+def default_mp_context():
+    """The project-wide worker start method.
+
+    fork keeps the parent's loaded dataset pages shared and is the cheap,
+    deterministic default on POSIX; spawn is the portable fallback.
+    """
     methods = get_all_start_methods()
     return get_context("fork" if "fork" in methods else "spawn")
+
+
+_default_context = default_mp_context
 
 
 def _child_main(conn, fn: Callable[[Any, int], Any], item: Any, attempt: int) -> None:
@@ -241,17 +250,26 @@ class _Task:
     conn: Any = None
 
 
-def _reap(task: _Task) -> None:
-    """Tear down a task's process and pipe (terminate, then kill)."""
-    proc = task.proc
+def terminate_process(proc, conn=None) -> None:
+    """Tear down one worker process and its pipe (terminate, then kill).
+
+    The escalation ladder every supervisor in the project uses: SIGTERM
+    with a grace period, then SIGKILL.  Shared by :func:`supervised_map`
+    and the persistent worker pool (:mod:`repro.exec.pool`).
+    """
     if proc is not None and proc.is_alive():
         proc.terminate()
         proc.join(1.0)
         if proc.is_alive():
             proc.kill()
             proc.join(1.0)
-    if task.conn is not None:
-        task.conn.close()
+    if conn is not None:
+        conn.close()
+
+
+def _reap(task: _Task) -> None:
+    """Tear down a task's process and pipe (terminate, then kill)."""
+    terminate_process(task.proc, task.conn)
     task.proc = None
     task.conn = None
 

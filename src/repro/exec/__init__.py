@@ -1,14 +1,18 @@
 """Execution engines layered above the core algorithms.
 
 ``repro.exec.sharded`` runs the assignment phase of the vectorized
-algorithms across supervised worker processes with deterministic,
-bit-identical merging and configurable failure policies;
-``repro.exec.checkpoint`` persists per-iteration shard state so
-interrupted fits resume.  See docs/sharding.md.
+algorithms across a persistent supervised worker pool
+(``repro.exec.pool``) over a zero-copy shared-memory data plane
+(``repro.exec.shm``), with deterministic bit-identical merging and
+configurable failure policies; ``repro.exec.checkpoint`` persists
+per-iteration shard state so interrupted fits resume.  See
+docs/sharding.md.
 """
 
-from repro.exec.checkpoint import ShardCheckpoint
+from repro.exec.checkpoint import ShardCheckpoint, fit_token
+from repro.exec.pool import WorkerPool
 from repro.exec.sharded import (
+    POOL_HANDLERS,
     SHARD_KERNELS,
     SHARD_POLICY_MODES,
     SHARDED_ALGORITHMS,
@@ -20,9 +24,11 @@ from repro.exec.sharded import (
     make_sharded_algorithm,
     shard_bounds,
 )
+from repro.exec.shm import ShmArraySpec, ShmLease, attach_shm_array, segment_name
 
 __all__ = [
     "DegradedIteration",
+    "POOL_HANDLERS",
     "SHARD_KERNELS",
     "SHARDED_ALGORITHMS",
     "SHARD_POLICY_MODES",
@@ -31,6 +37,12 @@ __all__ = [
     "ShardedElkanKMeans",
     "ShardedHamerlyKMeans",
     "ShardedLloydKMeans",
+    "ShmArraySpec",
+    "ShmLease",
+    "WorkerPool",
+    "attach_shm_array",
+    "fit_token",
     "make_sharded_algorithm",
+    "segment_name",
     "shard_bounds",
 ]

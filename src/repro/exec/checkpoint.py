@@ -53,6 +53,28 @@ def array_crc(arr: np.ndarray) -> int:
     return zlib.crc32(np.ascontiguousarray(arr).tobytes()) & 0xFFFFFFFF
 
 
+def fit_token(
+    algorithm: str,
+    shards: int,
+    policy_mode: str,
+    X: np.ndarray,
+    initial_centroids: np.ndarray,
+) -> str:
+    """Identity of one sharded fit; equal tokens replay bit-identically.
+
+    Doubles as the naming root of the fit's shared-memory data plane
+    (:func:`repro.exec.shm.segment_name`): a pure content digest, so
+    segment names are deterministic across replays — never RNG or time
+    (the R012 analysis rule enforces this).
+    """
+    n, d = X.shape
+    k = len(initial_centroids)
+    return (
+        f"{algorithm}:shards{shards}:{policy_mode}:n{n}:d{d}:k{k}"
+        f":x{array_crc(X):08x}:c{array_crc(initial_centroids):08x}"
+    )
+
+
 def encode_labels(labels: np.ndarray) -> str:
     """Compact ASCII encoding of a label vector (int64 little-endian)."""
     return base64.b64encode(
@@ -80,21 +102,9 @@ class ShardCheckpoint:
     # Keying.
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def fit_key(
-        algorithm: str,
-        shards: int,
-        policy_mode: str,
-        X: np.ndarray,
-        initial_centroids: np.ndarray,
-    ) -> str:
-        """Identity of one sharded fit; equal keys replay bit-identically."""
-        n, d = X.shape
-        k = len(initial_centroids)
-        return (
-            f"{algorithm}:shards{shards}:{policy_mode}:n{n}:d{d}:k{k}"
-            f":x{array_crc(X):08x}:c{array_crc(initial_centroids):08x}"
-        )
+    #: identity of one sharded fit (module-level :func:`fit_token`), kept
+    #: as a static method for the established checkpoint-record schema
+    fit_key = staticmethod(fit_token)
 
     # ------------------------------------------------------------------
     # I/O.

@@ -1,0 +1,571 @@
+"""Persistent supervised worker pool for the sharded execution engine.
+
+The PR 7 engine paid process-spawn latency *per shard per iteration*:
+``supervised_map`` forks, runs one kernel call, and reaps.  With the
+shared-memory data plane (:mod:`repro.exec.shm`) carrying the bulk bytes,
+the remaining cost is exactly that spawn churn — so this module keeps the
+workers alive.  A :class:`WorkerPool` spawns its processes **once per
+fit**, replays a recorded setup prologue (segment attach) into every
+fresh worker, and then shuttles O(k·d) command/result messages over
+duplex pipes for as many batches as the fit has iterations.
+
+The supervision contract is the same one :func:`repro.eval.runtime
+.supervised_map` established and the chaos suite pins:
+
+* a command that misses its :class:`~repro.eval.runtime.ExecutionPolicy`
+  deadline gets its worker killed (``RunTimeoutError``) — a hung
+  long-lived worker cannot stall the fit;
+* a worker that dies mid-command (signal, ``os._exit``) is detected
+  (``WorkerCrashError``) without breaking the batch;
+* :class:`~repro.common.exceptions.TransientError` failures retry with
+  the policy's deterministic backoff, re-sending the *same* command;
+* a killed or crashed worker is respawned lazily — with the setup
+  prologue replayed so it re-attaches to the data plane — before the
+  slot is used again;
+* every batch slot settles to a result or a structured
+  :class:`~repro.eval.runtime.FailedRun`, never a placeholder, even if
+  the supervisor itself aborts (``SupervisorAborted``).
+
+Workers are deliberately *uniform*: every worker attaches to the whole
+data plane and any worker can execute any shard's command (the command
+carries the row range), so a respawned process slots straight back in.
+
+All pipe traffic is pickled by the pool itself (``send_bytes`` /
+``recv_bytes``) so a :class:`~repro.instrumentation.TransportCounters`
+can account the exact IPC bytes — the number the BENCH entries and the
+O(k·d)-per-iteration claim are audited against.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _wait_connections
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.common.exceptions import (
+    RunTimeoutError,
+    TransientError,
+    ValidationError,
+    WorkerCrashError,
+)
+from repro.eval.runtime import (
+    POLL_INTERVAL,
+    ExecutionPolicy,
+    FailedRun,
+    RunKey,
+    default_mp_context,
+    terminate_process,
+)
+from repro.instrumentation import TransportCounters
+
+#: ops the worker loop answers itself, reserved from handler registries
+RESERVED_OPS = ("__ping__", "__shutdown__")
+
+#: result-slot placeholder while a command is in flight (a handler may
+#: legitimately return None, so None cannot mark "unfinished")
+_PENDING = object()
+
+
+def _dumps(message: Any) -> bytes:
+    return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _pool_worker_main(conn, handlers: Mapping[str, Callable[[dict, dict], Any]]) -> None:
+    """Long-lived worker loop: receive a command, dispatch, reply, repeat.
+
+    ``state`` is worker-local scratch that persists across commands — the
+    attach handler parks its shared-memory views under ``state["arrays"]``
+    and the segment handles under ``state["segments"]`` so later commands
+    reuse them without re-attaching.  The loop ends on ``__shutdown__`` or
+    a broken pipe; attached segments are closed (never unlinked — the
+    supervisor's lease owns the names) on the way out.
+    """
+    state: Dict[str, Any] = {"arrays": {}, "segments": []}
+    try:
+        while True:
+            try:
+                raw = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            message = pickle.loads(raw)
+            op = message.get("op")
+            if op == "__shutdown__":
+                break
+            if op == "__ping__":
+                outcome: tuple = ("ok", {"pid": os.getpid()})
+            else:
+                try:
+                    handler = handlers[op]
+                    outcome = ("ok", handler(state, message))
+                except BaseException as exc:  # report across the boundary
+                    outcome = (
+                        "error",
+                        type(exc).__name__,
+                        str(exc),
+                        isinstance(exc, TransientError),
+                    )
+            try:
+                payload = _dumps(outcome)
+            except Exception as exc:
+                payload = _dumps(
+                    ("error", type(exc).__name__, f"unpicklable result: {exc}", False)
+                )
+            try:
+                conn.send_bytes(payload)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        for segment in state.get("segments", []):
+            try:
+                segment.close()
+            except (OSError, BufferError):
+                pass  # supervisor-side unlink still reclaims the name
+        conn.close()
+
+
+@dataclass
+class _Member:
+    """One pool slot: a (possibly respawned) long-lived worker process."""
+
+    slot: int
+    proc: Any = None
+    conn: Any = None
+    alive: bool = False
+
+
+@dataclass
+class _PoolTask:
+    """Supervisor bookkeeping for one in-flight batch command."""
+
+    index: int
+    command: Dict[str, Any]
+    key: RunKey
+    attempt: int = 1
+    first_start: float = 0.0
+    deadline: Optional[float] = None
+    not_before: float = 0.0
+
+
+class WorkerPool:
+    """Supervised pool of persistent worker processes.
+
+    ``handlers`` maps command ``op`` names to module-level callables
+    ``handler(state, message)`` executed inside the workers (module-level
+    so they survive a spawn-context pickle; the static-analysis R007 rule
+    treats literal ``POOL_HANDLERS``-style registries as dispatch roots).
+    """
+
+    def __init__(
+        self,
+        handlers: Mapping[str, Callable[[dict, dict], Any]],
+        *,
+        workers: int,
+        policy: Optional[ExecutionPolicy] = None,
+        mp_context=None,
+    ) -> None:
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        for op in RESERVED_OPS:
+            if op in handlers:
+                raise ValidationError(f"handler op {op!r} is reserved by the pool")
+        self._handlers = dict(handlers)
+        self._workers = int(workers)
+        self._policy = policy or ExecutionPolicy()
+        self._ctx = mp_context or default_mp_context()
+        self._members: List[_Member] = [_Member(slot=i) for i in range(self._workers)]
+        self._setup_messages: List[Dict[str, Any]] = []
+        self._started = False
+        self._closed = False
+        self.transport = TransportCounters()
+        self.spawned_processes = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        """Spawn every worker process (idempotent)."""
+        if self._closed:
+            raise ValidationError("pool already shut down")
+        if not self._started:
+            self._started = True
+            for member in self._members:
+                self._spawn(member)
+        return self
+
+    def setup(self, messages: Sequence[Dict[str, Any]]) -> None:
+        """Run a setup prologue in every worker and record it for replay.
+
+        Each message is dispatched like a normal command and must succeed
+        in every worker (failures raise — a fit cannot start on a
+        half-attached pool).  The prologue is replayed into any worker
+        respawned after a kill or crash, restoring its data-plane state.
+        """
+        self.start()
+        self._setup_messages.extend(dict(message) for message in messages)
+        for member in self._members:
+            for message in messages:
+                self._request(member, dict(message))
+
+    def ping(self) -> List[Optional[int]]:
+        """Liveness heartbeat: per-slot worker pid, or None if unresponsive.
+
+        Dead slots are left dead (they respawn lazily on next use); a
+        *hung* worker that misses the ping deadline is killed so the slot
+        can respawn cleanly.
+        """
+        pids: List[Optional[int]] = []
+        for member in self._members:
+            if not member.alive:
+                pids.append(None)
+                continue
+            try:
+                reply = self._request(member, {"op": "__ping__"})
+            except (WorkerCrashError, RunTimeoutError):
+                pids.append(None)
+            else:
+                pids.append(int(reply["pid"]))
+        return pids
+
+    def shutdown(self) -> None:
+        """Stop every worker (graceful, then forceful); idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for member in self._members:
+            if member.conn is not None and member.alive:
+                try:
+                    self._send(member, {"op": "__shutdown__"})
+                except (BrokenPipeError, OSError):
+                    pass  # already dead; the join/terminate below settles it
+            if member.proc is not None:
+                member.proc.join(1.0)
+            terminate_process(member.proc, member.conn)
+            member.proc = None
+            member.conn = None
+            member.alive = False
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def respawns(self) -> int:
+        """Processes spawned beyond the initial complement."""
+        return max(0, self.spawned_processes - self._workers)
+
+    def stats(self) -> Dict[str, int]:
+        stats: Dict[str, int] = {
+            "workers": self._workers,
+            "spawned_processes": self.spawned_processes,
+            "respawns": self.respawns,
+        }
+        stats.update(self.transport.as_dict())
+        return stats
+
+    # ------------------------------------------------------------------
+    # Batch execution.
+    # ------------------------------------------------------------------
+
+    def run_batch(
+        self,
+        commands: Sequence[Dict[str, Any]],
+        keys: Sequence[RunKey],
+    ) -> List[Union[Any, FailedRun]]:
+        """Execute one batch of commands across the pool.
+
+        Same settled-list contract as :func:`supervised_map`: every slot
+        of the returned list is the handler's result or a
+        :class:`FailedRun`, commands retry per the pool policy with the
+        command's ``attempt`` field rewritten on each send, and
+        ``policy.max_total_time`` bounds the batch from its first call.
+        """
+        if self._closed:
+            raise ValidationError("pool already shut down")
+        self.start()
+        policy = self._policy
+        commands = list(commands)
+        keys = list(keys)
+        if len(commands) != len(keys):
+            raise ValidationError(f"{len(commands)} commands but {len(keys)} run keys")
+        if not commands:
+            return []
+        results: List[Union[Any, FailedRun]] = [_PENDING] * len(commands)
+        tasks = [
+            _PoolTask(index=i, command=dict(command), key=key)
+            for i, (command, key) in enumerate(zip(commands, keys))
+        ]
+        ready_queue = deque(tasks)
+        backoff_wait: List[_PoolTask] = []
+        running: Dict[int, _PoolTask] = {}
+        batch_start = time.monotonic()
+        batch_deadline = (
+            None
+            if policy.max_total_time is None
+            else batch_start + policy.max_total_time
+        )
+
+        def settle(
+            task: _PoolTask, error_type: str, message: str, retryable: bool
+        ) -> None:
+            if retryable and task.attempt <= policy.retries:
+                not_before = time.monotonic() + policy.backoff_delay(
+                    str(task.key), task.attempt
+                )
+                if batch_deadline is None or not_before < batch_deadline:
+                    task.not_before = not_before
+                    task.attempt += 1
+                    backoff_wait.append(task)
+                    return
+            results[task.index] = FailedRun(
+                key=task.key,
+                error_type=error_type,
+                message=message,
+                attempts=task.attempt,
+                elapsed=time.monotonic() - (task.first_start or batch_start),
+            )
+
+        def expire_batch() -> None:
+            message = (
+                f"batch exceeded the {policy.max_total_time:.3g}s "
+                "max_total_time budget"
+            )
+            for slot in list(running):
+                self._retire(self._members[slot])
+            running.clear()
+            ready_queue.clear()
+            backoff_wait.clear()
+            for task in tasks:
+                if results[task.index] is _PENDING:
+                    results[task.index] = FailedRun(
+                        key=task.key,
+                        error_type="RunTimeoutError",
+                        message=message,
+                        attempts=task.attempt,
+                        elapsed=time.monotonic() - (task.first_start or batch_start),
+                    )
+
+        try:
+            while ready_queue or backoff_wait or running:
+                now = time.monotonic()
+                if batch_deadline is not None and now >= batch_deadline:
+                    expire_batch()
+                    break
+                for task in [t for t in backoff_wait if t.not_before <= now]:
+                    backoff_wait.remove(task)
+                    ready_queue.append(task)
+                while ready_queue:
+                    slot = self._free_slot(running)
+                    if slot is None:
+                        break
+                    task = ready_queue.popleft()
+                    member = self._members[slot]
+                    try:
+                        self._ensure_member(member)
+                    except (WorkerCrashError, RunTimeoutError) as exc:
+                        settle(
+                            task, type(exc).__name__, str(exc), policy.retry_on_crash
+                        )
+                        continue
+                    command = dict(task.command)
+                    command["attempt"] = task.attempt
+                    try:
+                        self._send(member, command)
+                    except (BrokenPipeError, OSError):
+                        self._retire(member)
+                        settle(
+                            task,
+                            "WorkerCrashError",
+                            "worker pipe broke before the command was sent",
+                            policy.retry_on_crash,
+                        )
+                        continue
+                    started = time.monotonic()
+                    if not task.first_start:
+                        task.first_start = started
+                    task.deadline = (
+                        None if policy.timeout is None else started + policy.timeout
+                    )
+                    running[slot] = task
+                if not running:
+                    if not backoff_wait:
+                        continue  # ready tasks re-queued after settle
+                    soonest = min(task.not_before for task in backoff_wait)
+                    time.sleep(
+                        max(0.0, min(soonest - time.monotonic(), POLL_INTERVAL))
+                    )
+                    continue
+                ready = _wait_connections(
+                    [self._members[slot].conn for slot in running],
+                    timeout=POLL_INTERVAL,
+                )
+                for slot, task in list(running.items()):
+                    member = self._members[slot]
+                    if member.conn in ready:
+                        del running[slot]
+                        try:
+                            raw = member.conn.recv_bytes()
+                        except (EOFError, OSError):
+                            self._retire(member)
+                            settle(
+                                task,
+                                "WorkerCrashError",
+                                "worker died before reporting a result",
+                                policy.retry_on_crash,
+                            )
+                            continue
+                        self.transport.add_received(len(raw))
+                        message = pickle.loads(raw)
+                        if message[0] == "ok":
+                            results[task.index] = message[1]
+                        else:
+                            _, error_type, text, transient = message
+                            settle(task, error_type, text, transient)
+                    elif task.deadline is not None and time.monotonic() >= task.deadline:
+                        # Hung worker: kill it at the deadline; the slot
+                        # respawns (with setup replay) before next use.
+                        del running[slot]
+                        self._retire(member)
+                        settle(
+                            task,
+                            "RunTimeoutError",
+                            f"exceeded the {policy.timeout:.3g}s wall-clock budget",
+                            policy.retry_on_timeout,
+                        )
+                    elif not member.proc.is_alive() and not member.conn.poll(0):
+                        exitcode = member.proc.exitcode
+                        del running[slot]
+                        self._retire(member)
+                        settle(
+                            task,
+                            "WorkerCrashError",
+                            f"worker exited with code {exitcode} before reporting",
+                            policy.retry_on_crash,
+                        )
+        finally:
+            # A member still mid-command cannot be reused: its eventual
+            # reply would be misattributed to the next batch's command.
+            for slot, task in list(running.items()):
+                self._retire(self._members[slot])
+            for task in tasks:
+                if results[task.index] is _PENDING:
+                    results[task.index] = FailedRun(
+                        key=task.key,
+                        error_type="SupervisorAborted",
+                        message="supervisor aborted before this command finished",
+                        attempts=task.attempt,
+                        elapsed=time.monotonic() - (task.first_start or batch_start),
+                    )
+        return results
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _spawn(self, member: _Member) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(child_conn, self._handlers),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        member.proc = proc
+        member.conn = parent_conn
+        member.alive = True
+        self.spawned_processes += 1
+
+    def _retire(self, member: _Member) -> None:
+        terminate_process(member.proc, member.conn)
+        member.proc = None
+        member.conn = None
+        member.alive = False
+
+    def _ensure_member(self, member: _Member) -> None:
+        """Respawn a dead slot and replay the setup prologue into it."""
+        if member.alive and member.proc is not None and member.proc.is_alive():
+            return
+        self._retire(member)
+        self._spawn(member)
+        for message in self._setup_messages:
+            self._request(member, dict(message))
+
+    def _free_slot(self, running: Mapping[int, Any]) -> Optional[int]:
+        for member in self._members:
+            if member.slot not in running:
+                return member.slot
+        return None
+
+    def _send(self, member: _Member, message: Dict[str, Any]) -> None:
+        payload = _dumps(message)
+        member.conn.send_bytes(payload)
+        self.transport.add_sent(len(payload))
+
+    def _request(self, member: _Member, message: Dict[str, Any]) -> Any:
+        """Synchronous command to one worker (setup replay, heartbeat).
+
+        Raises the classified error — and retires the member — on crash,
+        hang, or a handler-reported failure.
+        """
+        try:
+            self._send(member, message)
+        except (BrokenPipeError, OSError):
+            self._retire(member)
+            raise WorkerCrashError(
+                f"pool worker {member.slot} pipe broke during {message.get('op')!r}"
+            )
+        timeout = self._policy.timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            wait_for = (
+                POLL_INTERVAL
+                if deadline is None
+                else max(0.0, min(POLL_INTERVAL, deadline - time.monotonic()))
+            )
+            if member.conn.poll(wait_for):
+                break
+            if not member.proc.is_alive() and not member.conn.poll(0):
+                exitcode = member.proc.exitcode
+                self._retire(member)
+                raise WorkerCrashError(
+                    f"pool worker {member.slot} exited with code {exitcode} "
+                    f"during {message.get('op')!r}"
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                self._retire(member)
+                raise RunTimeoutError(
+                    f"pool worker {member.slot} exceeded the {timeout:.3g}s "
+                    f"budget during {message.get('op')!r}"
+                )
+        try:
+            raw = member.conn.recv_bytes()
+        except (EOFError, OSError):
+            self._retire(member)
+            raise WorkerCrashError(
+                f"pool worker {member.slot} died during {message.get('op')!r}"
+            )
+        self.transport.add_received(len(raw))
+        reply = pickle.loads(raw)
+        if reply[0] == "ok":
+            return reply[1]
+        _, error_type, text, transient = reply
+        if transient:
+            raise TransientError(f"{error_type}: {text}")
+        raise WorkerCrashError(
+            f"pool worker {member.slot} failed {message.get('op')!r}: "
+            f"{error_type}: {text}"
+        )
+
+
+__all__ = ["RESERVED_OPS", "WorkerPool", "_pool_worker_main"]

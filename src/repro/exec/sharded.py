@@ -2,12 +2,36 @@
 
 The paper's Table 3 premise — assignment dominates k-means cost — makes the
 assignment pass the one phase worth parallelizing.  This engine splits the
-point set into contiguous *shards*, runs the row-subset assignment kernels
-of :mod:`repro.core.vectorized` in supervised worker processes
-(:func:`repro.eval.runtime.supervised_map`), and merges per-shard results
-back in fixed shard-rank order, so the fitted model is **bit-identical** to
-the single-process vectorized backend regardless of worker completion
-order.
+point set into contiguous *shards* and runs the row-subset assignment
+kernels of :mod:`repro.core.vectorized` across worker processes, merging
+per-shard results in fixed shard-rank order so the fitted model is
+**bit-identical** to the single-process vectorized backend regardless of
+worker completion order.
+
+Control plane vs data plane
+---------------------------
+The engine is split into two planes so per-iteration IPC is O(k·d), not
+O(n·d):
+
+* **Data plane** (:mod:`repro.exec.shm`): the point matrix and the
+  per-shard persistent state (labels, upper/lower bounds, the epoch
+  vector) are published **once per fit** into CRC-stamped shared-memory
+  segments.  Workers attach read-only to the points and read-write to
+  the state; each shard's command names a disjoint row range, so worker
+  writes land directly at their fixed offsets — the rank-order merge
+  discipline, now with zero copies.
+* **Control plane** (:mod:`repro.exec.pool`): a persistent supervised
+  worker pool, spawned **once per fit**, carries only the per-iteration
+  centroid broadcast (plus the O(k²) separation context for Elkan) and
+  the O(1) result envelopes.  Exact traffic is accounted by the pool's
+  :class:`~repro.instrumentation.TransportCounters` and surfaced through
+  the fit result's ``extras["ipc"]``.
+
+The PR 7 engine this replaces re-spawned a process per shard per
+iteration and pickled each point shard every round; the BENCH entries it
+produced ran *slower* than single-process.  The inline runner (used when
+the supervisor is itself a daemon pool worker) keeps the exact same
+command path minus the processes.
 
 Determinism contract
 --------------------
@@ -17,54 +41,70 @@ Three disciplines carry the bit-identity guarantee:
    Lloyd/Elkan/Hamerly are independent across points, so a kernel run on
    ``X[lo:hi]`` produces exactly rows ``[lo, hi)`` of the full-matrix pass
    (see the kernel section of :mod:`repro.core.vectorized`).
-2. *Rank-order merge.*  Label/bound slices are written back at their
-   shard's fixed offsets, and the ``rescan`` refinement fold goes through
-   :func:`repro.core.refinement.merge_shard_assignments` — one scatter-add
-   over the full matrix, never a sum of per-shard partial sums (float
-   addition is not associative; the docstring there holds a concrete
-   counterexample).
+2. *Rank-order merge.*  Shards own disjoint row ranges of the shared
+   state, counters merge in shard-rank order (integer accumulation), and
+   the ``rescan`` refinement fold goes through
+   :func:`repro.core.refinement.merge_shard_assignments` — one
+   scatter-add over the full matrix, never a sum of per-shard partial
+   sums (float addition is not associative; the docstring there holds a
+   concrete counterexample).
 3. *Supervisor-side centroid context.*  Centroid-level work
    (``centroid_separations``) is computed — and charged — once in the
-   supervisor and shipped to every shard, so OpCounters totals also match
-   the single-process pass exactly.
+   supervisor and broadcast to every shard, so OpCounters totals also
+   match the single-process pass exactly.
 
 Failure handling
 ----------------
-Shard workers inherit the full robustness runtime: per-shard wall-clock
-timeouts, :class:`~repro.common.exceptions.TransientError` retries with
-deterministic CRC32 backoff, and crash/hang containment.  What happens
-when a shard fails *terminally* is the :class:`ShardFailurePolicy`:
+Shard commands inherit the full robustness runtime: per-command
+wall-clock deadlines (a hung long-lived worker is killed and respawned),
+:class:`~repro.common.exceptions.TransientError` retries with
+deterministic CRC32 backoff, and crash containment with setup replay on
+respawn.  What happens when a shard fails *terminally* is the
+:class:`ShardFailurePolicy`:
 
 ``strict``
     Raise :class:`~repro.common.exceptions.ShardFailedError` carrying the
     shard rank, iteration, and classified error type.
 ``recompute``
-    Re-run each lost shard's kernel inline in the supervisor on the exact
-    same inputs — the recovered fit is bit-identical to a fault-free run.
+    Re-run each lost shard's command inline in the supervisor on the
+    shared state — bit-identical recovery, guarded by the *epoch
+    protocol* below.
 ``degrade``
-    Finish the iteration from the surviving shards; lost shards keep their
-    previous (stale) labels and bounds — still *sound* bounds, so the
-    bound-based algorithms self-correct on the next successful pass — and
-    the iteration is annotated with a structured :class:`DegradedIteration`
-    record naming the affected point ranges.
+    Finish the iteration from the surviving shards; lost shards keep
+    their previous (stale) labels and bounds — still *sound* bounds, so
+    the bound-based algorithms self-correct on the next successful pass —
+    and the iteration is annotated with a structured
+    :class:`DegradedIteration` record naming the affected point ranges.
 
-Faults injected via :class:`~repro.eval.faults.FaultPlan` can target
-individual shard workers (``kill:lloyd:shard=1:iter=2``); see
-:meth:`FaultPlan.apply_shard`.
+Epoch protocol
+~~~~~~~~~~~~~~
+Because workers mutate shared state in place, a worker dying *mid-kernel*
+could leave its slice torn.  Each command brackets its kernel with writes
+to a per-shard epoch slot: ``-(iteration + 2)`` before the kernel,
+``iteration`` after the write-back.  Injected faults
+(:meth:`~repro.eval.faults.FaultPlan.apply_shard`) fire *before* the
+dirty mark, so chaos recovery always sees clean state and stays
+bit-identical.  A genuinely torn slice (``epoch <= -2``) makes
+``recompute`` of a state-*reading* kernel raise
+``ShardFailedError(error_type="ShardStateCorrupted")`` instead of
+recomputing from corrupt inputs, and makes ``degrade`` mark the shard
+stateless so its next pass reseeds from scratch.
 
 Checkpointing: pass ``checkpoint=<path>`` to durably record each
 iteration's post-assignment state (:mod:`repro.exec.checkpoint`); an
 interrupted fit re-run with the same inputs replays the stored prefix and
-resumes live, reproducing the identical final model.
+resumes live — including across a pool restart — reproducing the
+identical final model.
 
-See docs/sharding.md for the full lifecycle and policy decision table.
+See docs/sharding.md for the full lifecycle, segment layout, and policy
+decision table.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -91,15 +131,22 @@ from repro.exec.checkpoint import (
     ShardCheckpoint,
     array_crc,
     encode_labels,
+    fit_token,
     shard_state_from_record,
     validate_record,
 )
+from repro.exec.pool import WorkerPool
+from repro.exec.shm import ShmLease, attach_shm_array
 from repro.instrumentation.counters import OpCounters
-from repro.eval.runtime import ExecutionPolicy, FailedRun, RunKey, supervised_map
+from repro.eval.runtime import ExecutionPolicy, FailedRun, RunKey
 
 SHARD_POLICY_MODES = ("strict", "recompute", "degrade")
 
 SHARD_RUNNERS = ("auto", "process", "inline")
+
+#: epoch values <= this mark a shard slice as torn (kernel started, never
+#: finished); see the epoch-protocol section of the module docstring
+EPOCH_DIRTY_THRESHOLD = -2
 
 
 def shard_bounds(n: int, shards: int) -> List[Tuple[int, int]]:
@@ -188,14 +235,14 @@ class DegradedIteration:
 # ----------------------------------------------------------------------
 # Worker side.
 #
-# Everything below runs inside supervised worker processes (or inline in
-# the supervisor when nested under a daemon pool worker).  The functions
-# are module-level and registered in SHARD_KERNELS so they are picklable
+# Everything below runs inside the persistent pool workers (or inline in
+# the supervisor under the inline runner).  The functions are module-level
+# and registered in SHARD_KERNELS / POOL_HANDLERS so they are picklable
 # under every start method and discoverable as pool-dispatch roots by the
-# R007 parallel-safety rule.  Payloads are plain dicts of arrays/floats;
-# mutable state slices are *copies* made by the supervisor, so a kernel's
-# in-place updates never leak into supervisor state before the rank-order
-# merge, under any runner or start method.
+# R007 parallel-safety rule.  Kernels operate *in place* on views of the
+# shared data plane: each command names a disjoint row range, so direct
+# mutation IS the rank-order merge, and the epoch protocol (module
+# docstring) detects the only hazard — a kernel that dies mid-write.
 # ----------------------------------------------------------------------
 
 
@@ -261,7 +308,7 @@ def hamerly_shard_kernel(
 
 
 #: Registry of shard assignment kernels.  Values are the worker-side entry
-#: points dispatched through the supervised pool; the R007 parallel-safety
+#: points dispatched through the persistent pool; the R007 parallel-safety
 #: rule discovers them from this literal and lints them (and their callees)
 #: like any other pool-dispatch root.
 SHARD_KERNELS = {
@@ -272,43 +319,139 @@ SHARD_KERNELS = {
     "hamerly": hamerly_shard_kernel,
 }
 
+#: steady-state kernels that *read* persistent shard state (labels/bounds)
+#: and therefore cannot recompute from a torn slice
+STATE_READING_KERNELS = frozenset({"elkan", "hamerly"})
 
-def _shard_worker(item: Tuple[Any, ...], attempt: int) -> Dict[str, Any]:
-    """Supervised-pool entry: apply targeted faults, run one shard kernel.
 
-    ``item`` is ``(kernel_name, payload, key, rank, iteration, fault_plan)``.
-    Counters start from zero in every worker; the supervisor merges them in
+def build_shard_payload(
+    arrays: Dict[str, np.ndarray], command: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Assemble one kernel's payload from data-plane views + the command.
+
+    The bulk inputs (``X``, state slices) are *views* of the attached
+    arrays; only the centroids and the O(k²) context arrive through the
+    command — this is the O(k·d)-per-iteration property in code form.
+    """
+    lo, hi = command["lo"], command["hi"]
+    kernel = command["kernel"]
+    payload: Dict[str, Any] = {
+        "X": arrays["x"][lo:hi],
+        "centroids": command["centroids"],
+    }
+    payload.update(command.get("context") or {})
+    if kernel == "lloyd":
+        payload["x_sq"] = arrays["xsq"][lo:hi]
+    elif kernel in STATE_READING_KERNELS:
+        payload["labels"] = arrays["labels"][lo:hi]
+        payload["ub"] = arrays["ub"][lo:hi]
+        payload["lb"] = arrays["lb"][lo:hi]
+    return payload
+
+
+def execute_shard_command(
+    arrays: Dict[str, np.ndarray],
+    command: Dict[str, Any],
+    counters: OpCounters,
+) -> Dict[str, Any]:
+    """Run one shard command against the data plane (worker or inline).
+
+    Applies targeted faults first (so injected chaos never tears state),
+    brackets the kernel with the epoch protocol's dirty/clean marks, and
+    writes any kernel outputs that are not already in-place views back at
+    the shard's fixed row offsets.
+    """
+    rank = command["rank"]
+    iteration = command["iteration"]
+    fault_plan = command.get("fault_plan")
+    if fault_plan is not None:
+        fault_plan.apply_shard(
+            command["key"],
+            shard=rank,
+            iteration=iteration,
+            attempt=command.get("attempt", 1),
+        )
+    epoch = arrays.get("epoch")
+    if epoch is not None:
+        epoch[rank] = -(iteration + 2)
+    payload = build_shard_payload(arrays, command)
+    out = SHARD_KERNELS[command["kernel"]](payload, counters)
+    lo, hi = command["lo"], command["hi"]
+    for role in ("labels", "ub", "lb"):
+        value = out.get(role)
+        target = arrays.get(role)
+        if value is None or target is None:
+            continue
+        window = target[lo:hi]
+        if not np.shares_memory(value, window):
+            window[...] = value
+    if epoch is not None:
+        epoch[rank] = iteration
+    return {"shard": rank}
+
+
+def pool_attach_handler(state: Dict[str, Any], message: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool setup prologue: attach this worker to the fit's data plane.
+
+    Replayed into respawned workers by the pool, so a killed worker
+    re-attaches before its slot is reused.  Views are parked in the
+    worker-local ``state`` dict; segment handles are kept alive beside
+    them and closed by the worker loop on shutdown.
+    """
+    for role in sorted(message["specs"]):
+        view, segment = attach_shm_array(message["specs"][role])
+        state["arrays"][role] = view
+        state["segments"].append(segment)
+    return {"attached": sorted(message["specs"])}
+
+
+def pool_run_handler(state: Dict[str, Any], message: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool steady-state command: one shard kernel against attached state.
+
+    Counters start from zero per command; the supervisor merges them in
     shard-rank order (integer accumulation, so totals equal the
     single-process charge exactly).
     """
-    kernel_name, payload, key, rank, iteration, fault_plan = item
-    if fault_plan is not None:
-        fault_plan.apply_shard(key, shard=rank, iteration=iteration, attempt=attempt)
     counters = OpCounters()
-    out = SHARD_KERNELS[kernel_name](payload, counters)
-    out["shard"] = rank
+    out = execute_shard_command(state["arrays"], message, counters)
     out["counters"] = counters
     return out
 
 
-def _inline_map(
-    fn, items: Sequence[Any], keys: Sequence[RunKey], *, policy: ExecutionPolicy
+#: Command handlers of the persistent shard worker pool.  Values are the
+#: worker-side dispatch roots the R007 parallel-safety rule walks (their
+#: whole callee closure, including SHARD_KERNELS, is linted for hidden
+#: global mutation).
+POOL_HANDLERS = {
+    "attach": pool_attach_handler,
+    "run": pool_run_handler,
+}
+
+
+def _run_inline(
+    arrays: Dict[str, np.ndarray],
+    commands: Sequence[Dict[str, Any]],
+    keys: Sequence[RunKey],
+    *,
+    policy: ExecutionPolicy,
 ) -> List[Any]:
-    """In-process fallback runner with supervised_map's settle semantics.
+    """In-process fallback runner with the pool's settle semantics.
 
     Used when the supervisor itself is a daemon pool worker (e.g. a
     sharded fit inside ``parallel_compare``) and may not spawn children.
-    Transient failures retry with the same deterministic backoff; any
-    other exception degrades to a classified :class:`FailedRun` in place.
-    No timeout isolation: ``hang`` faults would hang (the *outer* pool's
-    deadline contains them), so chaos tests pin ``runner="process"``.
+    Runs the *same* command path as the pool workers against the
+    supervisor's own arrays.  Transient failures retry with the same
+    deterministic backoff; any other exception degrades to a classified
+    :class:`FailedRun` in place.  No timeout isolation: ``hang`` faults
+    would hang (the *outer* pool's deadline contains them), so chaos
+    tests pin ``runner="process"``.
     """
     results: List[Any] = []
     start = time.monotonic()
     deadline = (
         None if policy.max_total_time is None else start + policy.max_total_time
     )
-    for item, key in zip(items, keys):
+    for command, key in zip(commands, keys):
         first = time.monotonic()
         attempt = 1
         while True:
@@ -327,7 +470,12 @@ def _inline_map(
                 )
                 break
             try:
-                results.append(fn(item, attempt))
+                counters = OpCounters()
+                attempt_command = dict(command)
+                attempt_command["attempt"] = attempt
+                out = execute_shard_command(arrays, attempt_command, counters)
+                out["counters"] = counters
+                results.append(out)
                 break
             except TransientError as exc:
                 if attempt <= policy.retries:
@@ -346,7 +494,7 @@ def _inline_map(
                     )
                 )
                 break
-            except Exception as exc:  # mirror _child_main's classification
+            except Exception as exc:  # mirror the pool's classification
                 results.append(
                     FailedRun(
                         key=key,
@@ -366,12 +514,13 @@ def _inline_map(
 
 
 class _ShardedAssignMixin:
-    """Replaces the assignment pass with supervised shard fan-out.
+    """Replaces the assignment pass with persistent-pool shard fan-out.
 
-    Mixed in *before* a vectorized algorithm class, it overrides
-    ``_assign`` (fan out / merge / recover), ``_refine`` (rank-order merge
-    fold for the ``rescan`` mode), ``_update_bounds`` (replay transition),
-    and ``_extras`` (degradation/resume reporting).  Everything else —
+    Mixed in *before* a vectorized algorithm class, it overrides ``fit``
+    (data-plane/pool lifecycle around the inherited loop), ``_assign``
+    (command fan-out / recover), ``_refine`` (rank-order merge fold for
+    the ``rescan`` mode), ``_update_bounds`` (replay transition), and
+    ``_extras`` (degradation/resume/IPC reporting).  Everything else —
     setup, initialization, convergence, drift correction — is the
     inherited single-process implementation, which is exactly why the
     result is bit-identical.
@@ -419,13 +568,36 @@ class _ShardedAssignMixin:
         self._current_iteration = -1
         self._last_was_replay = False
         self._resumed_iterations = 0
+        self._runner_resolved: Optional[str] = None
+        self._pool: Optional[WorkerPool] = None
+        self._plane_lease: Optional[ShmLease] = None
+        self._plane_arrays: Optional[Dict[str, np.ndarray]] = None
+        self._epoch: Optional[np.ndarray] = None
+        self._live_iterations = 0
+        self._setup_ipc_bytes = 0
 
     # ------------------------------------------------------------------
     # Fit-loop hooks.
     # ------------------------------------------------------------------
 
+    def fit(self, X, k, **kwargs):
+        """Inherited fit loop bracketed by the execution-backend lifecycle.
+
+        The ``finally`` is the single release point for every exit path —
+        normal completion, :class:`ShardFailedError`, ``KeyboardInterrupt``,
+        a worker kill mid-iteration — so the pool is always shut down and
+        the shared-memory lease always unlinked (tests assert ``/dev/shm``
+        is clean after chaos runs; :mod:`repro.exec.shm` adds an ``atexit``
+        backstop for a supervisor that dies before reaching it).
+        """
+        try:
+            return super().fit(X, k, **kwargs)
+        finally:
+            self._release_execution_backend()
+
     def _setup(self) -> None:
         super()._setup()
+        self._release_execution_backend()
         n = len(self.X)
         # Degenerate shards are clamped away rather than erroring: a tiny
         # smoke fit with shards > n still runs, one row per shard.
@@ -438,6 +610,8 @@ class _ShardedAssignMixin:
         self._current_iteration = -1
         self._last_was_replay = False
         self._resumed_iterations = 0
+        self._live_iterations = 0
+        self._setup_ipc_bytes = 0
 
     def _assign(self, iteration: int) -> None:
         self._current_iteration = iteration
@@ -447,26 +621,27 @@ class _ShardedAssignMixin:
         if self._maybe_replay(iteration, entry_crc):
             return
         self._last_was_replay = False
-        kernels, payloads = self._shard_tasks(iteration)
+        self._ensure_execution_backend()
         keys = self._shard_keys(iteration)
-        items = [
-            (kernels[rank], payloads[rank], keys[rank], rank, iteration,
-             self.shard_fault_plan)
-            for rank in range(len(self._ranges))
-        ]
-        outcomes = list(self._dispatch(items, keys))
+        commands = self._shard_commands(iteration, keys)
+        if self._pool is not None:
+            self._sync_state_to_plane()
+            outcomes = list(self._pool.run_batch(commands, keys))
+        else:
+            outcomes = _run_inline(
+                self._local_arrays(), commands, keys, policy=self.shard_execution
+            )
+        self._live_iterations += 1
         losses: Dict[int, FailedRun] = {
             rank: out
             for rank, out in enumerate(outcomes)
             if isinstance(out, FailedRun)
         }
         if losses:
-            losses = self._recover(iteration, items, outcomes, losses)
+            losses = self._recover(iteration, commands, outcomes, losses)
         for rank, out in enumerate(outcomes):
             if isinstance(out, FailedRun):
                 continue
-            lo, hi = self._ranges[rank]
-            self._apply_shard_result(rank, lo, hi, out)
             self.counters.merge(out["counters"])
             self._shard_has_state[rank] = True
         degraded = None
@@ -525,43 +700,194 @@ class _ShardedAssignMixin:
         extras = dict(super()._extras())
         extras["shards"] = len(self._ranges)
         extras["shard_policy"] = self.shard_policy.mode
+        if self._runner_resolved is not None:
+            extras["shard_runner"] = self._runner_resolved
         if self._degraded:
             extras["degraded_iterations"] = [d.as_dict() for d in self._degraded]
         if self._resumed_iterations:
             extras["resumed_iterations"] = self._resumed_iterations
+        if self._pool is not None:
+            stats = self._pool.stats()
+            total = stats["bytes_sent"] + stats["bytes_received"]
+            live = max(1, self._live_iterations)
+            extras["ipc"] = {
+                "bytes_sent": stats["bytes_sent"],
+                "bytes_received": stats["bytes_received"],
+                "messages": stats["messages"],
+                "setup_bytes": self._setup_ipc_bytes,
+                "bytes_per_iter": int(
+                    round((total - self._setup_ipc_bytes) / live)
+                ),
+                "data_plane_bytes": (
+                    self._plane_lease.data_plane_bytes
+                    if self._plane_lease is not None
+                    else 0
+                ),
+            }
+            extras["pool"] = {
+                "workers": stats["workers"],
+                "spawned_processes": stats["spawned_processes"],
+                "respawns": stats["respawns"],
+            }
         return extras
+
+    # ------------------------------------------------------------------
+    # Execution backend lifecycle (control plane + data plane).
+    # ------------------------------------------------------------------
+
+    def _resolve_runner(self) -> str:
+        runner = self.shard_runner
+        daemonic = multiprocessing.current_process().daemon
+        if runner == "auto":
+            # A daemon pool worker (harness parallel_compare) may not
+            # spawn children; run shards sequentially in-process there.
+            runner = "inline" if daemonic else "process"
+        elif runner == "process" and daemonic:
+            # Explicit request that cannot be honored: multiprocessing
+            # would die with a bare AssertionError at Process.start().
+            raise ConfigurationError(
+                "shard_runner='process' spawns worker processes, which a "
+                "daemonic pool worker (e.g. a parallel_compare cell) may "
+                "not do; use shard_runner='auto' or 'inline' here"
+            )
+        return runner
+
+    def _ensure_execution_backend(self) -> None:
+        """Lazily build the per-fit execution backend, exactly once.
+
+        First live iteration only: resolve the runner, allocate the epoch
+        vector, and — for the process runner — publish the data plane and
+        spawn + attach the persistent pool.  Replayed iterations never get
+        here, so a checkpoint-resumed fit pays for workers only when it
+        goes live.
+        """
+        if self._runner_resolved is None:
+            self._runner_resolved = self._resolve_runner()
+            self._epoch = np.full(len(self._ranges), -1, dtype=np.int64)
+        if self._runner_resolved != "process" or self._pool is not None:
+            return
+        token = fit_token(
+            self.name,
+            len(self._ranges),
+            self.shard_policy.mode,
+            self.X,
+            self._centroids,
+        )
+        lease = ShmLease(token)
+        try:
+            arrays: Dict[str, np.ndarray] = {
+                "x": lease.publish("x", self.X, mutable=False)
+            }
+            for role, (array, mutable) in self._state_arrays().items():
+                arrays[role] = lease.publish(role, array, mutable=mutable)
+            arrays["epoch"] = lease.publish("epoch", self._epoch, mutable=True)
+            self._epoch = arrays["epoch"]
+            self._rebind_state(arrays)
+            pool = WorkerPool(
+                POOL_HANDLERS,
+                workers=len(self._ranges),
+                policy=self.shard_execution,
+                mp_context=self._mp_context,
+            )
+            pool.start()
+            pool.setup([{"op": "attach", "specs": lease.specs()}])
+        except BaseException:
+            lease.release()
+            raise
+        self._plane_lease = lease
+        self._plane_arrays = arrays
+        self._pool = pool
+        self._setup_ipc_bytes = (
+            pool.transport.bytes_sent + pool.transport.bytes_received
+        )
+
+    def _sync_state_to_plane(self) -> None:
+        """Safety net: re-home state an inherited hook rebound off-plane.
+
+        The inherited bound maintenance is fully in-place, so in the
+        normal flow every mutable state array *is* its plane view and this
+        is a no-op identity walk.  If a future override rebinds one, its
+        contents are copied back into the segment and the attribute
+        re-pointed, keeping worker reads coherent.
+        """
+        arrays = self._plane_arrays
+        if arrays is None:
+            return
+        rebound = False
+        for role, (array, mutable) in self._state_arrays().items():
+            if mutable and array is not arrays[role]:
+                arrays[role][...] = array
+                rebound = True
+        if rebound:
+            self._rebind_state(arrays)
+
+    def _release_execution_backend(self) -> None:
+        """Tear down pool + data plane; idempotent, runs on every exit."""
+        pool, self._pool = self._pool, None
+        lease, self._plane_lease = self._plane_lease, None
+        try:
+            if pool is not None:
+                pool.shutdown()
+        finally:
+            if self._plane_arrays is not None:
+                # Copy state out of the segments so the fitted model (and
+                # any later inspection) outlives the unlink below.
+                self._unbind_state()
+                if self._epoch is not None:
+                    self._epoch = np.array(self._epoch, copy=True)
+                self._plane_arrays = None
+            if lease is not None:
+                lease.release()
+        self._runner_resolved = None
+
+    def _local_arrays(self) -> Dict[str, np.ndarray]:
+        """The data plane as seen from the supervisor (inline/recompute).
+
+        Under the process runner the mutable entries are the very same
+        segment views the workers write, so inline recompute operates on
+        identical state.
+        """
+        arrays: Dict[str, np.ndarray] = {"x": self.X}
+        if self._epoch is not None:
+            arrays["epoch"] = self._epoch
+        for role, (array, _mutable) in self._state_arrays().items():
+            arrays[role] = array
+        return arrays
 
     # ------------------------------------------------------------------
     # Dispatch and recovery.
     # ------------------------------------------------------------------
 
-    def _dispatch(self, items, keys):
-        runner = self.shard_runner
-        if runner == "auto":
-            # A daemon pool worker (harness parallel_compare) may not
-            # spawn children; run shards sequentially in-process there.
-            runner = (
-                "inline"
-                if multiprocessing.current_process().daemon
-                else "process"
+    def _shard_commands(
+        self, iteration: int, keys: Sequence[RunKey]
+    ) -> List[Dict[str, Any]]:
+        """One ``run`` command per shard: centroid broadcast + bookkeeping."""
+        kernels = [
+            self._shard_kernel_for(rank) for rank in range(len(self._ranges))
+        ]
+        context = self._command_context(kernels)
+        commands: List[Dict[str, Any]] = []
+        for rank, (lo, hi) in enumerate(self._ranges):
+            commands.append(
+                {
+                    "op": "run",
+                    "kernel": kernels[rank],
+                    "rank": rank,
+                    "lo": lo,
+                    "hi": hi,
+                    "iteration": iteration,
+                    "centroids": self._centroids,
+                    "context": context.get(kernels[rank]),
+                    "key": keys[rank],
+                    "fault_plan": self.shard_fault_plan,
+                }
             )
-        if runner == "process":
-            return supervised_map(
-                _shard_worker,
-                items,
-                keys,
-                policy=self.shard_execution,
-                max_workers=len(items),
-                mp_context=self._mp_context,
-            )
-        return _inline_map(
-            _shard_worker, items, keys, policy=self.shard_execution
-        )
+        return commands
 
     def _recover(
         self,
         iteration: int,
-        items: List[Tuple[Any, ...]],
+        commands: List[Dict[str, Any]],
         outcomes: List[Any],
         losses: Dict[int, FailedRun],
     ) -> Dict[int, FailedRun]:
@@ -582,21 +908,47 @@ class _ShardedAssignMixin:
                 error_type=failure.error_type,
             )
         if mode == "recompute":
-            # Deterministic recovery: the payload still holds the exact
-            # pre-iteration inputs (workers mutate their own copies, and
-            # the fault paths fire before any kernel touches state), so an
-            # inline re-run is bit-identical to a fault-free worker.  The
-            # recovery path itself is deliberately fault-free — injected
-            # faults target workers, not the supervisor.
+            # Deterministic recovery: injected faults fire before the
+            # epoch dirty mark, so the shared state still holds the exact
+            # pre-iteration inputs and an inline re-run is bit-identical
+            # to a fault-free worker.  The epoch guard refuses to
+            # recompute a state-reading kernel from a genuinely torn
+            # slice.  The recovery path itself is deliberately fault-free
+            # — injected faults target workers, not the supervisor.
+            arrays = self._local_arrays()
             for rank in sorted(losses):
-                kernel_name, payload = items[rank][0], items[rank][1]
+                if self._slice_is_torn(commands[rank]):
+                    failure = losses[rank]
+                    raise ShardFailedError(
+                        f"shard {rank} of {self.name} died mid-kernel at "
+                        f"iteration {iteration} leaving its state slice torn "
+                        f"({failure.error_type}: {failure.message}); recompute "
+                        "cannot reproduce the fault-free iteration",
+                        shard=rank,
+                        iteration=iteration,
+                        error_type="ShardStateCorrupted",
+                    )
+                command = dict(commands[rank])
+                command["fault_plan"] = None
+                command["attempt"] = 1
                 counters = OpCounters()
-                out = SHARD_KERNELS[kernel_name](payload, counters)
-                out["shard"] = rank
+                out = execute_shard_command(arrays, command, counters)
                 out["counters"] = counters
                 outcomes[rank] = out
             return {}
-        return losses  # degrade
+        # degrade: a torn state-reading shard cannot keep "stale but
+        # sound" bounds — mark it stateless so its next pass reseeds.
+        for rank in sorted(losses):
+            if self._slice_is_torn(commands[rank]):
+                self._shard_has_state[rank] = False
+        return losses
+
+    def _slice_is_torn(self, command: Dict[str, Any]) -> bool:
+        return (
+            command["kernel"] in STATE_READING_KERNELS
+            and self._epoch is not None
+            and int(self._epoch[command["rank"]]) <= EPOCH_DIRTY_THRESHOLD
+        )
 
     def _shard_keys(self, iteration: int) -> List[RunKey]:
         d = self.X.shape[1]
@@ -676,20 +1028,34 @@ class _ShardedAssignMixin:
     # Per-algorithm hooks.
     # ------------------------------------------------------------------
 
-    def _shard_tasks(
-        self, iteration: int
-    ) -> Tuple[List[str], List[Dict[str, Any]]]:
-        """Kernel name + payload per shard for this iteration."""
+    def _shard_kernel_for(self, rank: int) -> str:
+        """Registry key of the kernel shard ``rank`` runs this iteration."""
         raise NotImplementedError
 
-    def _apply_shard_result(
-        self, rank: int, lo: int, hi: int, out: Dict[str, Any]
-    ) -> None:
-        """Write one shard's outputs back at its fixed row offsets."""
+    def _command_context(
+        self, kernels: Sequence[str]
+    ) -> Dict[str, Dict[str, Any]]:
+        """Per-kernel broadcast context, charged once in the supervisor."""
+        raise NotImplementedError
+
+    def _state_arrays(self) -> Dict[str, Tuple[np.ndarray, bool]]:
+        """Role -> (array, mutable) map of this algorithm's plane state."""
+        raise NotImplementedError
+
+    def _rebind_state(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Point the mutable state attributes at their plane views."""
+        raise NotImplementedError
+
+    def _unbind_state(self) -> None:
+        """Copy mutable state out of the plane views (pre-unlink)."""
         raise NotImplementedError
 
     def _reseed_bounds(self) -> None:
-        """Seed sound conservative bounds at the replay→live transition."""
+        """Seed sound conservative bounds at the replay→live transition.
+
+        Must mutate the bound arrays *in place* — rebinding them would
+        detach the supervisor from the views the workers attached to.
+        """
 
 
 class ShardedLloydKMeans(_ShardedAssignMixin, VectorizedLloydKMeans):
@@ -697,27 +1063,27 @@ class ShardedLloydKMeans(_ShardedAssignMixin, VectorizedLloydKMeans):
 
     shard_kernel = "lloyd"
 
-    def _shard_tasks(self, iteration: int):
+    def _shard_kernel_for(self, rank: int) -> str:
+        return self.shard_kernel
+
+    def _command_context(self, kernels):
+        return {
+            "lloyd": {
+                "c_sq": sq_norms(self._centroids),
+                "margin_factor": self._MARGIN_FACTOR,
+            }
+        }
+
+    def _state_arrays(self):
         if self._x_sq is None:
             self._x_sq = sq_norms(self.X)
-        c_sq = sq_norms(self._centroids)
-        kernels: List[str] = []
-        payloads: List[Dict[str, Any]] = []
-        for lo, hi in self._ranges:
-            kernels.append(self.shard_kernel)
-            payloads.append(
-                {
-                    "X": self.X[lo:hi],
-                    "x_sq": self._x_sq[lo:hi],
-                    "centroids": self._centroids,
-                    "c_sq": c_sq,
-                    "margin_factor": self._MARGIN_FACTOR,
-                }
-            )
-        return kernels, payloads
+        return {"xsq": (self._x_sq, False), "labels": (self._labels, True)}
 
-    def _apply_shard_result(self, rank, lo, hi, out):
-        self._labels[lo:hi] = out["labels"]
+    def _rebind_state(self, arrays):
+        self._labels = arrays["labels"]
+
+    def _unbind_state(self):
+        self._labels = np.array(self._labels, copy=True)
 
 
 class _BoundedShardMixin(_ShardedAssignMixin):
@@ -726,42 +1092,44 @@ class _BoundedShardMixin(_ShardedAssignMixin):
     A shard runs the *seed* kernel until its first successful pass (always
     iteration 0 in a fault-free fit; later under ``degrade`` when the
     iteration-0 worker was lost), then the steady-state assignment kernel
-    on its slice of the bound state.  Mutable slices are copied into the
-    payload so worker/inline mutation never bypasses the rank-order merge.
+    on its slice of the shared bound state.
     """
 
-    def _shard_tasks(self, iteration: int):
-        kernels: List[str] = []
-        payloads: List[Dict[str, Any]] = []
-        context: Optional[Dict[str, Any]] = None
-        if any(self._shard_has_state):
-            context = self._steady_context()
-        self._ensure_bound_arrays()
-        for rank, (lo, hi) in enumerate(self._ranges):
-            if not self._shard_has_state[rank]:
-                kernels.append(self.shard_seed_kernel)
-                payloads.append({"X": self.X[lo:hi], "centroids": self._centroids})
-                continue
-            payload = {
-                "X": self.X[lo:hi],
-                "centroids": self._centroids,
-                "labels": self._labels[lo:hi].copy(),
-                "ub": self._ub[lo:hi].copy(),
-                "lb": self._lb[lo:hi].copy(),
-            }
-            payload.update(context)
-            kernels.append(self.shard_kernel)
-            payloads.append(payload)
-        return kernels, payloads
+    def _shard_kernel_for(self, rank: int) -> str:
+        if not self._shard_has_state[rank]:
+            return self.shard_seed_kernel
+        return self.shard_kernel
 
-    def _apply_shard_result(self, rank, lo, hi, out):
+    def _command_context(self, kernels):
+        if self.shard_kernel not in kernels:
+            return {}
+        return {self.shard_kernel: self._steady_context()}
+
+    def _state_arrays(self):
         self._ensure_bound_arrays()
-        self._labels[lo:hi] = out["labels"]
-        self._ub[lo:hi] = out["ub"]
-        self._lb[lo:hi] = out["lb"]
+        return {
+            "labels": (self._labels, True),
+            "ub": (self._ub, True),
+            "lb": (self._lb, True),
+        }
+
+    def _rebind_state(self, arrays):
+        self._labels = arrays["labels"]
+        self._ub = arrays["ub"]
+        self._lb = arrays["lb"]
+
+    def _unbind_state(self):
+        self._labels = np.array(self._labels, copy=True)
+        self._ub = np.array(self._ub, copy=True)
+        self._lb = np.array(self._lb, copy=True)
+
+    def _reseed_bounds(self):
+        self._ensure_bound_arrays()
+        self._ub.fill(np.inf)
+        self._lb.fill(0.0)
 
     def _steady_context(self) -> Dict[str, Any]:
-        """Centroid-level payload context, charged once in the supervisor."""
+        """Centroid-level broadcast context, charged once in the supervisor."""
         raise NotImplementedError
 
     def _ensure_bound_arrays(self) -> None:
@@ -784,11 +1152,6 @@ class ShardedElkanKMeans(_BoundedShardMixin, VectorizedElkanKMeans):
             self._ub = np.zeros(n)
             self._lb = np.zeros((n, self.k))
 
-    def _reseed_bounds(self):
-        n = len(self.X)
-        self._ub = np.full(n, np.inf)
-        self._lb = np.zeros((n, self.k))
-
 
 class ShardedHamerlyKMeans(_BoundedShardMixin, VectorizedHamerlyKMeans):
     """Sharded vectorized Hamerly with supervisor-computed separations."""
@@ -804,11 +1167,6 @@ class ShardedHamerlyKMeans(_BoundedShardMixin, VectorizedHamerlyKMeans):
             n = len(self.X)
             self._ub = np.zeros(n)
             self._lb = np.zeros(n)
-
-    def _reseed_bounds(self):
-        n = len(self.X)
-        self._ub = np.full(n, np.inf)
-        self._lb = np.zeros(n)
 
 
 #: Algorithms with a sharded implementation.  Yinyang and index k-means
@@ -843,6 +1201,7 @@ def make_sharded_algorithm(name: str, **kwargs):
 
 __all__ = [
     "DegradedIteration",
+    "POOL_HANDLERS",
     "SHARD_KERNELS",
     "SHARDED_ALGORITHMS",
     "SHARD_POLICY_MODES",
@@ -850,6 +1209,8 @@ __all__ = [
     "ShardedElkanKMeans",
     "ShardedHamerlyKMeans",
     "ShardedLloydKMeans",
+    "build_shard_payload",
+    "execute_shard_command",
     "make_sharded_algorithm",
     "shard_bounds",
 ]

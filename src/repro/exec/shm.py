@@ -1,0 +1,411 @@
+"""Zero-copy shared-memory data plane for the sharded execution engine.
+
+The PR 7 engine shipped every shard's point slice — O(n·d) pickled bytes —
+through the command pipe on *every* iteration, so IPC dwarfed the kernel
+work ("Exact Acceleration of K-Means++ and K-Means||" makes the same
+observation for distributed k-means: it pays off only when per-round
+communication is O(k·d)).  This module is the fix: the point set and the
+per-shard persistent state (labels, upper/lower bounds) are published
+**once per fit** into ``multiprocessing.shared_memory`` segments; workers
+attach — read-only to the points, read-write to their own disjoint state
+slice — and the per-iteration pipe traffic collapses to the centroid
+broadcast.
+
+Integrity
+---------
+Every segment starts with a fixed 64-byte header stamped by the
+publisher: magic, format version, dtype, shape, a CRC32 of the fit-key
+token the segment belongs to, and (for immutable payloads) a CRC32 of the
+payload bytes.  :func:`attach_shm_array` validates the header against the
+:class:`ShmArraySpec` the supervisor shipped and raises
+:class:`~repro.common.exceptions.ShmIntegrityError` on any disagreement —
+a worker must never silently compute on foreign bytes.  Mutable segments
+(state slices the workers themselves write) stamp the CRC of the
+*published* payload and skip the payload check on attach: a respawned
+worker legitimately attaches mid-fit, after the bytes have moved on.
+
+Naming
+------
+Segment names come from :func:`segment_name` and are a pure function of
+the fit token (:func:`repro.exec.checkpoint.fit_token`), the publishing
+process id, a per-process lease sequence number, and the segment role —
+**never** RNG, ``uuid`` or wall-clock time (the R012 analysis rule
+enforces this project-wide).  Determinism keeps chaos replays exact;
+pid + sequence keep concurrent fits of identical inputs collision-free.
+
+Lifecycle
+---------
+:class:`ShmLease` owns every segment of one fit.  ``release()`` is
+idempotent and unlinks on every exit path the engine has: the sharded
+mixin calls it in a ``finally`` around ``fit`` (normal finish,
+``ShardFailedError``, ``KeyboardInterrupt``, worker kill), and a
+module-level ``atexit`` backstop releases anything a hard-crashed
+supervisor left behind.  Workers only ever *attach* and never unlink
+(``track=False`` on 3.13+; on 3.9–3.12 the attach-side resource-tracker
+registration is deliberately left in place — see :func:`_open_attached`).
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import struct
+import sys
+import zlib
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import ClassVar, Dict, List, Tuple
+
+import numpy as np
+
+from repro.common.exceptions import ShmIntegrityError, ValidationError
+
+#: segment-name prefix; the leak tests scan ``/dev/shm`` for it
+SEGMENT_PREFIX = "rpx"
+
+#: header layout: magic, version, dtype string, flags, ndim, shape[2],
+#: payload CRC32, fit-token CRC32 — padded to HEADER_SIZE bytes
+HEADER_MAGIC = b"RPXSHM1\x00"
+HEADER_VERSION = 1
+HEADER_SIZE = 64
+_HEADER_FORMAT = "<8sI8sIIQQII"
+_FLAG_MUTABLE = 1
+
+#: roles may be at most this long so names stay under the POSIX shm
+#: name limit on every platform (macOS caps at 31 bytes incl. the slash)
+_MAX_ROLE_LENGTH = 8
+
+#: per-process monotone lease sequence; part of the segment name so two
+#: concurrent fits of identical inputs in one process cannot collide
+_LEASE_SEQUENCE = itertools.count()
+
+
+def segment_name(fit_token: str, role: str, *, pid: int, sequence: int) -> str:
+    """Deterministic segment name for one role of one fit's data plane.
+
+    A pure function of its inputs: the fit token contributes a CRC32 (the
+    full token is far over the POSIX name limit), pid and lease sequence
+    disambiguate concurrent publishers, and the role names the array.  No
+    RNG, uuid, or time — replaying a fit must republish the same names.
+    """
+    if not role or len(role) > _MAX_ROLE_LENGTH or not role.isidentifier():
+        raise ValidationError(
+            f"segment role must be a short identifier "
+            f"(<= {_MAX_ROLE_LENGTH} chars), got {role!r}"
+        )
+    token_crc = zlib.crc32(fit_token.encode()) & 0xFFFFFFFF
+    return f"{SEGMENT_PREFIX}{token_crc:08x}p{pid % 10_000_000}s{sequence}{role}"
+
+
+@dataclass(frozen=True)
+class ShmArraySpec:
+    """Picklable attach ticket for one published array segment."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    crc: int
+    token_crc: int
+    mutable: bool
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for extent in self.shape:
+            count *= int(extent)
+        return count * np.dtype(self.dtype).itemsize
+
+
+def _pack_header(spec: ShmArraySpec) -> bytes:
+    if len(spec.shape) > 2:
+        raise ValidationError(
+            f"data-plane arrays are at most 2-D, got shape {spec.shape}"
+        )
+    shape0 = spec.shape[0] if len(spec.shape) >= 1 else 0
+    shape1 = spec.shape[1] if len(spec.shape) >= 2 else 0
+    header = struct.pack(
+        _HEADER_FORMAT,
+        HEADER_MAGIC,
+        HEADER_VERSION,
+        spec.dtype.encode("ascii").ljust(8, b"\x00"),
+        _FLAG_MUTABLE if spec.mutable else 0,
+        len(spec.shape),
+        shape0,
+        shape1,
+        spec.crc,
+        spec.token_crc,
+    )
+    return header.ljust(HEADER_SIZE, b"\x00")
+
+
+def _check_header(buf: memoryview, spec: ShmArraySpec) -> None:
+    """Validate a segment's stamped header against the supervisor's spec."""
+    raw = bytes(buf[:HEADER_SIZE])
+    magic, version, dtype_raw, flags, ndim, shape0, shape1, crc, token_crc = (
+        struct.unpack(_HEADER_FORMAT, raw[: struct.calcsize(_HEADER_FORMAT)])
+    )
+    if magic != HEADER_MAGIC:
+        raise ShmIntegrityError(
+            f"segment {spec.name!r} has no data-plane header (bad magic)"
+        )
+    if version != HEADER_VERSION:
+        raise ShmIntegrityError(
+            f"segment {spec.name!r} uses header version {version}, "
+            f"expected {HEADER_VERSION}"
+        )
+    dtype = dtype_raw.rstrip(b"\x00").decode("ascii")
+    shape = (shape0, shape1)[:ndim]
+    if dtype != spec.dtype or shape != tuple(spec.shape):
+        raise ShmIntegrityError(
+            f"segment {spec.name!r} header says {dtype}{shape}, spec says "
+            f"{spec.dtype}{tuple(spec.shape)}"
+        )
+    if token_crc != spec.token_crc:
+        raise ShmIntegrityError(
+            f"segment {spec.name!r} belongs to a different fit "
+            f"(token crc {token_crc:#x} != {spec.token_crc:#x})"
+        )
+    mutable = bool(flags & _FLAG_MUTABLE)
+    if mutable != spec.mutable:
+        raise ShmIntegrityError(
+            f"segment {spec.name!r} mutability flag disagrees with its spec"
+        )
+    if not mutable:
+        # Slice, copy, release: a memoryview local surviving in this
+        # frame's traceback would keep an exported pointer alive and make
+        # the caller's segment.close() raise BufferError.
+        payload = buf[HEADER_SIZE : HEADER_SIZE + spec.nbytes]
+        try:
+            actual = zlib.crc32(bytes(payload)) & 0xFFFFFFFF
+        finally:
+            payload.release()
+        if actual != crc:
+            raise ShmIntegrityError(
+                f"segment {spec.name!r} payload crc {actual:#x} disagrees "
+                f"with the publisher's stamp {crc:#x}"
+            )
+
+
+def _array_view(segment: shared_memory.SharedMemory, spec: ShmArraySpec) -> np.ndarray:
+    return np.ndarray(
+        tuple(spec.shape),
+        dtype=np.dtype(spec.dtype),
+        buffer=segment.buf,
+        offset=HEADER_SIZE,
+    )
+
+
+def _open_attached(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    On 3.13+ ``track=False`` makes attach-only semantics explicit.  On
+    3.9–3.12 the attach registers the name with the resource tracker —
+    which is harmless *and must be left alone* here: pool workers are
+    children of the publishing supervisor and share its tracker process
+    (both fork and spawn hand the tracker fd down), so the registration
+    is an idempotent set-add, while an eager ``unregister`` would clobber
+    the supervisor's own entry and make the final ``unlink`` race the
+    tracker.  A worker's exit never triggers tracker cleanup while the
+    supervisor lives; if the supervisor dies without releasing, the
+    still-registered name is exactly what lets the tracker reclaim the
+    segment.
+    """
+    if sys.version_info >= (3, 13):
+        return shared_memory.SharedMemory(name=name, track=False)
+    return shared_memory.SharedMemory(name=name)
+
+
+def attach_shm_array(
+    spec: ShmArraySpec,
+) -> Tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Worker-side attach: validated numpy view plus the segment handle.
+
+    The caller must keep the returned handle alive as long as the view is
+    used (the view borrows the handle's buffer) and ``close()`` it on the
+    way out; it must never ``unlink()`` — the supervisor's lease owns the
+    name.
+    """
+    segment = _open_attached(spec.name)
+    try:
+        _check_header(segment.buf, spec)
+    except ShmIntegrityError:
+        segment.close()
+        raise
+    return _array_view(segment, spec), segment
+
+
+class ShmLease:
+    """Owner of every shared-memory segment of one fit's data plane.
+
+    Created by the sharded supervisor, holds creator-side views, and
+    guarantees the segments are unlinked exactly once — explicitly via
+    :meth:`release` (the engine's ``finally``), or by the ``atexit``
+    backstop if the supervisor never got there.  Usable as a context
+    manager for the same guarantee in tests.
+    """
+
+    #: per-process registry of unreleased leases, scanned by the atexit
+    #: backstop.  Deliberately *process-local* bookkeeping: each process
+    #: tracks the leases it created, and the owner-pid guard keeps a
+    #: forked child from ever releasing its parent's (workers attach,
+    #: supervisors own).
+    _live: ClassVar[List["ShmLease"]] = []
+
+    def __init__(self, fit_token: str) -> None:
+        self.fit_token = fit_token
+        self._token_crc = zlib.crc32(fit_token.encode()) & 0xFFFFFFFF
+        self._owner_pid = os.getpid()
+        self._sequence = next(_LEASE_SEQUENCE)
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._views: Dict[str, np.ndarray] = {}
+        self._specs: Dict[str, ShmArraySpec] = {}
+        self._released = False
+        self._live.append(self)
+
+    # ------------------------------------------------------------------
+    # Publishing.
+    # ------------------------------------------------------------------
+
+    def publish(
+        self, role: str, array: np.ndarray, *, mutable: bool = True
+    ) -> np.ndarray:
+        """Copy ``array`` into a fresh named segment; return the live view.
+
+        The returned view aliases the segment, so for mutable roles the
+        supervisor keeps operating on it directly and workers see every
+        write without further copies.
+        """
+        if self._released:
+            raise ValidationError("lease already released; cannot publish")
+        if role in self._segments:
+            raise ValidationError(f"role {role!r} already published")
+        source = np.ascontiguousarray(array)
+        spec = ShmArraySpec(
+            name=segment_name(
+                self.fit_token, role, pid=self._owner_pid, sequence=self._sequence
+            ),
+            dtype=source.dtype.str,
+            shape=tuple(int(extent) for extent in source.shape),
+            crc=zlib.crc32(source.tobytes()) & 0xFFFFFFFF,
+            token_crc=self._token_crc,
+            mutable=mutable,
+        )
+        header = _pack_header(spec)  # validates shape before any allocation
+        segment = shared_memory.SharedMemory(
+            name=spec.name, create=True, size=HEADER_SIZE + max(1, spec.nbytes)
+        )
+        segment.buf[:HEADER_SIZE] = header
+        view = _array_view(segment, spec)
+        view[...] = source
+        self._segments[role] = segment
+        self._views[role] = view
+        self._specs[role] = spec
+        return view
+
+    def spec(self, role: str) -> ShmArraySpec:
+        return self._specs[role]
+
+    def specs(self) -> Dict[str, ShmArraySpec]:
+        return dict(self._specs)
+
+    def array(self, role: str) -> np.ndarray:
+        return self._views[role]
+
+    @property
+    def roles(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._segments))
+
+    @property
+    def data_plane_bytes(self) -> int:
+        """Total payload bytes published once per fit (headers excluded)."""
+        return sum(spec.nbytes for spec in self._specs.values())
+
+    # ------------------------------------------------------------------
+    # Release.
+    # ------------------------------------------------------------------
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        """Close and unlink every segment; idempotent, never raises.
+
+        A ``BufferError`` on close (a stray numpy view still borrowing the
+        buffer) downgrades to close-at-process-exit: the *unlink* still
+        runs, so the name — the leakable resource — is always removed.
+        """
+        if self._released:
+            return
+        self._released = True
+        self._views.clear()
+        for role in sorted(self._segments):
+            segment = self._segments[role]
+            try:
+                segment.close()
+            except BufferError:
+                # A borrowed view keeps the mapping alive until the
+                # process exits; unlinking below still frees the name.
+                # Disarm the handle's finalizer so GC / interpreter
+                # shutdown doesn't retry the doomed close and spray
+                # "Exception ignored" noise — the mapping itself is
+                # reclaimed by the OS when the process exits.
+                segment._buf = None
+                segment._mmap = None
+                fd = getattr(segment, "_fd", -1)
+                if fd >= 0:
+                    os.close(fd)
+                    segment._fd = -1
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass  # already gone (double release race, external cleanup)
+        self._segments.clear()
+        if self in self._live:
+            self._live.remove(self)
+
+    def __enter__(self) -> "ShmLease":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+# ----------------------------------------------------------------------
+# atexit backstop.
+# ----------------------------------------------------------------------
+
+
+def _release_leaked_leases() -> None:
+    """Unlink every segment a dying supervisor still owns.
+
+    Guarded by pid: a forked worker inherits the registry but must never
+    release its parent's lease (workers attach, supervisors own).
+    """
+    pid = os.getpid()
+    for lease in list(ShmLease._live):
+        if lease._owner_pid == pid:
+            lease.release()
+
+
+def live_lease_count() -> int:
+    """Leases not yet released in this process (tests assert this is 0)."""
+    return sum(1 for lease in ShmLease._live if lease._owner_pid == os.getpid())
+
+
+# Registered at import, not lazily: the hook itself is pid-guarded and a
+# no-op when nothing leaked, so unconditional registration is free and
+# keeps every function in this module mutation-free under R007.
+atexit.register(_release_leaked_leases)
+
+
+__all__ = [
+    "HEADER_SIZE",
+    "SEGMENT_PREFIX",
+    "ShmArraySpec",
+    "ShmLease",
+    "attach_shm_array",
+    "live_lease_count",
+    "segment_name",
+]

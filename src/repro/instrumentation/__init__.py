@@ -7,7 +7,11 @@ algorithm in this package therefore threads an :class:`OpCounters` instance
 through its inner loops, and the harness reports the full breakdown.
 """
 
-from repro.instrumentation.counters import CounterSnapshot, OpCounters
+from repro.instrumentation.counters import (
+    CounterSnapshot,
+    OpCounters,
+    TransportCounters,
+)
 from repro.instrumentation.timers import PhaseTimer
 
-__all__ = ["OpCounters", "CounterSnapshot", "PhaseTimer"]
+__all__ = ["OpCounters", "CounterSnapshot", "PhaseTimer", "TransportCounters"]

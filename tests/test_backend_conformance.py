@@ -542,6 +542,11 @@ class TestShardedPerformance:
         shards = min(4, max(2, cores))
         X, _ = make_blobs(self.N, self.D, self.COMPONENTS, seed=5)
         C0 = init_kmeans_plus_plus(X, self.K, seed=0)
+        # What the PR 7 engine shipped per iteration: every shard's point
+        # slice, re-pickled every round — one full point matrix in total.
+        # The shm data plane publishes it once, so this is the honest
+        # "before" for the ipc_bytes_per_iter comparison below.
+        ipc_bytes_before = int(X.nbytes)
         report = json.loads(BENCH_PATH.read_text())
         failures = []
         for name in ("lloyd", "elkan"):
@@ -550,11 +555,16 @@ class TestShardedPerformance:
                     X, self.K, initial_centroids=C0, max_iter=self.ITERS
                 )
             )
-            sharded_s = self._best_of(
-                lambda: SHARDED_ALGORITHMS[name](
+            last_extras = {}
+
+            def sharded_fit():
+                result = SHARDED_ALGORITHMS[name](
                     shards=shards, runner="process"
                 ).fit(X, self.K, initial_centroids=C0, max_iter=self.ITERS)
-            )
+                last_extras.update(result.extras)
+
+            sharded_s = self._best_of(sharded_fit)
+            ipc = last_extras["ipc"]
             speedup = single_s / sharded_s
             report["algorithms"][f"sharded_{name}"] = {
                 "single_process_s": round(single_s, 5),
@@ -564,7 +574,19 @@ class TestShardedPerformance:
                 "cores": cores,
                 "min_speedup": SHARDED_MIN_SPEEDUP,
                 "gated": cores >= 2,
+                "ipc_bytes_per_iter": int(ipc["bytes_per_iter"]),
+                "ipc_bytes_per_iter_before": ipc_bytes_before,
+                "ipc_setup_bytes": int(ipc["setup_bytes"]),
+                "data_plane_bytes": int(ipc["data_plane_bytes"]),
+                "spawned_processes": last_extras["pool"]["spawned_processes"],
             }
+            # Hardware-independent and therefore always asserted: the
+            # steady-state pipe traffic must exclude the point shard.
+            if not 0 < ipc["bytes_per_iter"] < ipc_bytes_before:
+                failures.append(
+                    f"sharded_{name}: {ipc['bytes_per_iter']} ipc bytes/iter "
+                    f"is not below the {ipc_bytes_before}-byte point matrix"
+                )
             if cores >= 2 and speedup < SHARDED_MIN_SPEEDUP:
                 failures.append(
                     f"sharded_{name}: {speedup:.2f}x < {SHARDED_MIN_SPEEDUP}x "

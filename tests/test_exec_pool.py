@@ -1,0 +1,293 @@
+"""Tests for the persistent supervised worker pool (repro.exec.pool).
+
+The pool is the control plane of the sharded engine: processes spawn
+once, the setup prologue replays into respawned workers, and the
+supervision semantics (deadline kill, crash detection, transient retry
+with deterministic backoff, settled result lists) match the
+``supervised_map`` contract the chaos suite pins.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import (
+    TransientError,
+    ValidationError,
+    WorkerCrashError,
+)
+from repro.eval.runtime import ExecutionPolicy, FailedRun, RunKey
+from repro.exec.pool import RESERVED_OPS, WorkerPool
+from repro.exec.shm import ShmLease, attach_shm_array
+
+
+# ----------------------------------------------------------------------
+# Module-level handlers (spawn contexts pickle them by reference).
+# ----------------------------------------------------------------------
+
+
+def echo_handler(state, message):
+    return {"echo": message.get("value"), "pid": os.getpid()}
+
+
+def crash_handler(state, message):
+    os._exit(13)
+
+
+def hang_handler(state, message):
+    time.sleep(60.0)
+
+
+def flaky_handler(state, message):
+    if message["attempt"] <= message.get("fail_attempts", 1):
+        raise TransientError("injected transient")
+    return {"attempt": message["attempt"], "pid": os.getpid()}
+
+
+def boom_handler(state, message):
+    raise RuntimeError("kaboom")
+
+
+def unpicklable_handler(state, message):
+    return lambda: None
+
+
+def remember_handler(state, message):
+    state["memory"] = message["value"]
+    return {"stored": True}
+
+
+def recall_handler(state, message):
+    return {"memory": state.get("memory"), "pid": os.getpid()}
+
+
+def attach_handler(state, message):
+    for role in sorted(message["specs"]):
+        view, segment = attach_shm_array(message["specs"][role])
+        state["arrays"][role] = view
+        state["segments"].append(segment)
+    return {"attached": sorted(message["specs"])}
+
+
+def write_handler(state, message):
+    state["arrays"]["cells"][message["index"]] = message["value"]
+    return {"written": message["index"]}
+
+
+HANDLERS = {
+    "echo": echo_handler,
+    "crash": crash_handler,
+    "hang": hang_handler,
+    "flaky": flaky_handler,
+    "boom": boom_handler,
+    "unpicklable": unpicklable_handler,
+    "remember": remember_handler,
+    "recall": recall_handler,
+    "attach": attach_handler,
+    "write": write_handler,
+}
+
+
+def key(i=0, algorithm="lloyd"):
+    return RunKey(
+        algorithm=algorithm, dataset="unit", n=10, d=2, k=2, seed=i, max_iter=5
+    )
+
+
+def make_pool(workers=2, **policy_kwargs):
+    policy_kwargs.setdefault("timeout", 20.0)
+    return WorkerPool(
+        HANDLERS, workers=workers, policy=ExecutionPolicy(**policy_kwargs)
+    )
+
+
+class TestLifecycle:
+    def test_workers_spawn_once_and_persist(self):
+        with make_pool(workers=2) as pool:
+            first = pool.run_batch(
+                [{"op": "echo", "value": i} for i in range(2)],
+                [key(i) for i in range(2)],
+            )
+            second = pool.run_batch(
+                [{"op": "echo", "value": i} for i in range(2)],
+                [key(i) for i in range(2)],
+            )
+            pids_first = {r["pid"] for r in first}
+            pids_second = {r["pid"] for r in second}
+            assert pids_first == pids_second  # the same long-lived processes
+            assert pool.spawned_processes == 2
+            assert pool.respawns == 0
+            assert [r["echo"] for r in first] == [0, 1]
+
+    def test_ping_reports_live_pids(self):
+        with make_pool(workers=2) as pool:
+            pool.start()
+            pids = pool.ping()
+            assert len(pids) == 2
+            assert all(isinstance(p, int) for p in pids)
+            assert len(set(pids)) == 2
+
+    def test_reserved_ops_rejected(self):
+        for op in RESERVED_OPS:
+            with pytest.raises(ValidationError, match="reserved"):
+                WorkerPool({op: echo_handler}, workers=1)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkerPool(HANDLERS, workers=0)
+
+    def test_shutdown_idempotent_and_final(self):
+        pool = make_pool(workers=1)
+        pool.start()
+        pool.shutdown()
+        pool.shutdown()  # second call is a no-op
+        with pytest.raises(ValidationError, match="shut down"):
+            pool.run_batch([{"op": "echo"}], [key()])
+        with pytest.raises(ValidationError, match="shut down"):
+            pool.start()
+
+    def test_stats_shape(self):
+        with make_pool(workers=1) as pool:
+            pool.run_batch([{"op": "echo", "value": 1}], [key()])
+            stats = pool.stats()
+            assert stats["workers"] == 1
+            assert stats["spawned_processes"] == 1
+            assert stats["respawns"] == 0
+            assert stats["bytes_sent"] > 0
+            assert stats["bytes_received"] > 0
+            assert stats["messages"] == 1  # one command sent (replies aren't)
+
+
+class TestFailureHandling:
+    def test_crash_settles_and_slot_respawns(self):
+        with make_pool(workers=2) as pool:
+            outcomes = pool.run_batch(
+                [{"op": "crash"}, {"op": "echo", "value": 7}],
+                [key(0), key(1)],
+            )
+            assert isinstance(outcomes[0], FailedRun)
+            assert outcomes[0].error_type == "WorkerCrashError"
+            assert outcomes[1]["echo"] == 7
+            # The dead slot respawns lazily and serves the next batch.
+            follow_up = pool.run_batch(
+                [{"op": "echo", "value": i} for i in range(2)],
+                [key(i) for i in range(2)],
+            )
+            assert [r["echo"] for r in follow_up] == [0, 1]
+            assert pool.respawns == 1
+
+    def test_hang_killed_at_deadline(self):
+        with make_pool(workers=1, timeout=0.5) as pool:
+            start = time.monotonic()
+            (outcome,) = pool.run_batch([{"op": "hang"}], [key()])
+            elapsed = time.monotonic() - start
+            assert isinstance(outcome, FailedRun)
+            assert outcome.error_type == "RunTimeoutError"
+            assert elapsed < 10.0  # killed at the deadline, not after 60s
+
+    def test_transient_retries_with_attempt_rewrite(self):
+        with make_pool(workers=1, retries=2, backoff_base=0.01) as pool:
+            (outcome,) = pool.run_batch(
+                [{"op": "flaky", "fail_attempts": 2}], [key()]
+            )
+            assert outcome["attempt"] == 3  # failed twice, succeeded third
+
+    def test_transient_exhaustion_settles_failed(self):
+        with make_pool(workers=1, retries=1, backoff_base=0.01) as pool:
+            (outcome,) = pool.run_batch(
+                [{"op": "flaky", "fail_attempts": 99}], [key()]
+            )
+            assert isinstance(outcome, FailedRun)
+            assert outcome.error_type == "TransientError"
+            assert outcome.attempts == 2
+
+    def test_handler_error_not_retried(self):
+        with make_pool(workers=1, retries=3, backoff_base=0.01) as pool:
+            (outcome,) = pool.run_batch([{"op": "boom"}], [key()])
+            assert isinstance(outcome, FailedRun)
+            assert outcome.error_type == "RuntimeError"
+            assert outcome.attempts == 1  # deterministic errors don't retry
+
+    def test_unknown_op_settles_failed(self):
+        with make_pool(workers=1) as pool:
+            (outcome,) = pool.run_batch([{"op": "nope"}], [key()])
+            assert isinstance(outcome, FailedRun)
+            assert outcome.error_type == "KeyError"
+
+    def test_unpicklable_result_reported(self):
+        with make_pool(workers=1) as pool:
+            (outcome,) = pool.run_batch([{"op": "unpicklable"}], [key()])
+            assert isinstance(outcome, FailedRun)
+            assert "unpicklable" in outcome.message
+
+    def test_mismatched_keys_rejected(self):
+        with make_pool(workers=1) as pool:
+            with pytest.raises(ValidationError, match="run keys"):
+                pool.run_batch([{"op": "echo"}], [])
+
+
+class TestSetupReplay:
+    def test_setup_state_survives_respawn(self):
+        """A respawned worker gets the setup prologue replayed, so its
+        worker-local state is restored before the slot is reused."""
+        with make_pool(workers=1) as pool:
+            pool.setup([{"op": "remember", "value": "plane"}])
+            (before,) = pool.run_batch([{"op": "recall"}], [key()])
+            assert before["memory"] == "plane"
+            (crashed,) = pool.run_batch([{"op": "crash"}], [key()])
+            assert isinstance(crashed, FailedRun)
+            (after,) = pool.run_batch([{"op": "recall"}], [key()])
+            assert after["memory"] == "plane"
+            assert after["pid"] != before["pid"]
+            assert pool.respawns == 1
+
+    def test_setup_failure_raises(self):
+        with make_pool(workers=1) as pool:
+            with pytest.raises(WorkerCrashError, match="boom"):
+                pool.setup([{"op": "boom"}])
+
+    def test_shm_attach_replay_keeps_plane_writable(self):
+        """End-to-end control/data-plane handshake: workers attach to a
+        shared segment via setup, write through it, keep writing after a
+        crash-respawn cycle, and the supervisor sees every write."""
+        with ShmLease("pool-replay-fit") as lease:
+            cells = lease.publish("cells", np.zeros(4, dtype=np.float64))
+            with make_pool(workers=1) as pool:
+                pool.setup([{"op": "attach", "specs": lease.specs()}])
+                pool.run_batch(
+                    [{"op": "write", "index": 0, "value": 1.5}], [key()]
+                )
+                assert cells[0] == 1.5
+                pool.run_batch([{"op": "crash"}], [key()])
+                pool.run_batch(
+                    [{"op": "write", "index": 3, "value": 2.5}], [key()]
+                )
+                assert cells[3] == 2.5
+                assert pool.respawns == 1
+
+
+class TestBatchSemantics:
+    def test_more_commands_than_workers(self):
+        with make_pool(workers=2) as pool:
+            results = pool.run_batch(
+                [{"op": "echo", "value": i} for i in range(7)],
+                [key(i) for i in range(7)],
+            )
+            assert [r["echo"] for r in results] == list(range(7))
+
+    def test_empty_batch(self):
+        with make_pool(workers=1) as pool:
+            assert pool.run_batch([], []) == []
+
+    def test_max_total_time_bounds_batch(self):
+        with make_pool(
+            workers=1, timeout=5.0, max_total_time=0.3,
+            retries=5, retry_on_timeout=True, backoff_base=0.01,
+        ) as pool:
+            outcomes = pool.run_batch(
+                [{"op": "hang"}, {"op": "hang"}], [key(0), key(1)]
+            )
+            assert all(isinstance(o, FailedRun) for o in outcomes)
+            assert all(o.error_type == "RunTimeoutError" for o in outcomes)

@@ -419,3 +419,123 @@ class TestHarnessIntegration:
         assert got.n_iter == want.n_iter
         assert got.distance_computations == want.distance_computations
         assert got.bound_accesses == want.bound_accesses
+
+    def test_explicit_process_runner_in_daemon_is_classified(
+        self, chaos_task, monkeypatch
+    ):
+        # An explicit runner="process" inside a daemonic pool worker must
+        # raise a classified ConfigurationError, not multiprocessing's
+        # bare AssertionError at Process.start().
+        import repro.exec.sharded as sharded_mod
+
+        X, k, _ = chaos_task
+
+        class FakeDaemon:
+            daemon = True
+
+        monkeypatch.setattr(
+            sharded_mod.multiprocessing, "current_process", FakeDaemon
+        )
+        algo = SHARDED_ALGORITHMS["lloyd"](shards=2, runner="process")
+        with pytest.raises(ConfigurationError, match="daemonic"):
+            algo.fit(X, k, seed=0)
+        # auto still falls back cleanly under the same conditions.
+        got = SHARDED_ALGORITHMS["lloyd"](shards=2, runner="auto").fit(
+            X, k, seed=0
+        )
+        assert got.extras["shard_runner"] == "inline"
+
+
+class TestDataPlaneProfile:
+    """The PR 10 control/data-plane split: workers spawn once per fit and
+    per-iteration IPC excludes the point shard (docs/sharding.md)."""
+
+    @pytest.mark.parametrize("name", sorted(SHARDED_ALGORITHMS))
+    def test_pool_runner_bit_identical_every_algorithm(self, name, task):
+        X, k, C0, max_iter = task
+        want = VECTORIZED_ALGORITHMS[name]().fit(
+            X, k, initial_centroids=C0, max_iter=max_iter
+        )
+        got = SHARDED_ALGORITHMS[name](shards=4, runner="process").fit(
+            X, k, initial_centroids=C0, max_iter=max_iter
+        )
+        assert_results_identical(got, want, context=f"{name}/pool")
+
+    def test_workers_spawn_once_per_fit(self, task):
+        X, k, C0, max_iter = task
+        result = SHARDED_ALGORITHMS["lloyd"](shards=3, runner="process").fit(
+            X, k, initial_centroids=C0, max_iter=max_iter
+        )
+        pool = result.extras["pool"]
+        assert pool["workers"] == 3
+        assert pool["spawned_processes"] == 3  # one spawn per slot, ever
+        assert pool["respawns"] == 0
+        assert result.n_iter > 1  # many iterations, still one spawn each
+
+    def test_per_iteration_ipc_excludes_point_shard(self, task):
+        X, k, C0, max_iter = task
+        result = SHARDED_ALGORITHMS["elkan"](shards=3, runner="process").fit(
+            X, k, initial_centroids=C0, max_iter=max_iter
+        )
+        ipc = result.extras["ipc"]
+        # The O(k*d) contract: steady-state traffic per iteration must be
+        # far below one point matrix, and the bulk bytes must have gone
+        # through the shared-memory plane instead.
+        assert 0 < ipc["bytes_per_iter"] < X.nbytes
+        assert ipc["data_plane_bytes"] >= X.nbytes
+        assert ipc["bytes_sent"] > 0 and ipc["bytes_received"] > 0
+        assert result.extras["shard_runner"] == "process"
+
+    def test_inline_runner_reports_no_ipc(self, task):
+        X, k, C0, _ = task
+        result = SHARDED_ALGORITHMS["lloyd"](shards=3, runner="inline").fit(
+            X, k, initial_centroids=C0, max_iter=3
+        )
+        assert result.extras["shard_runner"] == "inline"
+        assert "ipc" not in result.extras
+        assert "pool" not in result.extras
+
+    def test_chaos_respawn_is_counted_and_bit_identical(self, task):
+        X, k, C0, max_iter = task
+        want = VECTORIZED_ALGORITHMS["lloyd"]().fit(
+            X, k, initial_centroids=C0, max_iter=max_iter
+        )
+        got = SHARDED_ALGORITHMS["lloyd"](
+            shards=3, shard_policy="recompute", runner="process",
+            fault_plan=FaultPlan.parse("kill:lloyd:shard=2:iter=2"),
+            execution=ExecutionPolicy(timeout=10.0),
+        ).fit(X, k, initial_centroids=C0, max_iter=max_iter)
+        assert_results_identical(got, want, context="pool-respawn")
+        assert got.extras["pool"]["respawns"] == 1
+
+    def test_checkpoint_resume_across_pool_restart(self, tmp_path, task):
+        """A fit killed mid-flight resumes on a *fresh* pool (new worker
+        processes, republished data plane) to the identical final model."""
+        X, k, C0, max_iter = task
+        path = tmp_path / "ckpt.jsonl"
+        want = VECTORIZED_ALGORITHMS["lloyd"]().fit(
+            X, k, initial_centroids=C0, max_iter=max_iter
+        )
+        with pytest.raises(ShardFailedError):
+            SHARDED_ALGORITHMS["lloyd"](
+                shards=3, runner="process", checkpoint=path,
+                fault_plan=FaultPlan.parse("raise:*:shard=1:iter=3"),
+                execution=ExecutionPolicy(timeout=10.0),
+            ).fit(X, k, initial_centroids=C0, max_iter=max_iter)
+        resumed = SHARDED_ALGORITHMS["lloyd"](
+            shards=3, runner="process", checkpoint=path,
+        ).fit(X, k, initial_centroids=C0, max_iter=max_iter)
+        assert_results_identical(resumed, want, context="pool-resume")
+        assert resumed.extras["resumed_iterations"] == 3
+
+    def test_data_plane_released_between_fits(self, task):
+        from repro.exec.shm import live_lease_count
+
+        X, k, C0, _ = task
+        algorithm = SHARDED_ALGORITHMS["lloyd"](shards=2, runner="process")
+        baseline = live_lease_count()
+        algorithm.fit(X, k, initial_centroids=C0, max_iter=3)
+        assert live_lease_count() == baseline
+        # A second fit on the same instance republished cleanly.
+        algorithm.fit(X, k, initial_centroids=C0, max_iter=3)
+        assert live_lease_count() == baseline

@@ -1,0 +1,273 @@
+"""Tests for the zero-copy shared-memory data plane (repro.exec.shm).
+
+Covers the three contracts the sharded engine leans on: deterministic
+naming (segment names are a pure function of fit token + pid + sequence),
+validated attach (a worker must never compute on foreign or torn bytes),
+and leak-free release on every exit path (``/dev/shm`` holds no ``rpx*``
+segment once the lease is gone, even after chaos).
+"""
+
+import os
+import struct
+import sys
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ShmIntegrityError, ValidationError
+from repro.exec.shm import (
+    HEADER_SIZE,
+    SEGMENT_PREFIX,
+    ShmArraySpec,
+    ShmLease,
+    attach_shm_array,
+    live_lease_count,
+    segment_name,
+)
+
+DEV_SHM = "/dev/shm"
+
+
+def leaked_segments():
+    """Names of live repro data-plane segments on this host."""
+    if not os.path.isdir(DEV_SHM):  # non-Linux fallback: can't scan
+        return []
+    return [n for n in os.listdir(DEV_SHM) if n.startswith(SEGMENT_PREFIX)]
+
+
+@pytest.fixture(autouse=True)
+def no_leak_across_tests():
+    before = set(leaked_segments())
+    yield
+    after = set(leaked_segments())
+    assert after - before == set(), "test leaked shm segments"
+
+
+class TestSegmentName:
+    def test_pure_function_of_inputs(self):
+        a = segment_name("lloyd:shards4:strict:n100", "x", pid=123, sequence=0)
+        b = segment_name("lloyd:shards4:strict:n100", "x", pid=123, sequence=0)
+        assert a == b
+        assert a.startswith(SEGMENT_PREFIX)
+
+    def test_components_disambiguate(self):
+        base = dict(pid=123, sequence=0)
+        name = segment_name("tok", "x", **base)
+        assert segment_name("tok2", "x", **base) != name
+        assert segment_name("tok", "ub", **base) != name
+        assert segment_name("tok", "x", pid=124, sequence=0) != name
+        assert segment_name("tok", "x", pid=123, sequence=1) != name
+
+    def test_stays_under_posix_name_limit(self):
+        # macOS caps shm names at 31 bytes including the leading slash.
+        name = segment_name("t" * 4096, "epochxyz", pid=2**31, sequence=99)
+        assert len(name) <= 30
+
+    @pytest.mark.parametrize("role", ["", "waytoolongrole", "has space", "1x"])
+    def test_bad_roles_rejected(self, role):
+        with pytest.raises(ValidationError):
+            segment_name("tok", role, pid=1, sequence=0)
+
+
+class TestPublishAttach:
+    def test_roundtrip_bitwise(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(37, 5))
+        with ShmLease("fit-roundtrip") as lease:
+            lease.publish("x", X, mutable=False)
+            view, segment = attach_shm_array(lease.spec("x"))
+            try:
+                assert view.dtype == X.dtype and view.shape == X.shape
+                np.testing.assert_array_equal(view, X)
+            finally:
+                del view
+                segment.close()
+
+    def test_mutable_writes_are_shared(self):
+        with ShmLease("fit-mutable") as lease:
+            labels = lease.publish("labels", np.zeros(10, dtype=np.int64))
+            view, segment = attach_shm_array(lease.spec("labels"))
+            try:
+                view[3] = 7  # "worker" writes ...
+                assert lease.array("labels")[3] == 7  # ... supervisor sees it
+                labels[4] = 9  # and the reverse
+                assert view[4] == 9
+            finally:
+                del view
+                segment.close()
+
+    def test_immutable_payload_tamper_detected(self):
+        X = np.arange(12, dtype=np.float64).reshape(3, 4)
+        with ShmLease("fit-tamper") as lease:
+            view = lease.publish("x", X, mutable=False)
+            view[0, 0] = -1.0  # corrupt after the CRC stamp
+            with pytest.raises(ShmIntegrityError, match="crc"):
+                attach_shm_array(lease.spec("x"))
+
+    def test_header_tamper_detected(self):
+        with ShmLease("fit-header") as lease:
+            lease.publish("x", np.ones((2, 2)), mutable=False)
+            spec = lease.spec("x")
+            segment = lease._segments["x"]
+            segment.buf[:8] = b"NOTMAGIC"
+            with pytest.raises(ShmIntegrityError, match="magic"):
+                attach_shm_array(spec)
+
+    def test_wrong_fit_spec_rejected(self):
+        with ShmLease("fit-a") as lease:
+            lease.publish("x", np.ones(4), mutable=False)
+            spec = lease.spec("x")
+            foreign = ShmArraySpec(
+                name=spec.name, dtype=spec.dtype, shape=spec.shape,
+                crc=spec.crc, token_crc=spec.token_crc ^ 1, mutable=False,
+            )
+            with pytest.raises(ShmIntegrityError, match="different fit"):
+                attach_shm_array(foreign)
+
+    def test_shape_mismatch_rejected(self):
+        with ShmLease("fit-shape") as lease:
+            lease.publish("x", np.ones((4, 2)), mutable=False)
+            spec = lease.spec("x")
+            lying = ShmArraySpec(
+                name=spec.name, dtype=spec.dtype, shape=(2, 4),
+                crc=spec.crc, token_crc=spec.token_crc, mutable=False,
+            )
+            with pytest.raises(ShmIntegrityError, match="header says"):
+                attach_shm_array(lying)
+
+    def test_mutability_flag_mismatch_rejected(self):
+        with ShmLease("fit-flag") as lease:
+            lease.publish("ub", np.ones(6))
+            spec = lease.spec("ub")
+            lying = ShmArraySpec(
+                name=spec.name, dtype=spec.dtype, shape=spec.shape,
+                crc=spec.crc, token_crc=spec.token_crc, mutable=False,
+            )
+            with pytest.raises(ShmIntegrityError, match="mutability"):
+                attach_shm_array(lying)
+
+    def test_duplicate_role_rejected(self):
+        with ShmLease("fit-dup") as lease:
+            lease.publish("x", np.ones(3))
+            with pytest.raises(ValidationError, match="already published"):
+                lease.publish("x", np.ones(3))
+
+    def test_header_is_fixed_width(self):
+        # The numpy view starts at HEADER_SIZE; a header overflow would
+        # silently shift every payload byte.
+        spec = ShmArraySpec(
+            name="n", dtype="<f8", shape=(3, 4), crc=0, token_crc=0,
+            mutable=True,
+        )
+        from repro.exec.shm import _pack_header
+
+        assert len(_pack_header(spec)) == HEADER_SIZE
+
+    def test_more_than_2d_rejected(self):
+        with ShmLease("fit-3d") as lease:
+            with pytest.raises(ValidationError, match="2-D"):
+                lease.publish("x", np.ones((2, 2, 2)))
+
+
+class TestLeaseLifecycle:
+    def test_release_idempotent_and_counted(self):
+        before = live_lease_count()
+        lease = ShmLease("fit-count")
+        lease.publish("x", np.ones(5))
+        assert live_lease_count() == before + 1
+        lease.release()
+        assert lease.released
+        assert live_lease_count() == before
+        lease.release()  # second release is a no-op
+        assert live_lease_count() == before
+
+    def test_publish_after_release_rejected(self):
+        lease = ShmLease("fit-late")
+        lease.release()
+        with pytest.raises(ValidationError, match="released"):
+            lease.publish("x", np.ones(2))
+
+    def test_release_with_borrowed_view_still_unlinks(self):
+        # A stray numpy view makes close() raise BufferError; the name
+        # must be unlinked regardless — that's the leakable resource.
+        lease = ShmLease("fit-borrow")
+        view = lease.publish("x", np.ones(8))
+        name = lease.spec("x").name
+        lease.release()
+        if os.path.isdir(DEV_SHM):
+            assert name not in os.listdir(DEV_SHM)
+        del view
+
+    def test_context_manager_releases_on_error(self):
+        with pytest.raises(RuntimeError):
+            with ShmLease("fit-ctx") as lease:
+                lease.publish("x", np.ones(4))
+                raise RuntimeError("boom")
+        assert lease.released
+
+    def test_atexit_backstop_releases_only_own_pid(self):
+        from repro.exec.shm import _release_leaked_leases
+
+        lease = ShmLease("fit-backstop")
+        lease.publish("x", np.ones(4))
+        lease._owner_pid = os.getpid() + 1  # simulate a forked child
+        _release_leaked_leases()
+        assert not lease.released  # not ours to release
+        lease._owner_pid = os.getpid()
+        _release_leaked_leases()
+        assert lease.released
+
+
+@pytest.mark.skipif(not os.path.isdir(DEV_SHM), reason="needs /dev/shm")
+class TestNoDevShmLeak:
+    def test_chaos_fit_leaves_no_segment(self):
+        """End-to-end: a process-runner fit with injected worker kills and
+        a strict-mode shard failure must leave /dev/shm clean."""
+        from repro.common.exceptions import ShardFailedError
+        from repro.eval.faults import FaultPlan
+        from repro.eval.runtime import ExecutionPolicy
+        from repro.exec.sharded import ShardedLloydKMeans
+
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(200, 4))
+        before = set(leaked_segments())
+
+        # Recovered chaos: shard 1 is killed once, engine recomputes.
+        algo = ShardedLloydKMeans(
+            shards=2, shard_policy="recompute", runner="process",
+            fault_plan=FaultPlan.parse("kill:lloyd:shard=1:iter=1"),
+            execution=ExecutionPolicy(timeout=30.0, retries=0),
+        )
+        algo.fit(X, 3, seed=0)
+        assert set(leaked_segments()) == before
+
+        # Terminal chaos: strict policy raises out of fit().
+        algo = ShardedLloydKMeans(
+            shards=2, shard_policy="strict", runner="process",
+            fault_plan=FaultPlan.parse("kill:lloyd:shard=0"),
+            execution=ExecutionPolicy(timeout=30.0, retries=0),
+        )
+        with pytest.raises(ShardFailedError):
+            algo.fit(X, 3, seed=0)
+        assert set(leaked_segments()) == before
+        assert live_lease_count() == 0
+
+    def test_interrupted_fit_leaves_no_segment(self):
+        """KeyboardInterrupt mid-fit must still release the lease."""
+        from repro.exec.sharded import ShardedLloydKMeans
+
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(120, 3))
+        before = set(leaked_segments())
+
+        class Interrupting(ShardedLloydKMeans):
+            def _refine(self, iteration, previous_labels):
+                if iteration >= 1:
+                    raise KeyboardInterrupt
+                return super()._refine(iteration, previous_labels)
+
+        algo = Interrupting(shards=2, runner="process")
+        with pytest.raises(KeyboardInterrupt):
+            algo.fit(X, 3, seed=0)
+        assert set(leaked_segments()) == before
+        assert live_lease_count() == 0
